@@ -1,0 +1,143 @@
+// Command wlcost explores the analytic cost model without running any
+// simulation: per-algorithm cost estimates, optimal knob placement, the
+// Fig. 2 heatmaps and the Table 1 ledger.
+//
+// Usage:
+//
+//	wlcost -t 781250 -m 39062 -lambda 15            # sort estimates
+//	wlcost -join -t 78125 -v 781250 -m 3906         # join estimates
+//	wlcost -heatmap -ratio 10 -lambda 5             # one Fig. 2 panel
+//	wlcost -ledger -k 8 -lambda 15                  # Table 1
+//
+// Sizes t, v and memory m are in buffers (cachelines or small multiples),
+// the paper's cost unit; costs print in buffer-read units.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlpm/internal/cost"
+)
+
+var shades = []byte(" .:-=+*#%@")
+
+func main() {
+	var (
+		t       = flag.Float64("t", 781250, "|T| in buffers (the smaller/join-left or sort input)")
+		v       = flag.Float64("v", 7812500, "|V| in buffers (join right input)")
+		m       = flag.Float64("m", 39062, "memory M in buffers")
+		lambda  = flag.Float64("lambda", 15, "write/read cost ratio λ")
+		join    = flag.Bool("join", false, "print join estimates instead of sort estimates")
+		heatmap = flag.Bool("heatmap", false, "print a Fig. 2 heatmap panel")
+		ratio   = flag.Float64("ratio", 1, "|V|/|T| ratio for -heatmap")
+		ledger  = flag.Bool("ledger", false, "print the Table 1 lazy-join ledger")
+		k       = flag.Int("k", 8, "iterations for -ledger")
+	)
+	flag.Parse()
+
+	switch {
+	case *heatmap:
+		printHeatmap(*ratio, *lambda)
+	case *ledger:
+		printLedger(*k, *lambda)
+	case *join:
+		printJoin(*t, *v, *m, *lambda)
+	default:
+		printSort(*t, *m, *lambda)
+	}
+}
+
+func printSort(t, m, lambda float64) {
+	fmt.Printf("sort cost estimates (|T|=%.0f, M=%.0f buffers, λ=%.1f; buffer-read units)\n\n", t, m, lambda)
+	fmt.Printf("  %-12s %14.4g\n", "ExMS", cost.ExternalMergeSortCost(t, m, lambda))
+	fmt.Printf("  %-12s %14.4g\n", "SelS", cost.SelectionSortCost(t, m, lambda))
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		fmt.Printf("  %-12s %14.4g\n", fmt.Sprintf("SegS(%.1f)", x), cost.SegmentSortCost(x, t, m, lambda))
+		fmt.Printf("  %-12s %14.4g\n", fmt.Sprintf("HybS(%.1f)", x), cost.HybridSortCost(x, t, m, lambda))
+	}
+	fmt.Printf("  %-12s %14.4g\n", "LaS", cost.LazySortCost(t, m, lambda))
+	fmt.Println()
+	if cost.SegmentSortApplicable(t, m, lambda) {
+		x := cost.SegmentSortOptimalX(t, m, lambda)
+		fmt.Printf("SegS optimal write intensity (Eq. 4): x = %.4f → cost %.4g\n",
+			x, cost.SegmentSortCost(x, t, m, lambda))
+	} else {
+		fmt.Printf("SegS cost model inapplicable: λ ≥ 2(|T|/M)·lnM; write-minimal x = 0 recommended\n")
+	}
+	fmt.Printf("LaS materialization iteration (Eq. 5): n = %d\n",
+		cost.LazySortMaterializeIteration(t, m, lambda))
+}
+
+func printJoin(t, v, m, lambda float64) {
+	fmt.Printf("join cost estimates (|T|=%.0f, |V|=%.0f, M=%.0f buffers, λ=%.1f)\n\n", t, v, m, lambda)
+	fmt.Printf("  %-16s %14.4g\n", "GJ", cost.GraceJoinCost(t, v, lambda))
+	fmt.Printf("  %-16s %14.4g\n", "HJ", cost.HashJoinCost(t, v, m, lambda))
+	fmt.Printf("  %-16s %14.4g\n", "NLJ", cost.NestedLoopsJoinCost(t, v, m))
+	for _, xy := range [][2]float64{{0.2, 0.8}, {0.5, 0.5}, {0.8, 0.2}} {
+		fmt.Printf("  %-16s %14.4g\n", fmt.Sprintf("HybJ(%.1f,%.1f)", xy[0], xy[1]),
+			cost.HybridJoinCost(xy[0], xy[1], t, v, m, lambda))
+	}
+	kParts := int(1.2*t/m + 1)
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		fmt.Printf("  %-16s %14.4g\n", fmt.Sprintf("SegJ(%.1f)", x),
+			cost.SegmentedGraceCost(x*float64(kParts), kParts, t, v, lambda))
+	}
+	fmt.Println()
+	xh, yh := cost.HybridJoinSaddle(t, v, m, lambda)
+	fmt.Printf("HybJ saddle point (Eqs. 7–8): x = %.4f, y = %.4f\n", xh, yh)
+	fmt.Printf("SegJ beats GJ below x = %.4f of k = %d partitions (Eq. 10)\n",
+		cost.SegmentedGraceBeatsGraceBound(kParts, lambda), kParts)
+	fmt.Printf("LaJ materialization iteration (λ-consistent Eq. 11): n = %d of k = %d\n",
+		cost.LazyHashJoinMaterializeIteration(kParts, lambda), kParts)
+}
+
+func printHeatmap(ratio, lambda float64) {
+	h := cost.HybridJoinHeatmap(ratio, lambda, 33)
+	min, max := h.MinMax()
+	fmt.Printf("Jh(x,y) heatmap: |V|/|T| = %.0f, λ = %.1f (lighter = better, range [%.3g, %.3g])\n\n",
+		ratio, lambda, min, max)
+	for iy := h.N - 1; iy >= 0; iy-- {
+		fmt.Printf("  y=%.2f  ", float64(iy)/float64(h.N-1))
+		for ix := 0; ix < h.N; ix++ {
+			norm := 0.0
+			if max > min {
+				norm = (h.Cost[iy][ix] - min) / (max - min)
+			}
+			fmt.Printf("%c", shades[int(norm*float64(len(shades)-1))])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("          x: 0 %s 1\n", spaces(h.N-4))
+}
+
+func printLedger(k int, lambda float64) {
+	fmt.Printf("standard vs lazy hash join (k=%d, λ=%.1f; unit = M+M_T buffers)\n\n", k, lambda)
+	fmt.Printf("  %-4s %10s %10s %10s %10s %10s %10s\n",
+		"it", "std rd", "std wr", "lazy rd", "lazy wr", "savings", "penalty")
+	for _, r := range cost.LazyHashJoinLedger(k, 1, 0, lambda) {
+		fmt.Printf("  %-4d %10.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			r.Iteration, r.StandardReads, r.StandardWrites, r.LazyReads, r.LazyWrites, r.Savings, r.Penalty)
+	}
+	fmt.Printf("\nmaterialize at iteration n = %d (λ-consistent Eq. 11)\n",
+		cost.LazyHashJoinMaterializeIteration(k, lambda))
+}
+
+func spaces(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ' '
+	}
+	return string(b)
+}
+
+func init() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wlcost [-join|-heatmap|-ledger] [flags]\n")
+		flag.PrintDefaults()
+	}
+}

@@ -1,0 +1,81 @@
+// Command wlexp regenerates the paper's experiments: every figure and
+// table of the evaluation section, at a configurable scale.
+//
+// Usage:
+//
+//	wlexp -run all                 # everything, default 1/50 scale
+//	wlexp -run fig5,fig7 -scale 0.1
+//	wlexp -run fig6 -mem 0.05,0.10 -v
+//	wlexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wlpm/internal/bench"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.Float64("scale", 0.02, "fraction of the paper's cardinalities (1.0 = 10M-row sort, 1M⋈10M join)")
+		backend = flag.String("backend", "blocked", "persistence layer for single-backend experiments (blocked|pmfs|ramdisk|dynarray)")
+		block   = flag.Int("block", 1024, "persistence-layer block size in bytes")
+		rdLat   = flag.Duration("read-latency", 10*time.Nanosecond, "device read latency per cacheline")
+		wrLat   = flag.Duration("write-latency", 150*time.Nanosecond, "device write latency per cacheline")
+		memList = flag.String("mem", "", "comma-separated memory fractions overriding each experiment's sweep (e.g. 0.05,0.10)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "progress output on stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:        *scale,
+		Backend:      *backend,
+		BlockSize:    *block,
+		ReadLatency:  *rdLat,
+		WriteLatency: *wrLat,
+		Verbose:      *verbose,
+		Log:          os.Stderr,
+	}
+	if *memList != "" {
+		for _, s := range strings.Split(*memList, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wlexp: bad -mem entry %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			cfg.MemoryPoints = append(cfg.MemoryPoints, f)
+		}
+	}
+
+	ids := bench.Experiments()
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		reps, err := bench.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, r := range reps {
+			r.Print(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "wlexp: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,118 @@
+// Command wljoin runs a single join measurement: one algorithm, one
+// backend, one memory budget — and prints the response-time and I/O
+// breakdown.
+//
+// Usage:
+//
+//	wljoin -algo SegJ -x 0.5 -left 20000 -right 200000 -mem 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/joins"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage/all"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "SegJ", "NLJ|HJ|GJ|HybJ|SegJ|LaJ")
+		x        = flag.Float64("x", 0.5, "write intensity (SegJ; HybJ left fraction)")
+		y        = flag.Float64("y", 0.5, "HybJ right fraction")
+		auto     = flag.Bool("auto", false, "let the cost model place HybJ's intensities")
+		nLeft    = flag.Int("left", 20_000, "left (smaller) input records")
+		nRight   = flag.Int("right", 200_000, "right input records")
+		mem      = flag.Float64("mem", 0.05, "memory budget as a fraction of the left input size")
+		backend  = flag.String("backend", "blocked", "blocked|pmfs|ramdisk|dynarray")
+		block    = flag.Int("block", 1024, "block size in bytes")
+		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
+		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
+	)
+	flag.Parse()
+
+	var a joins.Algorithm
+	switch *algoName {
+	case "NLJ":
+		a = joins.NewNestedLoops()
+	case "HJ":
+		a = joins.NewHash()
+	case "GJ":
+		a = joins.NewGrace()
+	case "HybJ":
+		if *auto {
+			a = joins.NewAutoHybridGraceNL()
+		} else {
+			a = joins.NewHybridGraceNL(*x, *y)
+		}
+	case "SegJ":
+		a = joins.NewSegmentedGrace(*x)
+	case "LaJ":
+		a = joins.NewLazyHash()
+	default:
+		fmt.Fprintf(os.Stderr, "wljoin: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	payload := int64(*nLeft+*nRight) * record.Size
+	dev, err := pmem.Open(pmem.Config{
+		Capacity:     payload*16 + (64 << 20),
+		ReadLatency:  *rdLat,
+		WriteLatency: *wrLat,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fac, err := all.New(*backend, dev, *block)
+	if err != nil {
+		fatal(err)
+	}
+	left, err := fac.Create("left", record.Size)
+	if err != nil {
+		fatal(err)
+	}
+	right, err := fac.Create("right", record.Size)
+	if err != nil {
+		fatal(err)
+	}
+	if err := record.GenerateJoin(*nLeft, *nRight, 42, left.Append, right.Append); err != nil {
+		fatal(err)
+	}
+	if err := left.Close(); err != nil {
+		fatal(err)
+	}
+	if err := right.Close(); err != nil {
+		fatal(err)
+	}
+	out, err := fac.Create("output", 2*record.Size)
+	if err != nil {
+		fatal(err)
+	}
+
+	env := algo.NewEnv(fac, int64(*mem*float64(*nLeft)*record.Size))
+	dev.ResetStats()
+	start := time.Now()
+	if err := a.Join(env, left, right, out); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	st := dev.Stats()
+
+	fmt.Printf("algorithm      %s on %s (block %d B)\n", a.Name(), *backend, *block)
+	fmt.Printf("inputs         %d ⋈ %d records, memory %.1f%% of left\n", *nLeft, *nRight, *mem*100)
+	fmt.Printf("matches        %d\n", out.Len())
+	fmt.Printf("response       %v  (wall %v + sim I/O %v + soft %v)\n",
+		(wall + st.SimTime()).Round(time.Microsecond), wall.Round(time.Microsecond),
+		st.SimIOTime.Round(time.Microsecond), st.SoftTime.Round(time.Microsecond))
+	fmt.Printf("cacheline I/O  %d writes, %d reads (λ=%.1f)\n", st.Writes, st.Reads, dev.Lambda())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wljoin: %v\n", err)
+	os.Exit(1)
+}

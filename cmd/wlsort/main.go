@@ -1,0 +1,115 @@
+// Command wlsort runs a single sort measurement: one algorithm, one
+// backend, one memory budget — and prints the response-time and I/O
+// breakdown.
+//
+// Usage:
+//
+//	wlsort -algo SegS -x 0.4 -n 200000 -mem 0.05 -backend pmfs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage/all"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "SegS", "ExMS|SelS|SegS|HybS|LaS")
+		x        = flag.Float64("x", 0.5, "write intensity for SegS/HybS")
+		auto     = flag.Bool("auto", false, "let the cost model place SegS's intensity")
+		n        = flag.Int("n", 200_000, "input records (80 B each)")
+		mem      = flag.Float64("mem", 0.05, "memory budget as a fraction of the input size")
+		backend  = flag.String("backend", "blocked", "blocked|pmfs|ramdisk|dynarray")
+		block    = flag.Int("block", 1024, "block size in bytes")
+		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
+		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
+		wear     = flag.Bool("wear", false, "track and report device wear")
+	)
+	flag.Parse()
+
+	var a sorts.Algorithm
+	switch *algoName {
+	case "ExMS":
+		a = sorts.NewExternalMergeSort()
+	case "SelS":
+		a = sorts.NewSelectionSort()
+	case "SegS":
+		if *auto {
+			a = sorts.NewAutoSegmentSort()
+		} else {
+			a = sorts.NewSegmentSort(*x)
+		}
+	case "HybS":
+		a = sorts.NewHybridSort(*x)
+	case "LaS":
+		a = sorts.NewLazySort()
+	default:
+		fmt.Fprintf(os.Stderr, "wlsort: unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	payload := int64(*n) * record.Size
+	dev, err := pmem.Open(pmem.Config{
+		Capacity:     payload*8 + (64 << 20),
+		ReadLatency:  *rdLat,
+		WriteLatency: *wrLat,
+		TrackWear:    *wear,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fac, err := all.New(*backend, dev, *block)
+	if err != nil {
+		fatal(err)
+	}
+	in, err := fac.Create("input", record.Size)
+	if err != nil {
+		fatal(err)
+	}
+	if err := record.Generate(*n, 42, in.Append); err != nil {
+		fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		fatal(err)
+	}
+	out, err := fac.Create("output", record.Size)
+	if err != nil {
+		fatal(err)
+	}
+
+	env := algo.NewEnv(fac, int64(*mem*float64(payload)))
+	dev.ResetStats()
+	start := time.Now()
+	if err := a.Sort(env, in, out); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start)
+	st := dev.Stats()
+
+	fmt.Printf("algorithm      %s on %s (block %d B)\n", a.Name(), *backend, *block)
+	fmt.Printf("input          %d records (%d MB), memory %.1f%%\n", *n, payload>>20, *mem*100)
+	fmt.Printf("response       %v  (wall %v + sim I/O %v + soft %v)\n",
+		(wall + st.SimTime()).Round(time.Microsecond), wall.Round(time.Microsecond),
+		st.SimIOTime.Round(time.Microsecond), st.SoftTime.Round(time.Microsecond))
+	fmt.Printf("cacheline I/O  %d writes, %d reads (λ=%.1f)\n", st.Writes, st.Reads, dev.Lambda())
+	if *wear {
+		w := dev.Wear()
+		fmt.Printf("wear           %d lines written, max %d writes/line, mean %.2f\n", w.Written, w.MaxWrites, w.MeanWrite)
+	}
+	if out.Len() != *n {
+		fatal(fmt.Errorf("output has %d records, want %d", out.Len(), *n))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wlsort: %v\n", err)
+	os.Exit(1)
+}

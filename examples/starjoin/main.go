@@ -1,0 +1,73 @@
+// Star-schema scenario: a small dimension table joins a large fact
+// table — the paper's 1:10 microbenchmark shape. The example runs the
+// write-limited joins against the classical baselines at a tight memory
+// budget and prints who writes what, reproducing the headline claim that
+// lazy hash join beats standard hash join by a wide margin at small
+// memory while writing a fraction of the cachelines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wlpm"
+)
+
+const (
+	dimRows  = 20_000
+	factRows = 200_000
+	budget   = int64(dimRows * wlpm.RecordSize / 20) // 5% of the dimension
+)
+
+func main() {
+	fmt.Printf("star join: dimension %d ⋈ fact %d, memory %d B, λ = 15\n\n", dimRows, factRows, budget)
+	fmt.Printf("%-16s %12s %12s %12s %10s\n", "algorithm", "response", "writes", "reads", "matches")
+
+	for _, a := range []wlpm.JoinAlgorithm{
+		wlpm.HashJoin(),
+		wlpm.GraceJoin(),
+		wlpm.NestedLoopsJoin(),
+		wlpm.LazyHashJoin(),
+		wlpm.SegmentedGraceJoin(0.5),
+		wlpm.HybridJoin(0.5, 0.5),
+		wlpm.AutoHybridJoin(),
+	} {
+		sys, err := wlpm.New(wlpm.WithCapacity(1 << 30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dim, err := sys.Create("dimension")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fact, err := sys.Create("fact")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := wlpm.GenerateJoinInputs(dimRows, factRows, 11, dim.Append, fact.Append); err != nil {
+			log.Fatal(err)
+		}
+		if err := dim.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := fact.Close(); err != nil {
+			log.Fatal(err)
+		}
+		out, err := sys.CreateSized("result", 2*wlpm.RecordSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sys.ResetStats()
+		start := time.Now()
+		if err := sys.Join(a, dim, fact, out, budget); err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Since(start)
+		st := sys.Stats()
+		fmt.Printf("%-16s %12v %12d %12d %10d\n",
+			a.Name(), (wall + st.SimTime()).Round(time.Millisecond), st.Writes, st.Reads, out.Len())
+	}
+	fmt.Println("\nwrite-limited joins approach the nested-loops write floor without its read explosion")
+}

@@ -1,0 +1,106 @@
+// Package aggregate implements a write-limited sort-based group-by — the
+// paper's §6 names aggregation as the natural next operation for
+// write-limited processing. The operator sorts its input with any of the
+// write-limited sort algorithms (inheriting their write profile) and
+// streams grouped aggregates out of the sorted order, so the only
+// materialized intermediate is whatever the chosen sort writes.
+package aggregate
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+)
+
+// Result is the output schema: one record per group with the benchmark
+// record layout, carrying the aggregates in fixed attribute slots.
+const (
+	AttrGroupKey = 0 // the group key
+	AttrCount    = 1 // number of records in the group
+	AttrSum      = 2 // Σ of the aggregated attribute
+	AttrMin      = 3 // minimum of the aggregated attribute
+	AttrMax      = 4 // maximum of the aggregated attribute
+)
+
+// GroupBy groups in by its key attribute and aggregates attribute attr,
+// appending one result record per group to out in ascending group-key
+// order. The write intensity of the operation is inherited from the sort
+// algorithm: a lazy or low-intensity sort yields a write-limited
+// aggregation.
+func GroupBy(env *algo.Env, a sorts.Algorithm, in storage.Collection, attr int, out storage.Collection) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
+	if attr < 0 || attr >= record.NumAttrs {
+		return fmt.Errorf("aggregate: attribute %d out of schema (0..%d)", attr, record.NumAttrs-1)
+	}
+	if in.RecordSize() != record.Size || out.RecordSize() != record.Size {
+		return fmt.Errorf("aggregate: benchmark-schema records required (%d bytes)", record.Size)
+	}
+
+	sorted, err := env.CreateTemp("groupby", record.Size)
+	if err != nil {
+		return err
+	}
+	defer sorted.Destroy() //nolint:errcheck // destroy of a consumed temp
+	if err := a.Sort(env, in, sorted); err != nil {
+		return err
+	}
+
+	it := sorted.Scan()
+	defer it.Close()
+
+	var (
+		open            bool
+		key, count, sum uint64
+		minVal, maxVal  uint64
+		result          = make([]byte, record.Size)
+	)
+	flush := func() error {
+		if !open {
+			return nil
+		}
+		for i := range result {
+			result[i] = 0
+		}
+		record.SetAttr(result, AttrGroupKey, key)
+		record.SetAttr(result, AttrCount, count)
+		record.SetAttr(result, AttrSum, sum)
+		record.SetAttr(result, AttrMin, minVal)
+		record.SetAttr(result, AttrMax, maxVal)
+		return out.Append(result)
+	}
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		k := record.Key(rec)
+		v := record.Attr(rec, attr)
+		if !open || k != key {
+			if err := flush(); err != nil {
+				return err
+			}
+			open, key, count, sum, minVal, maxVal = true, k, 0, 0, v, v
+		}
+		count++
+		sum += v
+		if v < minVal {
+			minVal = v
+		}
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,187 @@
+package aggregate
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage/all"
+)
+
+func newEnv(t testing.TB) *algo.Env {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 64 << 20})
+	f, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algo.NewEnv(f, 100*record.Size)
+}
+
+type groupRef struct {
+	count, sum, min, max uint64
+}
+
+func TestGroupByMatchesReference(t *testing.T) {
+	for _, a := range []sorts.Algorithm{
+		sorts.NewExternalMergeSort(),
+		sorts.NewSegmentSort(0.3),
+		sorts.NewLazySort(),
+	} {
+		env := newEnv(t)
+		in, err := env.Factory.Create("in", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		ref := make(map[uint64]*groupRef)
+		const attr = 4
+		for i := 0; i < 3000; i++ {
+			k := uint64(rng.Intn(100))
+			rec := record.New(k)
+			v := uint64(rng.Intn(1000))
+			record.SetAttr(rec, attr, v)
+			if err := in.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			g := ref[k]
+			if g == nil {
+				g = &groupRef{min: v, max: v}
+				ref[k] = g
+			}
+			g.count++
+			g.sum += v
+			if v < g.min {
+				g.min = v
+			}
+			if v > g.max {
+				g.max = v
+			}
+		}
+		if err := in.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := env.Factory.Create("out", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := GroupBy(env, a, in, attr, out); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if out.Len() != len(ref) {
+			t.Fatalf("%s: %d groups, want %d", a.Name(), out.Len(), len(ref))
+		}
+		it := out.Scan()
+		prev := int64(-1)
+		for {
+			rec, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := record.Attr(rec, AttrGroupKey)
+			if int64(k) <= prev {
+				t.Fatalf("%s: groups out of order at key %d", a.Name(), k)
+			}
+			prev = int64(k)
+			g := ref[k]
+			if g == nil {
+				t.Fatalf("%s: unexpected group %d", a.Name(), k)
+			}
+			if record.Attr(rec, AttrCount) != g.count ||
+				record.Attr(rec, AttrSum) != g.sum ||
+				record.Attr(rec, AttrMin) != g.min ||
+				record.Attr(rec, AttrMax) != g.max {
+				t.Fatalf("%s: group %d aggregates mismatch", a.Name(), k)
+			}
+		}
+		it.Close()
+	}
+}
+
+func TestGroupByValidation(t *testing.T) {
+	env := newEnv(t)
+	in, _ := env.Factory.Create("in", record.Size)
+	out, _ := env.Factory.Create("out", record.Size)
+	if err := GroupBy(env, sorts.NewExternalMergeSort(), in, -1, out); err == nil {
+		t.Error("negative attribute accepted")
+	}
+	if err := GroupBy(env, sorts.NewExternalMergeSort(), in, record.NumAttrs, out); err == nil {
+		t.Error("out-of-schema attribute accepted")
+	}
+	bad, _ := env.Factory.Create("bad", 16)
+	if err := GroupBy(env, sorts.NewExternalMergeSort(), bad, 1, out); err == nil {
+		t.Error("wrong input record size accepted")
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	env := newEnv(t)
+	in, _ := env.Factory.Create("in", record.Size)
+	out, _ := env.Factory.Create("out", record.Size)
+	if err := GroupBy(env, sorts.NewLazySort(), in, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty input produced %d groups", out.Len())
+	}
+}
+
+// Property: group counts always sum to the input cardinality and every
+// group key existed in the input.
+func TestQuickGroupByTotals(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		env := newEnv(t)
+		in, err := env.Factory.Create("in", record.Size)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		keys := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			k := uint64(rng.Intn(30))
+			keys[k] = true
+			if err := in.Append(record.New(k)); err != nil {
+				return false
+			}
+		}
+		if err := in.Close(); err != nil {
+			return false
+		}
+		out, err := env.Factory.Create("out", record.Size)
+		if err != nil {
+			return false
+		}
+		if err := GroupBy(env, sorts.NewSegmentSort(0.5), in, 2, out); err != nil {
+			return false
+		}
+		total := uint64(0)
+		it := out.Scan()
+		defer it.Close()
+		for {
+			rec, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if !keys[record.Attr(rec, AttrGroupKey)] {
+				return false
+			}
+			total += record.Attr(rec, AttrCount)
+		}
+		return total == uint64(n) && out.Len() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

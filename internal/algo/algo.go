@@ -1,0 +1,86 @@
+// Package algo holds the execution environment shared by the sort and
+// join operators: the persistence-layer factory for spilling intermediate
+// results, the DRAM working-memory budget M, and the device cost ratio λ
+// that the write-limited algorithms consult when placing their knobs.
+package algo
+
+import (
+	"fmt"
+
+	"wlpm/internal/storage"
+)
+
+// HashTableExpansion is f, the growth of a partition when a hash table is
+// built over it; the paper assumes f = 1.2 (§2.2.1, Fig. 2 discussion).
+const HashTableExpansion = 1.2
+
+// Env is the execution environment of one operator invocation.
+type Env struct {
+	// Factory creates temporary collections (runs, partitions,
+	// intermediate inputs) on the persistence layer under test.
+	Factory storage.Factory
+	// MemoryBudget is M: the DRAM working memory in bytes available to
+	// the operator (heaps, hash tables, merge buffers).
+	MemoryBudget int64
+
+	tmpSeq int
+}
+
+// NewEnv builds an environment with the given factory and budget.
+func NewEnv(f storage.Factory, memoryBudget int64) *Env {
+	return &Env{Factory: f, MemoryBudget: memoryBudget}
+}
+
+// Validate reports configuration errors.
+func (e *Env) Validate() error {
+	if e.Factory == nil {
+		return fmt.Errorf("algo: nil storage factory")
+	}
+	if e.MemoryBudget <= 0 {
+		return fmt.Errorf("algo: memory budget must be positive, got %d", e.MemoryBudget)
+	}
+	return nil
+}
+
+// TempName returns a fresh collection name with the given prefix.
+func (e *Env) TempName(prefix string) string {
+	e.tmpSeq++
+	return fmt.Sprintf("%s.%d", prefix, e.tmpSeq)
+}
+
+// CreateTemp creates a temporary collection for intermediate results.
+func (e *Env) CreateTemp(prefix string, recSize int) (storage.Collection, error) {
+	return e.Factory.Create(e.TempName(prefix), recSize)
+}
+
+// Lambda is the device's current write/read cost ratio λ.
+func (e *Env) Lambda() float64 { return e.Factory.Device().Lambda() }
+
+// BudgetRecords converts the byte budget to whole records of size recSize.
+func (e *Env) BudgetRecords(recSize int) int {
+	n := int(e.MemoryBudget / int64(recSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BudgetHashRecords is the number of records of size recSize whose hash
+// table fits in the budget, accounting for the expansion factor f.
+func (e *Env) BudgetHashRecords(recSize int) int {
+	n := int(float64(e.MemoryBudget) / (HashTableExpansion * float64(recSize)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BudgetBuffers converts the byte budget to persistence-layer blocks, the
+// unit that bounds merge fan-in.
+func (e *Env) BudgetBuffers() int {
+	n := int(e.MemoryBudget / int64(e.Factory.BlockSize()))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package algo
+
+import (
+	"testing"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage/all"
+)
+
+func testEnv(t *testing.T, budget int64) *Env {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 8 << 20})
+	f, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEnv(f, budget)
+}
+
+func TestValidate(t *testing.T) {
+	if err := testEnv(t, 1024).Validate(); err != nil {
+		t.Errorf("valid env rejected: %v", err)
+	}
+	if err := testEnv(t, 0).Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if err := (&Env{MemoryBudget: 10}).Validate(); err == nil {
+		t.Error("nil factory accepted")
+	}
+}
+
+func TestTempNamesUnique(t *testing.T) {
+	env := testEnv(t, 1024)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		name := env.TempName("run")
+		if seen[name] {
+			t.Fatalf("duplicate temp name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestCreateTemp(t *testing.T) {
+	env := testEnv(t, 1024)
+	c1, err := env.CreateTemp("t", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := env.CreateTemp("t", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Name() == c2.Name() {
+		t.Error("temps share a name")
+	}
+}
+
+func TestBudgetConversions(t *testing.T) {
+	env := testEnv(t, 8000)
+	if got := env.BudgetRecords(80); got != 100 {
+		t.Errorf("BudgetRecords = %d, want 100", got)
+	}
+	if got := env.BudgetHashRecords(80); got != 83 { // 8000/(1.2·80)
+		t.Errorf("BudgetHashRecords = %d, want 83", got)
+	}
+	if got := env.BudgetBuffers(); got != 7 { // 8000/1024
+		t.Errorf("BudgetBuffers = %d, want 7", got)
+	}
+	// Degenerate budgets clamp to usable minima.
+	small := testEnv(t, 10)
+	if small.BudgetRecords(80) != 1 || small.BudgetHashRecords(80) != 1 || small.BudgetBuffers() != 2 {
+		t.Errorf("degenerate budget clamps: %d %d %d",
+			small.BudgetRecords(80), small.BudgetHashRecords(80), small.BudgetBuffers())
+	}
+}
+
+func TestLambda(t *testing.T) {
+	env := testEnv(t, 1024)
+	if got := env.Lambda(); got != 15 {
+		t.Errorf("Lambda = %v, want 15", got)
+	}
+}

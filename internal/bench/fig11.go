@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wlpm/internal/joins"
+	"wlpm/internal/sorts"
+)
+
+// Fig11 regenerates Figure 11: sensitivity of selected write-limited
+// sorts (left plot) and joins (right plot) to the device write latency,
+// 50–200 ns, blocked memory, ≤50% write intensity.
+func Fig11(cfg Config) ([]*Report, error) {
+	latencies := []time.Duration{50, 100, 150, 200}
+	for i := range latencies {
+		latencies[i] *= time.Nanosecond
+	}
+	n := cfg.SortRows()
+	nLeft, nRight := cfg.JoinRows()
+	const mem = 0.05
+
+	sortAlgos := []sorts.Algorithm{
+		sorts.NewLazySort(),
+		sorts.NewHybridSort(0.2),
+		sorts.NewHybridSort(0.5),
+		sorts.NewSegmentSort(0.2),
+		sorts.NewSegmentSort(0.5),
+	}
+	sortRep := &Report{
+		ID:      "fig11",
+		Title:   fmt.Sprintf("Impact of write latency on sorting (n=%d, memory %s, backend=%s)", n, fmtPct(mem), cfg.Backend),
+		Columns: append([]string{"write latency (ns)"}, algoNames(sortAlgos)...),
+	}
+	for _, lat := range latencies {
+		c := cfg
+		c.WriteLatency = lat
+		row := []string{fmt.Sprintf("%d", lat.Nanoseconds())}
+		for _, a := range sortAlgos {
+			cfg.logf("fig11: %s at w=%v", a.Name(), lat)
+			m, err := measureSort(c, cfg.Backend, a, n, mem)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(m.Response))
+		}
+		sortRep.Rows = append(sortRep.Rows, row)
+	}
+
+	joinAlgos := []joins.Algorithm{
+		joins.NewHybridGraceNL(0.5, 0.2),
+		joins.NewHybridGraceNL(0.5, 0.5),
+		joins.NewSegmentedGrace(0.2),
+		joins.NewSegmentedGrace(0.5),
+		joins.NewLazyHash(),
+	}
+	joinRep := &Report{
+		ID:      "fig11",
+		Title:   fmt.Sprintf("Impact of write latency on joins (|T|=%d, |V|=%d, memory %s, backend=%s)", nLeft, nRight, fmtPct(mem), cfg.Backend),
+		Columns: append([]string{"write latency (ns)"}, algoNames(joinAlgos)...),
+	}
+	for _, lat := range latencies {
+		c := cfg
+		c.WriteLatency = lat
+		row := []string{fmt.Sprintf("%d", lat.Nanoseconds())}
+		for _, a := range joinAlgos {
+			cfg.logf("fig11: %s at w=%v", a.Name(), lat)
+			m, err := measureJoin(c, cfg.Backend, a, nLeft, nRight, mem)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(m.Response))
+		}
+		joinRep.Rows = append(joinRep.Rows, row)
+	}
+	note := "Paper shape: write-limited algorithms are resilient to write latency — and algorithm rankings are latency-stable. " +
+		"Absolute sensitivity differs by construction: the paper's responses were dominated by native CPU (hence its ≤5% change across a 4× latency sweep), " +
+		"while this harness charges a small uniform CPU-per-line, so the latency share — and thus the sweep's slope — is larger here. " +
+		"The reproduction criterion is that relative order among the write-limited algorithms does not change across the sweep."
+	sortRep.Notes = append(sortRep.Notes, note)
+	joinRep.Notes = append(joinRep.Notes, note)
+	return []*Report{sortRep, joinRep}, nil
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"fmt"
+
+	"wlpm/internal/cost"
+)
+
+// shades render normalized cost as ASCII, light to dark: the paper's
+// heatmaps use a lighter shade for better (lower-cost) settings.
+var shades = []byte(" .:-=+*#%@")
+
+// Fig2 regenerates Figure 2: heatmaps of the hybrid Grace-nested-loops
+// cost function over (x, y) as the |T|/|V| ratio and λ scale. Purely
+// analytic — no simulation.
+func Fig2(cfg Config) ([]*Report, error) {
+	const n = 21
+	var reps []*Report
+	for _, lambda := range []float64{2, 5, 8} {
+		for _, ratio := range []float64{1, 10, 100} {
+			h := cost.HybridJoinHeatmap(ratio, lambda, n)
+			min, max := h.MinMax()
+			rep := &Report{
+				ID:    "fig2",
+				Title: fmt.Sprintf("|T|/|V| = 1/%.0f, λ = %.0f — Jh(x,y); lighter is better", ratio, lambda),
+			}
+			rep.Columns = []string{"y\\x →"}
+			rep.Columns = append(rep.Columns, "0.0 → 1.0")
+			// Rows printed top-down as y descends from 1 to 0, matching
+			// the paper's axes.
+			for iy := h.N - 1; iy >= 0; iy-- {
+				line := make([]byte, h.N)
+				for ix := 0; ix < h.N; ix++ {
+					norm := 0.0
+					if max > min {
+						norm = (h.Cost[iy][ix] - min) / (max - min)
+					}
+					line[ix] = shades[int(norm*float64(len(shades)-1))]
+				}
+				rep.Rows = append(rep.Rows, []string{
+					fmt.Sprintf("y=%.2f", float64(iy)/float64(h.N-1)),
+					"`" + string(line) + "`",
+				})
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf("cost range [%.3g, %.3g] buffer-reads", min, max))
+			reps = append(reps, rep)
+		}
+	}
+	reps[0].Notes = append(reps[0].Notes,
+		"Paper shape: similarly sized inputs favour large (x, y) (Grace); growing λ and |V|/|T| shift the advantage toward nested loops (small x, y / the x ≥ y, x+y = 1 diagonal).")
+	return reps, nil
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"wlpm/internal/joins"
+	"wlpm/internal/storage"
+)
+
+// fig7Algorithms is the union of the paper's Fig. 7 panels.
+func fig7Algorithms() []joins.Algorithm {
+	return []joins.Algorithm{
+		joins.NewNestedLoops(),
+		joins.NewHash(),
+		joins.NewGrace(),
+		joins.NewLazyHash(),
+		joins.NewSegmentedGrace(0.2),
+		joins.NewSegmentedGrace(0.5),
+		joins.NewSegmentedGrace(0.8),
+		joins.NewHybridGraceNL(0.2, 0.8),
+		joins.NewHybridGraceNL(0.5, 0.5),
+		joins.NewHybridGraceNL(0.8, 0.2),
+	}
+}
+
+// fig7Panels maps each panel to its algorithm names.
+var fig7Panels = []struct {
+	name  string
+	algos []string
+}{
+	{"(a) Overall", []string{"NLJ", "HJ", "GJ", "LaJ", "SegJ(0.50)", "HybJ(0.50,0.50)"}},
+	{"(b) HybJ compared to GJ", []string{"GJ", "HybJ(0.20,0.80)", "HybJ(0.50,0.50)", "HybJ(0.80,0.20)"}},
+	{"(c) SegJ compared to GJ", []string{"GJ", "SegJ(0.20)", "SegJ(0.50)", "SegJ(0.80)"}},
+	{"(d) LaJ compared to HJ, GJ", []string{"HJ", "GJ", "LaJ"}},
+}
+
+// Fig7 regenerates Figure 7: join performance panels (a)–(d) plus the
+// min/max writes (reads) table.
+func Fig7(cfg Config) ([]*Report, error) {
+	nLeft, nRight := cfg.JoinRows()
+	algos := fig7Algorithms()
+	mems := cfg.joinMemPoints()
+
+	// Measure every algorithm once per memory point; panels share data.
+	resp := make(map[string]map[float64]Metrics)
+	for _, a := range algos {
+		resp[a.Name()] = make(map[float64]Metrics)
+		for _, mem := range mems {
+			cfg.logf("fig7: %s at mem %.2f%%", a.Name(), mem*100)
+			m, err := measureJoin(cfg, cfg.Backend, a, nLeft, nRight, mem)
+			if err != nil {
+				return nil, err
+			}
+			resp[a.Name()][mem] = m
+		}
+	}
+
+	var reps []*Report
+	for _, panel := range fig7Panels {
+		rep := &Report{
+			ID:      "fig7",
+			Title:   fmt.Sprintf("%s (|T|=%d, |V|=%d, backend=%s)", panel.name, nLeft, nRight, cfg.Backend),
+			Columns: append([]string{"memory (% of left)"}, panel.algos...),
+		}
+		for _, mem := range mems {
+			row := []string{fmtPct(mem)}
+			for _, name := range panel.algos {
+				row = append(row, fmtDur(resp[name][mem].Response))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		reps = append(reps, rep)
+	}
+
+	ioRep := &Report{
+		ID:      "fig7-table",
+		Title:   "Join writes and reads in millions of cachelines (min/max over the memory sweep)",
+		Columns: []string{"algorithm", "min writes (reads)", "max writes (reads)"},
+	}
+	for _, a := range algos {
+		var minM, maxM Metrics
+		set := false
+		for _, mem := range mems { // deterministic sweep order
+			m := resp[a.Name()][mem]
+			if !set || m.Writes < minM.Writes {
+				minM = m
+			}
+			if !set || m.Writes > maxM.Writes {
+				maxM = m
+			}
+			set = true
+		}
+		ioRep.Rows = append(ioRep.Rows, []string{
+			a.Name(),
+			fmt.Sprintf("%s (%s)", fmtMillions(minM.Writes), fmtMillions(minM.Reads)),
+			fmt.Sprintf("%s (%s)", fmtMillions(maxM.Writes), fmtMillions(maxM.Reads)),
+		})
+	}
+	ioRep.Notes = append(ioRep.Notes,
+		"Paper shape: write-limited joins write less than GJ/HJ and read more; NLJ is the write floor and read ceiling; LaJ beats HJ by up to ~3× at small memory.")
+	return append(reps, ioRep), nil
+}
+
+// Fig8 regenerates Figure 8: the Fig. 7(a) join algorithms under the four
+// implementation alternatives.
+func Fig8(cfg Config) ([]*Report, error) {
+	nLeft, nRight := cfg.JoinRows()
+	mems := cfg.MemoryPoints
+	if len(mems) == 0 {
+		mems = []float64{0.025, 0.05, 0.10}
+	}
+	algos := []joins.Algorithm{
+		joins.NewGrace(),
+		joins.NewHash(),
+		joins.NewNestedLoops(),
+		joins.NewHybridGraceNL(0.5, 0.5),
+		joins.NewSegmentedGrace(0.5),
+		joins.NewLazyHash(),
+	}
+	var reps []*Report
+	for _, a := range algos {
+		rep := &Report{
+			ID:      "fig8",
+			Title:   fmt.Sprintf("%s under the four implementation alternatives (|T|=%d, |V|=%d)", a.Name(), nLeft, nRight),
+			Columns: append([]string{"memory (% of left)"}, storage.Backends...),
+		}
+		for _, mem := range mems {
+			row := []string{fmtPct(mem)}
+			for _, backend := range storage.Backends {
+				cfg.logf("fig8: %s/%s at mem %.2f%%", a.Name(), backend, mem*100)
+				m, err := measureJoin(cfg, backend, a, nLeft, nRight, mem)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(m.Response))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		rep.Notes = append(rep.Notes,
+			"Paper shape: blocked minimal, pmfs close behind, dynarray worst (up to 2× for symmetric-I/O algorithms).")
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+// Fig10 regenerates Figure 10: the impact of write intensity on the join
+// algorithms, blocked memory, fixed budget.
+func Fig10(cfg Config) ([]*Report, error) {
+	nLeft, nRight := cfg.JoinRows()
+	const mem = 0.05
+	xs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	fixed := []float64{0.2, 0.5, 0.8}
+
+	rep := &Report{
+		ID:    "fig10",
+		Title: fmt.Sprintf("Impact of write intensity on join algorithms (|T|=%d, |V|=%d, memory %s of left, backend=%s)", nLeft, nRight, fmtPct(mem), cfg.Backend),
+	}
+	rep.Columns = []string{"intensity x", "SegJ"}
+	for _, f := range fixed {
+		rep.Columns = append(rep.Columns, fmt.Sprintf("HybJ(x,%.0f%%)", f*100))
+	}
+	for _, f := range fixed {
+		rep.Columns = append(rep.Columns, fmt.Sprintf("HybJ(%.0f%%,x)", f*100))
+	}
+	for _, x := range xs {
+		row := []string{fmtPct(x)}
+		m, err := measureJoin(cfg, cfg.Backend, joins.NewSegmentedGrace(x), nLeft, nRight, mem)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmtDur(m.Response))
+		for _, f := range fixed {
+			m, err := measureJoin(cfg, cfg.Backend, joins.NewHybridGraceNL(x, f), nLeft, nRight, mem)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(m.Response))
+		}
+		for _, f := range fixed {
+			m, err := measureJoin(cfg, cfg.Backend, joins.NewHybridGraceNL(f, x), nLeft, nRight, mem)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(m.Response))
+		}
+		rep.Rows = append(rep.Rows, row)
+		cfg.logf("fig10: intensity %.0f%% done", x*100)
+	}
+	rep.Notes = append(rep.Notes,
+		"Paper shape: SegJ improves gradually (≈20% end to end); HybJ is dictated by the left-input intensity (up to ~50% gain), stable as the right-input intensity varies.")
+	return []*Report{rep}, nil
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+)
+
+// fig5Algorithms is the paper's Fig. 5 line-up.
+func fig5Algorithms() []sorts.Algorithm {
+	return []sorts.Algorithm{
+		sorts.NewExternalMergeSort(),
+		sorts.NewLazySort(),
+		sorts.NewHybridSort(0.2),
+		sorts.NewHybridSort(0.8),
+		sorts.NewSegmentSort(0.2),
+		sorts.NewSegmentSort(0.8),
+	}
+}
+
+// Fig5 regenerates Figure 5: sorting response time for varying memory
+// sizes, plus the min/max writes (reads) table beneath it.
+func Fig5(cfg Config) ([]*Report, error) {
+	n := cfg.SortRows()
+	algos := fig5Algorithms()
+	mems := cfg.sortMemPoints()
+
+	timeRep := &Report{
+		ID:      "fig5",
+		Title:   fmt.Sprintf("Sorting performance for varying memory sizes (n=%d, backend=%s)", n, cfg.Backend),
+		Columns: append([]string{"memory (% of input)"}, algoNames(algos)...),
+	}
+	type extrema struct {
+		minW, maxW Metrics
+		set        bool
+	}
+	ext := make(map[string]*extrema)
+	for _, mem := range mems {
+		row := []string{fmtPct(mem)}
+		for _, a := range algos {
+			cfg.logf("fig5: %s at mem %.1f%%", a.Name(), mem*100)
+			m, err := measureSort(cfg, cfg.Backend, a, n, mem)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtDur(m.Response))
+			e := ext[a.Name()]
+			if e == nil {
+				e = &extrema{}
+				ext[a.Name()] = e
+			}
+			if !e.set || m.Writes < e.minW.Writes {
+				e.minW = m
+			}
+			if !e.set || m.Writes > e.maxW.Writes {
+				e.maxW = m
+			}
+			e.set = true
+		}
+		timeRep.Rows = append(timeRep.Rows, row)
+	}
+
+	ioRep := &Report{
+		ID:      "fig5-table",
+		Title:   "Sorting writes and reads in millions of cachelines (min/max over the memory sweep)",
+		Columns: []string{"algorithm", "min writes (reads)", "max writes (reads)"},
+	}
+	for _, a := range algos {
+		e := ext[a.Name()]
+		ioRep.Rows = append(ioRep.Rows, []string{
+			a.Name(),
+			fmt.Sprintf("%s (%s)", fmtMillions(e.minW.Writes), fmtMillions(e.minW.Reads)),
+			fmt.Sprintf("%s (%s)", fmtMillions(e.maxW.Writes), fmtMillions(e.maxW.Reads)),
+		})
+	}
+	ioRep.Notes = append(ioRep.Notes,
+		"Paper shape: LaS ≈ half of ExMS's writes with the most reads; SegS/HybS between; reads rise as writes fall.")
+	return []*Report{timeRep, ioRep}, nil
+}
+
+// Fig6 regenerates Figure 6: each sorting algorithm under the four
+// persistence-layer implementations.
+func Fig6(cfg Config) ([]*Report, error) {
+	n := cfg.SortRows()
+	mems := cfg.MemoryPoints
+	if len(mems) == 0 {
+		mems = []float64{0.025, 0.05, 0.10, 0.15}
+	}
+	var reps []*Report
+	for _, a := range fig5Algorithms() {
+		rep := &Report{
+			ID:      "fig6",
+			Title:   fmt.Sprintf("%s under the four implementation alternatives (n=%d)", a.Name(), n),
+			Columns: append([]string{"memory (% of input)"}, storage.Backends...),
+		}
+		for _, mem := range mems {
+			row := []string{fmtPct(mem)}
+			for _, backend := range storage.Backends {
+				cfg.logf("fig6: %s/%s at mem %.1f%%", a.Name(), backend, mem*100)
+				m, err := measureSort(cfg, backend, a, n, mem)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(m.Response))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+		rep.Notes = append(rep.Notes,
+			"Paper shape: blocked ≤ pmfs ≤ ramdisk ≤ dynarray, except LaS where the memory-based layers beat the filesystems.")
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+// Fig9 regenerates Figure 9: the impact of write intensity on SegS and
+// HybS under all four implementations, at a fixed memory budget.
+func Fig9(cfg Config) ([]*Report, error) {
+	n := cfg.SortRows()
+	const mem = 0.05
+	intensities := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	rep := &Report{
+		ID:    "fig9",
+		Title: fmt.Sprintf("Impact of write intensity on sorting (n=%d, memory %s of input)", n, fmtPct(mem)),
+	}
+	rep.Columns = []string{"intensity"}
+	for _, fam := range []string{"HybS", "SegS"} {
+		for _, backend := range storage.Backends {
+			rep.Columns = append(rep.Columns, fmt.Sprintf("%s/%s", fam, backend))
+		}
+	}
+	for _, x := range intensities {
+		row := []string{fmtPct(x)}
+		for _, fam := range []string{"HybS", "SegS"} {
+			for _, backend := range storage.Backends {
+				var a sorts.Algorithm
+				if fam == "HybS" {
+					a = sorts.NewHybridSort(x)
+				} else {
+					a = sorts.NewSegmentSort(x)
+				}
+				cfg.logf("fig9: %s/%s", a.Name(), backend)
+				m, err := measureSort(cfg, backend, a, n, mem)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, fmtDur(m.Response))
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes,
+		"Paper shape: HybS improves substantially (up to ~45%) as intensity grows; SegS is flatter (≤ ~18%), reaching good performance at low intensity.")
+	return []*Report{rep}, nil
+}
+
+func algoNames[T interface{ Name() string }](as []T) []string {
+	names := make([]string, len(as))
+	for i, a := range as {
+		names[i] = a.Name()
+	}
+	return names
+}

@@ -1,0 +1,296 @@
+// Package core implements the paper's library support for write-limited
+// algorithms (§3.1): a flexible API — split, partition, filter, merge —
+// that records a blueprint of an operator's computation in a control-flow
+// graph, plus the runtime machinery that decides, per collection and at
+// access time, whether to materialize it to persistent memory or to defer
+// it and reconstruct it from its materialized ancestors by re-applying
+// the recorded computation.
+//
+// Graph nodes are collections or API calls (Fig. 4). Declaring a
+// collection never materializes it; only access does, and only when the
+// runtime's rules say writing is cheaper than re-reading:
+//
+//	multi-process     materialize a collection processed more times than
+//	                  the write-to-read ratio λ
+//	eager-partition   materializing one output of a partition() amortizes
+//	                  the scan: all remaining outputs materialize too
+//	process-to-append results appended straight into another collection
+//	                  are always deferred
+//	read-over-write   materialize when the write cost Cm ≤ accumulated
+//	                  input read cost Cr + construction read cost Cc
+package core
+
+import (
+	"fmt"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/storage"
+)
+
+// Status is a collection's materialization state (Listing 1's c_status_t).
+type Status int
+
+// Collection states.
+const (
+	// StatusMemory marks purely in-memory collections (never spilled).
+	StatusMemory Status = iota
+	// StatusMaterialized marks collections present in persistent memory.
+	StatusMaterialized
+	// StatusDeferred marks collections that exist only as blueprint: they
+	// are reconstructed from ancestors on access.
+	StatusDeferred
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusMemory:
+		return "MEMORY"
+	case StatusMaterialized:
+		return "MATERIALIZED"
+	case StatusDeferred:
+		return "DEFERRED"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// PartitionFunc assigns a record to one of k partitions.
+type PartitionFunc func(rec []byte) int
+
+// Predicate filters records.
+type Predicate func(rec []byte) bool
+
+// Readable is the consumer-facing face of a collection: either a
+// materialized storage.Collection or a deferred reconstruction stream.
+type Readable interface {
+	Name() string
+	RecordSize() int
+	Scan() storage.Iterator
+}
+
+// MergeFunc combines two inputs into an output (the paper's m(): a
+// partial join, a run merge, …). emit appends to the merge's output
+// collection.
+type MergeFunc func(l, r Readable, emit func(rec []byte) error) error
+
+type opKind int
+
+const (
+	opSplit opKind = iota
+	opPartition
+	opFilter
+	opMerge
+)
+
+func (k opKind) String() string {
+	return [...]string{"split", "partition", "filter", "merge"}[k]
+}
+
+// node is a collection node of the control-flow graph.
+type node struct {
+	name    string
+	status  Status
+	recSize int
+	coll    storage.Collection // backing storage when materialized
+	prod    *op                // producing API call; nil for sources
+	outIdx  int                // index among prod's outputs
+
+	estRecords int64 // expected cardinality (blueprint annotation)
+	opens      int   // times accessed (multi-process rule)
+	appendOnly bool  // process-to-append rule tag
+	readAccum  int64 // records served from this node while materialized
+}
+
+// op is an API-call node of the control-flow graph.
+type op struct {
+	kind    opKind
+	inputs  []*node
+	outputs []*node
+
+	splitAt int
+	part    PartitionFunc
+	k       int
+	pred    Predicate
+	sel     float64
+	mergeFn MergeFunc
+}
+
+// Decision records one assess() outcome, for introspection and tests.
+type Decision struct {
+	Collection  string
+	Materialize bool
+	Rule        string
+}
+
+// OpCtx is the operator context of Listing 1/2: it owns the control-flow
+// graph, names, and the materialization policy.
+type OpCtx struct {
+	env       *algo.Env
+	nodes     map[string]*node
+	merges    []*op
+	decisions []Decision
+	nameSeq   int
+}
+
+// NewOpCtx returns an empty context over env.
+func NewOpCtx(env *algo.Env) *OpCtx {
+	return &OpCtx{env: env, nodes: make(map[string]*node)}
+}
+
+// CreateName generates a fresh collection identifier (Listing 2's
+// create_name()).
+func (ctx *OpCtx) CreateName() string {
+	ctx.nameSeq++
+	return fmt.Sprintf("c%04d", ctx.nameSeq)
+}
+
+// Decisions returns the assess log.
+func (ctx *OpCtx) Decisions() []Decision { return ctx.decisions }
+
+// Status reports a collection's current state.
+func (ctx *OpCtx) Status(name string) (Status, error) {
+	n, err := ctx.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return n.status, nil
+}
+
+func (ctx *OpCtx) lookup(name string) (*node, error) {
+	n, ok := ctx.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown collection %q", name)
+	}
+	return n, nil
+}
+
+func (ctx *OpCtx) declare(name string, recSize int, est int64, prod *op, outIdx int) (*node, error) {
+	if _, ok := ctx.nodes[name]; ok {
+		return nil, fmt.Errorf("core: collection %q already declared", name)
+	}
+	n := &node{name: name, status: StatusDeferred, recSize: recSize, prod: prod, outIdx: outIdx, estRecords: est}
+	ctx.nodes[name] = n
+	return n, nil
+}
+
+// Source registers an existing materialized collection (a primary input).
+func (ctx *OpCtx) Source(name string, c storage.Collection) error {
+	if c == nil {
+		return fmt.Errorf("core: nil collection for source %q", name)
+	}
+	n, err := ctx.declare(name, c.RecordSize(), int64(c.Len()), nil, 0)
+	if err != nil {
+		return err
+	}
+	n.status = StatusMaterialized
+	n.coll = c
+	return nil
+}
+
+// Output registers a collection that must be materialized (tagged at
+// declaration time, like the paper's final result S).
+func (ctx *OpCtx) Output(name string, c storage.Collection) error {
+	return ctx.Source(name, c)
+}
+
+// MarkAppendOnly tags a collection for the process-to-append rule.
+func (ctx *OpCtx) MarkAppendOnly(name string) error {
+	n, err := ctx.lookup(name)
+	if err != nil {
+		return err
+	}
+	n.appendOnly = true
+	return nil
+}
+
+// Split records split(T, n, Tl, Th): T's first at records flow to lo, the
+// rest to hi.
+func (ctx *OpCtx) Split(in string, at int, lo, hi string) error {
+	src, err := ctx.lookup(in)
+	if err != nil {
+		return err
+	}
+	o := &op{kind: opSplit, inputs: []*node{src}, splitAt: at}
+	nLo, err := ctx.declare(lo, src.recSize, int64(at), o, 0)
+	if err != nil {
+		return err
+	}
+	nHi, err := ctx.declare(hi, src.recSize, src.estRecords-int64(at), o, 1)
+	if err != nil {
+		return err
+	}
+	o.outputs = []*node{nLo, nHi}
+	return nil
+}
+
+// Partition records partition(T, h(), k, ⟨Ti⟩, ⟨si⟩): T is split into k
+// partitions by h. sizes are the expected cardinalities; nil means |T|/k
+// each (the API's optional last argument).
+func (ctx *OpCtx) Partition(in string, h PartitionFunc, k int, outs []string, sizes []int64) error {
+	src, err := ctx.lookup(in)
+	if err != nil {
+		return err
+	}
+	if k <= 0 || len(outs) != k {
+		return fmt.Errorf("core: partition of %q: k=%d with %d outputs", in, k, len(outs))
+	}
+	if sizes != nil && len(sizes) != k {
+		return fmt.Errorf("core: partition of %q: %d size hints for k=%d", in, len(sizes), k)
+	}
+	o := &op{kind: opPartition, inputs: []*node{src}, part: h, k: k}
+	o.outputs = make([]*node, k)
+	for i, name := range outs {
+		est := src.estRecords / int64(k)
+		if sizes != nil {
+			est = sizes[i]
+		}
+		n, err := ctx.declare(name, src.recSize, est, o, i)
+		if err != nil {
+			return err
+		}
+		o.outputs[i] = n
+	}
+	return nil
+}
+
+// Filter records filter(T, p(), f, Tp): Tp is the subset of T satisfying
+// p, expected to be f·|T| records, f ∈ [0, 1].
+func (ctx *OpCtx) Filter(in string, p Predicate, f float64, out string) error {
+	src, err := ctx.lookup(in)
+	if err != nil {
+		return err
+	}
+	if f < 0 || f > 1 {
+		return fmt.Errorf("core: filter selectivity %v out of [0,1]", f)
+	}
+	o := &op{kind: opFilter, inputs: []*node{src}, pred: p, sel: f}
+	n, err := ctx.declare(out, src.recSize, int64(f*float64(src.estRecords)), o, 0)
+	if err != nil {
+		return err
+	}
+	o.outputs = []*node{n}
+	return nil
+}
+
+// Merge records merge(Tl, Tr, m(), T): the outputs of m over Tl and Tr
+// are appended to T, which must already be declared (typically the
+// operator's materialized output). Merge results immediately appended to
+// another collection stay deferred per the process-to-append rule — the
+// merge streams straight into T when executed.
+func (ctx *OpCtx) Merge(l, r string, m MergeFunc, out string) error {
+	nl, err := ctx.lookup(l)
+	if err != nil {
+		return err
+	}
+	nr, err := ctx.lookup(r)
+	if err != nil {
+		return err
+	}
+	no, err := ctx.lookup(out)
+	if err != nil {
+		return err
+	}
+	o := &op{kind: opMerge, inputs: []*node{nl, nr}, outputs: []*node{no}, mergeFn: m}
+	ctx.merges = append(ctx.merges, o)
+	return nil
+}

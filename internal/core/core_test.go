@@ -1,0 +1,374 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+func newCtx(t *testing.T, budgetRecords int) (*OpCtx, *algo.Env) {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 64 << 20})
+	f, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := algo.NewEnv(f, int64(budgetRecords*record.Size))
+	return NewOpCtx(env), env
+}
+
+func loadSource(t *testing.T, ctx *OpCtx, env *algo.Env, name string, n int) storage.Collection {
+	t.Helper()
+	c, err := env.Factory.Create(name, record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := record.Generate(n, 1, c.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Source(name, c); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func drain(t *testing.T, r Readable) []uint64 {
+	t.Helper()
+	it := r.Scan()
+	defer it.Close()
+	var keys []uint64
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return keys
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, record.Key(rec))
+	}
+}
+
+func TestDeclareDoesNotMaterialize(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 1000)
+	parts := []string{ctx.CreateName(), ctx.CreateName(), ctx.CreateName()}
+	h := func(rec []byte) int { return int(record.Key(rec) % 3) }
+	dev := env.Factory.Device()
+	before := dev.Stats()
+	if err := ctx.Partition("T", h, 3, parts, nil); err != nil {
+		t.Fatal(err)
+	}
+	if delta := dev.Stats().Sub(before); delta.Writes != 0 {
+		t.Errorf("Partition declaration wrote %d cachelines", delta.Writes)
+	}
+	for _, p := range parts {
+		st, err := ctx.Status(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusDeferred {
+			t.Errorf("partition %s status %v, want DEFERRED", p, st)
+		}
+	}
+}
+
+func TestDeferredReconstructionIsExact(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 300)
+	parts := []string{"p0", "p1", "p2"}
+	h := func(rec []byte) int { return int(record.Key(rec) % 3) }
+	if err := ctx.Partition("T", h, 3, parts, nil); err != nil {
+		t.Fatal(err)
+	}
+	// First access: Cm = 100·λ = 1500 > Cr+Cc = 0+300 → deferred.
+	r, err := ctx.Open("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := drain(t, r)
+	if len(keys) == 0 {
+		t.Fatal("reconstructed partition empty")
+	}
+	for _, k := range keys {
+		if k%3 != 1 {
+			t.Fatalf("partition p1 contains key %d", k)
+		}
+	}
+	if st, _ := ctx.Status("p1"); st != StatusDeferred {
+		t.Errorf("p1 status %v after first open, want DEFERRED", st)
+	}
+}
+
+func TestReadOverWriteEventuallyMaterializes(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 300)
+	parts := []string{"p0", "p1", "p2"}
+	h := func(rec []byte) int { return int(record.Key(rec) % 3) }
+	if err := ctx.Partition("T", h, 3, parts, nil); err != nil {
+		t.Fatal(err)
+	}
+	// λ = 15, |T| = 300, partition ≈ 100. Cm = 1500. Each reconstruction
+	// of a partition reads all of T (Cr += 300). After enough opens the
+	// accumulated reads exceed Cm and the rule flips to materialize.
+	materializedAt := -1
+	for i := 0; i < 12; i++ {
+		r, err := ctx.Open("p0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, r)
+		if st, _ := ctx.Status("p0"); st == StatusMaterialized {
+			materializedAt = i
+			break
+		}
+	}
+	if materializedAt < 0 {
+		t.Fatal("p0 never materialized despite repeated scans")
+	}
+	if materializedAt < 2 {
+		t.Errorf("p0 materialized on open #%d, expected laziness first", materializedAt)
+	}
+	// Eager-partition: materializing p0 must have materialized siblings.
+	for _, p := range []string{"p1", "p2"} {
+		if st, _ := ctx.Status(p); st != StatusMaterialized {
+			t.Errorf("sibling %s status %v, want MATERIALIZED (eager-partition)", p, st)
+		}
+	}
+}
+
+func TestMultiProcessRule(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	// Low λ: multi-process fires after few opens even if read-over-write
+	// would not.
+	env.Factory.Device().SetLatencies(10, 20) // λ = 2
+	loadSource(t, ctx, env, "T", 300)
+	if err := ctx.Filter("T", func(rec []byte) bool { return record.Key(rec) < 10 }, 0.04, "F"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r, err := ctx.Open("F")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, r)
+	}
+	st, _ := ctx.Status("F")
+	if st != StatusMaterialized {
+		t.Errorf("F status %v after 4 opens at λ=2, want MATERIALIZED", st)
+	}
+	// Materialized contents must equal the predicate's selection.
+	r, _ := ctx.Open("F")
+	keys := drain(t, r)
+	if len(keys) != 10 {
+		t.Errorf("F has %d records, want 10", len(keys))
+	}
+}
+
+func TestProcessToAppendRule(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 300)
+	if err := ctx.Filter("T", func(rec []byte) bool { return record.Key(rec)%2 == 0 }, 0.5, "F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.MarkAppendOnly("F"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r, err := ctx.Open("F")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drain(t, r)
+	}
+	if st, _ := ctx.Status("F"); st != StatusDeferred {
+		t.Errorf("append-only F status %v, want DEFERRED forever", st)
+	}
+}
+
+func TestSplitViews(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 100)
+	if err := ctx.Split("T", 30, "lo", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := ctx.Open("lo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ctx.Open("hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kLo, kHi := drain(t, lo), drain(t, hi)
+	if len(kLo)+len(kHi) != 100 {
+		t.Fatalf("split sizes %d + %d != 100", len(kLo), len(kHi))
+	}
+	seen := make(map[uint64]bool)
+	for _, k := range append(kLo, kHi...) {
+		if seen[k] {
+			t.Fatalf("split duplicated key %d", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestChainedOpsReconstruct(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 200)
+	h := func(rec []byte) int { return int(record.Key(rec) % 2) }
+	if err := ctx.Partition("T", h, 2, []string{"e", "o"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Filter on top of a deferred partition: reconstruction must chain.
+	if err := ctx.Filter("e", func(rec []byte) bool { return record.Key(rec) < 50 }, 0.25, "small"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ctx.Open("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := drain(t, r)
+	if len(keys) != 25 {
+		t.Fatalf("chained reconstruction: %d records, want 25 (even keys < 50)", len(keys))
+	}
+	for _, k := range keys {
+		if k%2 != 0 || k >= 50 {
+			t.Fatalf("chained reconstruction leaked key %d", k)
+		}
+	}
+}
+
+// The Fig. 4 workflow end-to-end: the segmented-Grace control-flow graph
+// with partition + pairwise merge (partial hash joins) into S.
+func TestFig4SegmentedGraceWorkflow(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	left, err := env.Factory.Create("T", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := env.Factory.Create("V", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nL, nR = 150, 600
+	if err := record.GenerateJoin(nL, nR, 3, left.Append, right.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Source("T", left); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Source("V", right); err != nil {
+		t.Fatal(err)
+	}
+	out, err := env.Factory.Create("S", 2*record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Output("S", out); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 3
+	h := func(rec []byte) int { return int(record.Key(rec) % k) }
+	tp := []string{"T0", "T1", "T2"}
+	vp := []string{"V0", "V1", "V2"}
+	if err := ctx.Partition("T", h, k, tp, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Partition("V", h, k, vp, nil); err != nil {
+		t.Fatal(err)
+	}
+	join := func(l, r Readable, emit func(rec []byte) error) error {
+		byKey := make(map[uint64][][]byte)
+		it := l.Scan()
+		for {
+			rec, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			cp := append([]byte(nil), rec...)
+			byKey[record.Key(cp)] = append(byKey[record.Key(cp)], cp)
+		}
+		it.Close()
+		rit := r.Scan()
+		defer rit.Close()
+		joined := make([]byte, 2*record.Size)
+		for {
+			rec, err := rit.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			for _, lrec := range byKey[record.Key(rec)] {
+				copy(joined, lrec)
+				copy(joined[record.Size:], rec)
+				if err := emit(joined); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		if err := ctx.Merge(tp[i], vp[i], join, "S"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctx.ExecuteMerges(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != nR {
+		t.Fatalf("S has %d records, want %d", out.Len(), nR)
+	}
+	if len(ctx.Decisions()) == 0 {
+		t.Error("no materialization decisions recorded")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 10)
+	if _, err := ctx.Open("nope"); err == nil {
+		t.Error("Open of unknown collection succeeded")
+	}
+	if err := ctx.Partition("nope", nil, 2, []string{"a", "b"}, nil); err == nil {
+		t.Error("Partition of unknown input succeeded")
+	}
+	if err := ctx.Partition("T", nil, 2, []string{"a"}, nil); err == nil {
+		t.Error("Partition with wrong output count succeeded")
+	}
+	if err := ctx.Filter("T", nil, 1.5, "f"); err == nil {
+		t.Error("Filter with selectivity > 1 succeeded")
+	}
+	if err := ctx.Source("T", nil); err == nil {
+		t.Error("duplicate Source succeeded")
+	}
+	if err := ctx.Produce("T"); err != nil {
+		t.Errorf("Produce of an already-materialized source should be a no-op, got %v", err)
+	}
+	if err := ctx.Merge("T", "T", nil, "nope"); err == nil {
+		t.Error("Merge into undeclared output succeeded")
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/storage"
+)
+
+// Plan generalizes the single-operator runtime to entire evaluation plans
+// — the §3.1 "Extensions" paragraph: operators connected through
+// intermediate result collections, all sharing one control-flow graph so
+// that the materialization rules apply across operator boundaries. An
+// intermediate that one operator produces and the next consumes once is
+// reconstructed rather than written; one that several downstream
+// operators scan repeatedly crosses the multi-process threshold and
+// materializes exactly once.
+//
+// A Plan is a sequence of stages. Declarative stages (Split, Partition,
+// Filter) only extend the blueprint; Exec stages run operator logic
+// against Readables resolved through the deferral policy.
+type Plan struct {
+	ctx    *OpCtx
+	stages []planStage
+	ran    bool
+}
+
+type planStage struct {
+	name string
+	run  func(ctx *OpCtx) error
+}
+
+// NewPlan builds an empty plan over the context.
+func NewPlan(ctx *OpCtx) *Plan { return &Plan{ctx: ctx} }
+
+// Ctx exposes the shared operator context for declarations.
+func (p *Plan) Ctx() *OpCtx { return p.ctx }
+
+// AddFilter appends a filter declaration stage.
+func (p *Plan) AddFilter(in string, pred Predicate, sel float64, out string) *Plan {
+	p.stages = append(p.stages, planStage{
+		name: fmt.Sprintf("filter(%s→%s)", in, out),
+		run:  func(ctx *OpCtx) error { return ctx.Filter(in, pred, sel, out) },
+	})
+	return p
+}
+
+// AddSplit appends a split declaration stage.
+func (p *Plan) AddSplit(in string, at int, lo, hi string) *Plan {
+	p.stages = append(p.stages, planStage{
+		name: fmt.Sprintf("split(%s→%s,%s)", in, lo, hi),
+		run:  func(ctx *OpCtx) error { return ctx.Split(in, at, lo, hi) },
+	})
+	return p
+}
+
+// AddPartition appends a partition declaration stage.
+func (p *Plan) AddPartition(in string, h PartitionFunc, k int, outs []string) *Plan {
+	p.stages = append(p.stages, planStage{
+		name: fmt.Sprintf("partition(%s→%d)", in, k),
+		run:  func(ctx *OpCtx) error { return ctx.Partition(in, h, k, outs, nil) },
+	})
+	return p
+}
+
+// AddMerge appends a merge declaration stage (its execution happens in
+// the plan's final ExecuteMerges pass, preserving declaration order).
+func (p *Plan) AddMerge(l, r string, m MergeFunc, out string) *Plan {
+	p.stages = append(p.stages, planStage{
+		name: fmt.Sprintf("merge(%s,%s→%s)", l, r, out),
+		run:  func(ctx *OpCtx) error { return ctx.Merge(l, r, m, out) },
+	})
+	return p
+}
+
+// AddExec appends an imperative stage: operator logic that opens
+// collections through the deferral policy and appends results to
+// materialized outputs.
+func (p *Plan) AddExec(name string, fn func(ctx *OpCtx) error) *Plan {
+	p.stages = append(p.stages, planStage{name: name, run: fn})
+	return p
+}
+
+// Run declares and executes every stage in order, then executes the
+// recorded merges. It can run once.
+func (p *Plan) Run() error {
+	if p.ran {
+		return fmt.Errorf("core: plan already ran")
+	}
+	p.ran = true
+	for _, s := range p.stages {
+		if err := s.run(p.ctx); err != nil {
+			return fmt.Errorf("core: plan stage %s: %w", s.name, err)
+		}
+	}
+	return p.ctx.ExecuteMerges()
+}
+
+// Stages reports the plan's stage names, for inspection.
+func (p *Plan) Stages() []string {
+	names := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		names[i] = s.name
+	}
+	return names
+}
+
+// CopyReadable drains a Readable into a materialized collection —
+// a helper for plan outputs that must persist.
+func CopyReadable(dst storage.Collection, src Readable) (int, error) {
+	it := src.Scan()
+	defer it.Close()
+	n := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Append(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

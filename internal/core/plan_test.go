@@ -1,0 +1,122 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"wlpm/internal/record"
+)
+
+// A two-operator plan — selection feeding a partitioned join — sharing
+// one control-flow graph: the §3.1 "Extensions" scenario. The selection's
+// output is an intermediate consumed by the join's partitioning; the
+// runtime decides across the operator boundary whether it ever exists in
+// persistent memory.
+func TestPlanCrossOperatorDeferral(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	loadSource(t, ctx, env, "T", 400)
+
+	outColl, err := env.Factory.Create("S", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Output("S", outColl); err != nil {
+		t.Fatal(err)
+	}
+
+	const k = 2
+	h := func(rec []byte) int { return int(record.Key(rec) % k) }
+	plan := NewPlan(ctx).
+		AddFilter("T", func(rec []byte) bool { return record.Key(rec) < 200 }, 0.5, "sel").
+		AddPartition("sel", h, k, []string{"p0", "p1"}).
+		AddExec("collect", func(ctx *OpCtx) error {
+			for _, name := range []string{"p0", "p1"} {
+				r, err := ctx.Open(name)
+				if err != nil {
+					return err
+				}
+				if _, err := CopyReadable(outColl, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if len(plan.Stages()) != 3 {
+		t.Fatalf("plan has %d stages", len(plan.Stages()))
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Run(); err == nil {
+		t.Error("plan ran twice")
+	}
+	if outColl.Len() != 200 {
+		t.Fatalf("plan output %d records, want 200", outColl.Len())
+	}
+	// Neither the selection nor the single-use partitions were worth
+	// writing: each was consumed once, below every materialization
+	// threshold.
+	for _, name := range []string{"sel", "p0", "p1"} {
+		st, err := ctx.Status(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusDeferred {
+			t.Errorf("intermediate %s status %v, want DEFERRED across operators", name, st)
+		}
+	}
+}
+
+// When a downstream operator scans a shared intermediate often enough,
+// the multi-process rule materializes it once for the whole plan.
+func TestPlanSharedIntermediateMaterializes(t *testing.T) {
+	ctx, env := newCtx(t, 100)
+	env.Factory.Device().SetLatencies(10, 20) // λ = 2: low threshold
+	loadSource(t, ctx, env, "T", 300)
+
+	scans := 0
+	plan := NewPlan(ctx).
+		AddFilter("T", func(rec []byte) bool { return record.Key(rec)%3 == 0 }, 0.33, "hot").
+		AddExec("consumer", func(ctx *OpCtx) error {
+			// Several downstream operators each scan "hot".
+			for i := 0; i < 5; i++ {
+				r, err := ctx.Open("hot")
+				if err != nil {
+					return err
+				}
+				it := r.Scan()
+				for {
+					if _, err := it.Next(); err == io.EOF {
+						break
+					} else if err != nil {
+						return err
+					}
+					scans++
+				}
+				it.Close()
+			}
+			return nil
+		})
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if scans != 5*100 {
+		t.Fatalf("consumed %d records, want 500", scans)
+	}
+	st, err := ctx.Status("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusMaterialized {
+		t.Errorf("hot intermediate status %v, want MATERIALIZED after repeated plan-wide use", st)
+	}
+}
+
+func TestPlanStageErrorPropagates(t *testing.T) {
+	ctx, _ := newCtx(t, 100)
+	plan := NewPlan(ctx).AddFilter("missing", func([]byte) bool { return true }, 1, "f")
+	err := plan.Run()
+	if err == nil {
+		t.Fatal("plan with broken stage succeeded")
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/storage"
+)
+
+// Open accesses a collection (Listing 1's Collection::open): it assesses
+// a deferred collection, materializes it if the rules say so, and returns
+// a Readable — the stored collection, or a reconstruction stream that
+// re-applies the recorded computation from the nearest materialized
+// ancestor.
+func (ctx *OpCtx) Open(name string) (Readable, error) {
+	n, err := ctx.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	n.opens++
+	if n.status != StatusDeferred {
+		return ctx.readable(n)
+	}
+	d := ctx.assess(n)
+	ctx.decisions = append(ctx.decisions, d)
+	if d.Materialize {
+		if err := ctx.Produce(name); err != nil {
+			return nil, err
+		}
+	}
+	return ctx.readable(n)
+}
+
+// readable wraps a node for consumption, tracking accumulated reads on
+// materialized nodes (the running sums behind the read-over-write rule).
+func (ctx *OpCtx) readable(n *node) (Readable, error) {
+	if n.status != StatusDeferred {
+		if n.coll == nil {
+			return nil, fmt.Errorf("core: collection %q has no backing storage", n.name)
+		}
+		n.readAccum += int64(n.coll.Len())
+		return n.coll, nil
+	}
+	return &streamReadable{ctx: ctx, n: n}, nil
+}
+
+// assess applies the materialization rules to a deferred node.
+func (ctx *OpCtx) assess(n *node) Decision {
+	lambda := ctx.env.Lambda()
+	// Rule (c), process-to-append: always defer.
+	if n.appendOnly {
+		return Decision{n.name, false, "process-to-append"}
+	}
+	if n.prod == nil {
+		return Decision{n.name, false, "source"}
+	}
+	// Rule (a), multi-process: a collection processed more times than the
+	// write-to-read ratio is worth writing once.
+	if float64(n.opens) > lambda {
+		return Decision{n.name, true, "multi-process"}
+	}
+	// Rule (d), read-over-write: materialize when the write cost Cm is
+	// within the reads already paid for the input (Cr) plus the reads to
+	// construct it once more (Cc).
+	in := n.prod.inputs[0]
+	cm := float64(n.estRecords) * lambda
+	cr := float64(in.readAccum)
+	cc := float64(in.estRecords)
+	if cm <= cr+cc {
+		return Decision{n.name, true, "read-over-write"}
+	}
+	return Decision{n.name, false, "read-over-write"}
+}
+
+// Produce materializes a deferred collection by re-applying the recorded
+// computation from its nearest materialized ancestor (Listing 1's
+// produce()). For partition outputs the eager-partition rule applies: the
+// single input scan materializes every remaining deferred sibling, so no
+// input is fully scanned twice for the same purpose.
+func (ctx *OpCtx) Produce(name string) error {
+	n, err := ctx.lookup(name)
+	if err != nil {
+		return err
+	}
+	if n.status != StatusDeferred {
+		return nil
+	}
+	o := n.prod
+	if o == nil {
+		return fmt.Errorf("core: cannot produce source collection %q", name)
+	}
+	if o.kind == opMerge {
+		return fmt.Errorf("core: merge outputs are produced by ExecuteMerges, not Produce")
+	}
+
+	// Targets: the requested node, plus — for partitions — all deferred
+	// siblings (eager-partition).
+	targets := []*node{n}
+	if o.kind == opPartition {
+		targets = targets[:0]
+		for _, sib := range o.outputs {
+			if sib.status == StatusDeferred {
+				targets = append(targets, sib)
+			}
+		}
+		ctx.decisions = append(ctx.decisions, Decision{n.name, true, "eager-partition"})
+	}
+	sinks := make(map[*node]storage.Collection, len(targets))
+	for _, t := range targets {
+		c, err := ctx.env.Factory.Create(ctx.prefixed(t.name), t.recSize)
+		if err != nil {
+			return err
+		}
+		sinks[t] = c
+	}
+
+	// One streaming pass over the (possibly itself reconstructed) input.
+	it, err := ctx.streamScan(o.inputs[0])
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	pos := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		switch o.kind {
+		case opSplit:
+			var dst *node
+			if pos < o.splitAt {
+				dst = o.outputs[0]
+			} else {
+				dst = o.outputs[1]
+			}
+			if c, ok := sinks[dst]; ok {
+				if err := c.Append(rec); err != nil {
+					return err
+				}
+			}
+		case opPartition:
+			dst := o.outputs[o.part(rec)]
+			if c, ok := sinks[dst]; ok {
+				if err := c.Append(rec); err != nil {
+					return err
+				}
+			}
+		case opFilter:
+			if o.pred(rec) {
+				if err := sinks[n].Append(rec); err != nil {
+					return err
+				}
+			}
+		}
+		pos++
+	}
+	for t, c := range sinks {
+		if err := c.Close(); err != nil {
+			return err
+		}
+		t.coll = c
+		t.status = StatusMaterialized
+		t.estRecords = int64(c.Len())
+	}
+	return nil
+}
+
+// prefixed namespaces runtime-created collections within the factory.
+func (ctx *OpCtx) prefixed(name string) string {
+	return fmt.Sprintf("opctx.%s", name)
+}
+
+// ExecuteMerges runs every recorded merge in declaration order, opening
+// inputs through the materialization policy and streaming results into
+// the merge outputs (process-to-append: merge results are never staged).
+func (ctx *OpCtx) ExecuteMerges() error {
+	for _, o := range ctx.merges {
+		l, err := ctx.Open(o.inputs[0].name)
+		if err != nil {
+			return err
+		}
+		r, err := ctx.Open(o.inputs[1].name)
+		if err != nil {
+			return err
+		}
+		out := o.outputs[0]
+		if out.coll == nil {
+			return fmt.Errorf("core: merge output %q is not backed by storage", out.name)
+		}
+		if err := o.mergeFn(l, r, out.coll.Append); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamScan returns an iterator over a node's logical contents without
+// materializing anything: materialized nodes scan their storage (and
+// account the read), deferred nodes wrap their input's stream with the
+// producing op's transformation.
+func (ctx *OpCtx) streamScan(n *node) (storage.Iterator, error) {
+	if n.status != StatusDeferred {
+		if n.coll == nil {
+			return nil, fmt.Errorf("core: collection %q has no backing storage", n.name)
+		}
+		n.readAccum += int64(n.coll.Len())
+		return n.coll.Scan(), nil
+	}
+	o := n.prod
+	if o == nil {
+		return nil, fmt.Errorf("core: deferred source %q", n.name)
+	}
+	switch o.kind {
+	case opSplit:
+		in := o.inputs[0]
+		// A materialized ancestor supports positioned scans: no read cost
+		// for the skipped prefix.
+		if in.status != StatusDeferred && in.coll != nil {
+			var view storage.Collection
+			if n.outIdx == 0 {
+				view = storage.Slice(in.coll, 0, o.splitAt)
+			} else {
+				view = storage.Slice(in.coll, o.splitAt, in.coll.Len())
+			}
+			in.readAccum += int64(view.Len())
+			return view.Scan(), nil
+		}
+		base, err := ctx.streamScan(in)
+		if err != nil {
+			return nil, err
+		}
+		return &rangeIterator{it: base, lo: rangeLo(n.outIdx, o.splitAt), hi: rangeHi(n.outIdx, o.splitAt)}, nil
+	case opPartition:
+		base, err := ctx.streamScan(o.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		idx := n.outIdx
+		return &filterIterator{it: base, keep: func(rec []byte) bool { return o.part(rec) == idx }}, nil
+	case opFilter:
+		base, err := ctx.streamScan(o.inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		return &filterIterator{it: base, keep: o.pred}, nil
+	default:
+		return nil, fmt.Errorf("core: cannot stream %s output %q", o.kind, n.name)
+	}
+}
+
+func rangeLo(outIdx, at int) int {
+	if outIdx == 0 {
+		return 0
+	}
+	return at
+}
+
+func rangeHi(outIdx, at int) int {
+	if outIdx == 0 {
+		return at
+	}
+	return -1 // unbounded
+}
+
+// streamReadable reconstructs a deferred collection on every Scan.
+type streamReadable struct {
+	ctx *OpCtx
+	n   *node
+}
+
+func (s *streamReadable) Name() string    { return s.n.name }
+func (s *streamReadable) RecordSize() int { return s.n.recSize }
+
+func (s *streamReadable) Scan() storage.Iterator {
+	it, err := s.ctx.streamScan(s.n)
+	if err != nil {
+		return &errIterator{err: err}
+	}
+	return it
+}
+
+// filterIterator yields records satisfying keep.
+type filterIterator struct {
+	it   storage.Iterator
+	keep func(rec []byte) bool
+}
+
+func (f *filterIterator) Next() ([]byte, error) {
+	for {
+		rec, err := f.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.keep(rec) {
+			return rec, nil
+		}
+	}
+}
+
+func (f *filterIterator) Close() error { return f.it.Close() }
+
+// rangeIterator yields records with index in [lo, hi) (hi < 0 means ∞).
+type rangeIterator struct {
+	it     storage.Iterator
+	lo, hi int
+	pos    int
+}
+
+func (r *rangeIterator) Next() ([]byte, error) {
+	for {
+		rec, err := r.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		i := r.pos
+		r.pos++
+		if i < r.lo {
+			continue
+		}
+		if r.hi >= 0 && i >= r.hi {
+			return nil, io.EOF
+		}
+		return rec, nil
+	}
+}
+
+func (r *rangeIterator) Close() error { return r.it.Close() }
+
+// errIterator reports a construction error on first use.
+type errIterator struct{ err error }
+
+func (e *errIterator) Next() ([]byte, error) { return nil, e.err }
+func (e *errIterator) Close() error          { return nil }

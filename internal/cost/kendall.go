@@ -1,0 +1,73 @@
+package cost
+
+// KendallTau computes Kendall's τ-a rank correlation between two score
+// slices over the same items (§4.2.3, Fig. 12): the fraction of
+// concordant minus discordant pairs. 1 means the orderings agree
+// completely, −1 that they are reversed, 0 that they are independent.
+// Tied pairs in either slice count as neither concordant nor discordant.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			da := sign(a[i] - a[j])
+			db := sign(b[i] - b[j])
+			switch {
+			case da == 0 || db == 0:
+			case da == db:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	pairs := len(a) * (len(a) - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// LedgerRow is one iteration of Table 1: the progress of standard hash
+// join compared to lazy hash join, in buffers (reads/writes) and cost
+// units (savings/penalty).
+type LedgerRow struct {
+	Iteration      int
+	StandardReads  float64
+	StandardWrites float64
+	LazyReads      float64
+	LazyWrites     float64
+	Savings        float64 // (k−i)(M+M_T)·λ·r saved writes
+	Penalty        float64 // (i−1)(M+M_T)·r extra reads
+}
+
+// LazyHashJoinLedger reproduces Table 1 for k iterations with per-
+// iteration input portion m + mt (the paper's M + M_T) and ratio λ.
+func LazyHashJoinLedger(k int, m, mt, lambda float64) []LedgerRow {
+	unit := m + mt
+	rows := make([]LedgerRow, 0, k)
+	for i := 1; i <= k; i++ {
+		fi := float64(i)
+		fk := float64(k)
+		rows = append(rows, LedgerRow{
+			Iteration:      i,
+			StandardReads:  (fk - fi + 1) * unit,
+			StandardWrites: (fk - fi) * unit,
+			LazyReads:      fk * unit,
+			LazyWrites:     0,
+			Savings:        (fk - fi) * unit * lambda,
+			Penalty:        (fi - 1) * unit,
+		})
+	}
+	return rows
+}

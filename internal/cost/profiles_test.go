@@ -1,0 +1,127 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProfilePrice(t *testing.T) {
+	p := Profile{Reads: 10, Writes: 2}
+	if got := p.Price(1, 15); got != 40 {
+		t.Errorf("Price = %v, want 40", got)
+	}
+}
+
+func TestSortProfilesStructure(t *testing.T) {
+	const tt, m = 100000.0, 5000.0
+
+	exms := ExMSProfile(tt, m)
+	// Run formation + output: two full writes; input + run re-read: two
+	// full reads (single merge pass at this fan-in).
+	if exms.Writes != 2*tt || exms.Reads != 2*tt {
+		t.Errorf("ExMS profile %+v, want reads=writes=2|T|", exms)
+	}
+
+	sels := SelSProfile(tt, m)
+	if sels.Writes != tt {
+		t.Errorf("SelS writes %v, want |T| (write-minimal)", sels.Writes)
+	}
+	if sels.Reads != 20*tt {
+		t.Errorf("SelS reads %v, want |T|²/M = 20|T|", sels.Reads)
+	}
+
+	// SegS endpoints collapse to the neighbours.
+	if got := SegSProfile(1, tt, m); got != exms {
+		t.Errorf("SegS(1) = %+v, want ExMS %+v", got, exms)
+	}
+	if got := SegSProfile(0, tt, m); got != sels {
+		t.Errorf("SegS(0) = %+v, want SelS %+v", got, sels)
+	}
+
+	// Writes grow with intensity; reads shrink.
+	lo, hi := SegSProfile(0.2, tt, m), SegSProfile(0.8, tt, m)
+	if !(lo.Writes < hi.Writes && lo.Reads > hi.Reads) {
+		t.Errorf("SegS intensity trade broken: low %+v high %+v", lo, hi)
+	}
+}
+
+func TestHybSProfileBounds(t *testing.T) {
+	const tt, m = 100000.0, 5000.0
+	p := HybSProfile(0.5, tt, m)
+	// Never fewer writes than the output, never more than ExMS-like 2|T|
+	// (plus merge passes).
+	if p.Writes < tt || p.Writes > 2.5*tt {
+		t.Errorf("HybS writes %v out of [|T|, 2.5|T|]", p.Writes)
+	}
+	// Higher intensity diverts more records straight to the output.
+	if HybSProfile(0.9, tt, m).Writes >= HybSProfile(0.1, tt, m).Writes {
+		t.Error("HybS writes not decreasing in intensity")
+	}
+}
+
+func TestJoinProfilesStructure(t *testing.T) {
+	const tt, v, m = 10000.0, 100000.0, 500.0
+
+	gj := GJProfile(tt, v)
+	if gj.Writes != (tt+v)+v || gj.Reads != 2*(tt+v) {
+		t.Errorf("GJ profile %+v", gj)
+	}
+
+	nlj := NLJProfile(tt, v, m)
+	if nlj.Writes != v {
+		t.Errorf("NLJ writes %v, want output only", nlj.Writes)
+	}
+	if nlj.Reads <= v {
+		t.Errorf("NLJ reads %v suspiciously low", nlj.Reads)
+	}
+
+	hj := HJProfile(tt, v, m)
+	if hj.Writes <= gj.Writes {
+		t.Errorf("HJ writes %v not above GJ %v", hj.Writes, gj.Writes)
+	}
+
+	// SegJ at full intensity materializes every partition ≈ Grace.
+	segFull := SegJProfile(1, tt, v, m)
+	if segFull.Writes != gj.Writes {
+		t.Errorf("SegJ(1) writes %v, want GJ %v", segFull.Writes, gj.Writes)
+	}
+	// Lower intensity: fewer writes, more reads.
+	seg2, seg8 := SegJProfile(0.2, tt, v, m), SegJProfile(0.8, tt, v, m)
+	if !(seg2.Writes < seg8.Writes && seg2.Reads > seg8.Reads) {
+		t.Errorf("SegJ trade broken: %+v vs %+v", seg2, seg8)
+	}
+
+	// HybJ at (1,1) degenerates to Grace's write profile.
+	hybFull := HybJProfile(1, 1, tt, v, m)
+	if hybFull.Writes != gj.Writes {
+		t.Errorf("HybJ(1,1) writes %v, want GJ %v", hybFull.Writes, gj.Writes)
+	}
+	// HybJ at (0,0) is nested loops.
+	hyb0 := HybJProfile(0, 0, tt, v, m)
+	if hyb0.Writes != nlj.Writes {
+		t.Errorf("HybJ(0,0) writes %v, want NLJ %v", hyb0.Writes, nlj.Writes)
+	}
+}
+
+// Property: profiles are non-negative and monotone in input size.
+func TestQuickProfilesSane(t *testing.T) {
+	f := func(tRaw, mRaw uint16, x8 uint8) bool {
+		tt := float64(tRaw%10000) + 100
+		m := float64(mRaw%1000) + 10
+		x := float64(x8%101) / 100
+		for _, p := range []Profile{
+			ExMSProfile(tt, m), SelSProfile(tt, m), SegSProfile(x, tt, m),
+			HybSProfile(x, tt, m), GJProfile(tt, 10*tt), HJProfile(tt, 10*tt, m),
+			NLJProfile(tt, 10*tt, m), HybJProfile(x, 1-x, tt, 10*tt, m),
+			SegJProfile(x, tt, 10*tt, m),
+		} {
+			if p.Reads < 0 || p.Writes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

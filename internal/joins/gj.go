@@ -1,0 +1,91 @@
+package joins
+
+import (
+	"fmt"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// Grace is GJ: classic Grace hash join. Both inputs are partitioned to
+// persistent memory in one pass, then each partition pair is joined with
+// an in-memory hash table. Cost r(|T|+|V|)(2+λ): the symmetric-I/O
+// baseline the write-limited joins are measured against.
+type Grace struct{}
+
+// NewGrace returns the GJ operator.
+func NewGrace() *Grace { return &Grace{} }
+
+// Name implements Algorithm.
+func (j *Grace) Name() string { return "GJ" }
+
+// Join implements Algorithm.
+func (j *Grace) Join(env *algo.Env, left, right, out storage.Collection) error {
+	if err := checkArgs(env, left, right, out); err != nil {
+		return err
+	}
+	k := partitionCount(env, left.Len(), left.RecordSize())
+
+	lp, err := partitionInto(env, left, k, "gjl")
+	if err != nil {
+		return err
+	}
+	rp, err := partitionInto(env, right, k, "gjr")
+	if err != nil {
+		return err
+	}
+	em := newEmitter(out, left.RecordSize(), right.RecordSize())
+	for p := 0; p < k; p++ {
+		if err := joinPartition(env, lp[p], rp[p], em); err != nil {
+			return err
+		}
+		if err := lp[p].Destroy(); err != nil {
+			return err
+		}
+		if err := rp[p].Destroy(); err != nil {
+			return err
+		}
+	}
+	return out.Close()
+}
+
+// partitionInto hashes src into k fresh collections.
+func partitionInto(env *algo.Env, src storage.Collection, k int, prefix string) ([]storage.Collection, error) {
+	parts := make([]storage.Collection, k)
+	for p := range parts {
+		c, err := env.CreateTemp(fmt.Sprintf("%s%d", prefix, p), src.RecordSize())
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = c
+	}
+	if err := scanInto(src, func(rec []byte) error {
+		return parts[partitionOf(rec, k)].Append(rec)
+	}); err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		if err := p.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}
+
+// joinPartition builds a table over lp and probes it with rp.
+func joinPartition(env *algo.Env, lp, rp storage.Collection, em *emitter) error {
+	table := newHashTable(lp.RecordSize(), lp.Len())
+	if err := scanInto(lp, func(rec []byte) error {
+		table.insert(rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	_ = env
+	return scanInto(rp, func(r []byte) error {
+		return table.probe(record.Key(r), func(l []byte) error {
+			return em.emit(l, r)
+		})
+	})
+}

@@ -1,0 +1,144 @@
+package joins
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/cost"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// HybridGraceNL is HybJ (§2.2.1): fractions x of the left input and y of
+// the right are processed with Grace join (write-inducing but fast); the
+// remainders are handled with read-only nested loops. The three partial
+// results of the split are composed as:
+//
+//	Tx ⋈ Vy     — Grace join over the materialized partitions
+//	Tx ⋈ V(1−y) — piggybacked: while partition p's table is in memory,
+//	              the unpartitioned right suffix is scanned and probed
+//	T(1−x) ⋈ V  — block nested loops over the left suffix and all of V
+//
+// x and y are the algorithm's write intensities (Eq. 6; Fig. 2 heatmaps).
+type HybridGraceNL struct {
+	// X and Y are the Grace fractions of the left and right inputs.
+	X, Y float64
+	// Auto places (X, Y) at the cost model's recommendation: the Eq. 7–8
+	// saddle values clamped to the heuristic x+y = 1, x ≥ y region the
+	// paper suggests when inputs diverge in size.
+	Auto bool
+}
+
+// NewHybridGraceNL returns HybJ with fixed write intensities.
+func NewHybridGraceNL(x, y float64) *HybridGraceNL { return &HybridGraceNL{X: x, Y: y} }
+
+// NewAutoHybridGraceNL returns HybJ that places its knobs via the cost model.
+func NewAutoHybridGraceNL() *HybridGraceNL { return &HybridGraceNL{Auto: true} }
+
+// Name implements Algorithm.
+func (j *HybridGraceNL) Name() string {
+	if j.Auto {
+		return "HybJ(auto)"
+	}
+	return fmt.Sprintf("HybJ(%.2f,%.2f)", j.X, j.Y)
+}
+
+// Join implements Algorithm.
+func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection) error {
+	if err := checkArgs(env, left, right, out); err != nil {
+		return err
+	}
+	x, y := j.X, j.Y
+	if j.Auto {
+		bs := float64(env.Factory.BlockSize())
+		t := float64(left.Len()*left.RecordSize()) / bs
+		v := float64(right.Len()*right.RecordSize()) / bs
+		m := float64(env.MemoryBudget) / bs
+		x, y = cost.HybridJoinSaddle(t, v, m, env.Lambda())
+	}
+	if x < 0 || x > 1 || y < 0 || y > 1 {
+		return fmt.Errorf("joins: HybJ intensities (%v, %v) out of [0,1]", x, y)
+	}
+	splitT := int(x * float64(left.Len()))
+	splitV := int(y * float64(right.Len()))
+	em := newEmitter(out, left.RecordSize(), right.RecordSize())
+
+	// Phase 1: partition the Grace fractions.
+	k := partitionCount(env, splitT, left.RecordSize())
+	var lp, rp []storage.Collection
+	if splitT > 0 {
+		var err error
+		if lp, err = partitionInto(env, storage.Slice(left, 0, splitT), k, "hybl"); err != nil {
+			return err
+		}
+		if rp, err = partitionInto(env, storage.Slice(right, 0, splitV), k, "hybr"); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: per-partition Grace join, with the unpartitioned right
+	// suffix V(1−y) piggybacked onto each resident partition table.
+	vSuffix := storage.Slice(right, splitV, right.Len())
+	for p := 0; p < len(lp); p++ {
+		table := newHashTable(left.RecordSize(), lp[p].Len())
+		if err := scanInto(lp[p], func(rec []byte) error {
+			table.insert(rec)
+			return nil
+		}); err != nil {
+			return err
+		}
+		probe := func(r []byte) error {
+			return table.probe(record.Key(r), func(l []byte) error {
+				return em.emit(l, r)
+			})
+		}
+		if err := scanInto(rp[p], probe); err != nil {
+			return err
+		}
+		if vSuffix.Len() > 0 {
+			if err := scanInto(vSuffix, probe); err != nil {
+				return err
+			}
+		}
+		if err := lp[p].Destroy(); err != nil {
+			return err
+		}
+		if err := rp[p].Destroy(); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: block nested loops between the left suffix T(1−x) and the
+	// whole right input.
+	if splitT < left.Len() {
+		capRecords := buildCap(env, left.RecordSize())
+		table := newHashTable(left.RecordSize(), capRecords)
+		done := splitT
+		for done < left.Len() {
+			table.reset()
+			it := left.ScanFrom(done)
+			for table.len() < capRecords {
+				rec, err := it.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					it.Close()
+					return err
+				}
+				table.insert(rec)
+			}
+			it.Close()
+			done += table.len()
+			if err := scanInto(right, func(r []byte) error {
+				return table.probe(record.Key(r), func(l []byte) error {
+					return em.emit(l, r)
+				})
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return out.Close()
+}

@@ -1,0 +1,59 @@
+package joins
+
+import (
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// NestedLoops is NLJ: block nested loops with an in-memory index per
+// left-input block. It writes nothing but the output — the read-intensive
+// floor the paper's write-limited algorithms approximate — at the price of
+// one full scan of the right input per memory-sized block of the left.
+type NestedLoops struct{}
+
+// NewNestedLoops returns the NLJ operator.
+func NewNestedLoops() *NestedLoops { return &NestedLoops{} }
+
+// Name implements Algorithm.
+func (j *NestedLoops) Name() string { return "NLJ" }
+
+// Join implements Algorithm.
+func (j *NestedLoops) Join(env *algo.Env, left, right, out storage.Collection) error {
+	if err := checkArgs(env, left, right, out); err != nil {
+		return err
+	}
+	em := newEmitter(out, left.RecordSize(), right.RecordSize())
+	cap := buildCap(env, left.RecordSize())
+	table := newHashTable(left.RecordSize(), cap)
+
+	done := 0
+	for done < left.Len() {
+		table.reset()
+		it := left.ScanFrom(done)
+		for table.len() < cap {
+			rec, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				it.Close()
+				return err
+			}
+			table.insert(rec)
+		}
+		it.Close()
+		done += table.len()
+
+		if err := scanInto(right, func(r []byte) error {
+			return table.probe(record.Key(r), func(l []byte) error {
+				return em.emit(l, r)
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	return out.Close()
+}

@@ -1,0 +1,153 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Allocator hands out byte ranges of a Device with first-fit placement and
+// free-range coalescing.
+//
+// Allocation metadata lives in DRAM: a production persistent allocator
+// would persist and recover it (cf. NV-heaps, Coburn et al., ASPLOS 2011),
+// but the paper treats allocation persistence as orthogonal to query
+// processing and so do we. What matters for the experiments is *where* data
+// lands and how many cachelines each algorithm touches.
+type Allocator struct {
+	dev *Device
+
+	mu    sync.Mutex
+	free  []span          // sorted by offset, pairwise non-adjacent
+	live  map[int64]int64 // offset → size
+	align int64           // allocation alignment (cacheline)
+	used  int64           // bytes currently allocated
+	peak  int64           // high-water mark
+}
+
+type span struct{ off, size int64 }
+
+// NewAllocator manages the whole of dev.
+func NewAllocator(dev *Device) *Allocator {
+	return NewAllocatorRange(dev, 0, dev.Capacity())
+}
+
+// NewAllocatorRange manages the byte range [start, end) of dev; used by
+// filesystem backends whose data area begins after their metadata regions.
+func NewAllocatorRange(dev *Device, start, end int64) *Allocator {
+	if start < 0 || end > dev.Capacity() || start >= end {
+		panic(fmt.Sprintf("pmem: invalid allocator range [%d, %d) on device of %d bytes", start, end, dev.Capacity()))
+	}
+	align := int64(dev.CachelineSize())
+	start = (start + align - 1) / align * align
+	return &Allocator{
+		dev:   dev,
+		free:  []span{{start, end - start}},
+		live:  make(map[int64]int64),
+		align: align,
+	}
+}
+
+// Device returns the device this allocator manages.
+func (a *Allocator) Device() *Device { return a.dev }
+
+// Alloc reserves size bytes and returns the range's device offset. Ranges
+// are cacheline-aligned so that distinct allocations never share a line
+// (one allocation's writes must not wear another's lines).
+func (a *Allocator) Alloc(size int64) (int64, error) {
+	return a.AllocAligned(size, a.align)
+}
+
+// AllocAligned reserves size bytes at an offset that is a multiple of
+// align. Filesystem backends use this to keep extents sector-aligned.
+func (a *Allocator) AllocAligned(size, align int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("pmem: alloc size must be positive, got %d", size)
+	}
+	if align < a.align {
+		align = a.align
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("pmem: alignment %d is not a power of two", align)
+	}
+	need := (size + a.align - 1) / a.align * a.align
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range a.free {
+		off := (s.off + align - 1) / align * align
+		head := off - s.off
+		if head+need > s.size {
+			continue
+		}
+		tail := s.size - head - need
+		switch {
+		case head == 0 && tail == 0:
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		case head == 0:
+			a.free[i] = span{off + need, tail}
+		case tail == 0:
+			a.free[i] = span{s.off, head}
+		default:
+			a.free[i] = span{s.off, head}
+			a.free = append(a.free, span{})
+			copy(a.free[i+2:], a.free[i+1:])
+			a.free[i+1] = span{off + need, tail}
+		}
+		a.live[off] = need
+		a.used += need
+		if a.used > a.peak {
+			a.peak = a.used
+		}
+		return off, nil
+	}
+	return 0, fmt.Errorf("pmem: out of device memory: need %d bytes aligned to %d, %d in use of %d", need, align, a.used, a.dev.Capacity())
+}
+
+// Free releases a range previously returned by Alloc.
+func (a *Allocator) Free(off int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	size, ok := a.live[off]
+	if !ok {
+		return fmt.Errorf("pmem: free of unallocated offset %d", off)
+	}
+	delete(a.live, off)
+	a.used -= size
+
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{off, size}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}
+
+// InUse reports the bytes currently allocated.
+func (a *Allocator) InUse() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// Peak reports the allocation high-water mark in bytes.
+func (a *Allocator) Peak() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// Allocations reports the number of live allocations.
+func (a *Allocator) Allocations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.live)
+}

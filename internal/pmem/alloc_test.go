@@ -1,0 +1,153 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasic(t *testing.T) {
+	d := testDevice(t, 4096)
+	a := NewAllocator(d)
+	off1, err := a.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	off2, err := a.Alloc(100)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if off1 == off2 {
+		t.Fatal("two allocations share an offset")
+	}
+	if off1%int64(d.CachelineSize()) != 0 || off2%int64(d.CachelineSize()) != 0 {
+		t.Error("allocations not cacheline-aligned")
+	}
+	if a.Allocations() != 2 {
+		t.Errorf("Allocations = %d, want 2", a.Allocations())
+	}
+	if err := a.Free(off1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if err := a.Free(off1); err == nil {
+		t.Error("double free succeeded")
+	}
+	if err := a.Free(12345); err == nil {
+		t.Error("free of bogus offset succeeded")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	d := testDevice(t, 1024)
+	a := NewAllocator(d)
+	if _, err := a.Alloc(2048); err == nil {
+		t.Fatal("oversized alloc succeeded")
+	}
+	off, err := a.Alloc(1024)
+	if err != nil {
+		t.Fatalf("full-device alloc failed: %v", err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("alloc on full device succeeded")
+	}
+	if err := a.Free(off); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(1024); err != nil {
+		t.Fatalf("alloc after free failed: %v", err)
+	}
+}
+
+func TestAllocInvalidSize(t *testing.T) {
+	a := NewAllocator(testDevice(t, 1024))
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("Alloc(0) succeeded")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Error("Alloc(-5) succeeded")
+	}
+}
+
+func TestAllocCoalescing(t *testing.T) {
+	d := testDevice(t, 4096)
+	a := NewAllocator(d)
+	var offs []int64
+	for i := 0; i < 4; i++ {
+		off, err := a.Alloc(1024)
+		if err != nil {
+			t.Fatalf("Alloc #%d: %v", i, err)
+		}
+		offs = append(offs, off)
+	}
+	// Free out of order; the free list must coalesce back to one span.
+	for _, i := range []int{2, 0, 3, 1} {
+		if err := a.Free(offs[i]); err != nil {
+			t.Fatalf("Free #%d: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(4096); err != nil {
+		t.Fatalf("full-device alloc after frees failed (fragmentation?): %v", err)
+	}
+}
+
+func TestAllocPeak(t *testing.T) {
+	a := NewAllocator(testDevice(t, 4096))
+	o1, _ := a.Alloc(1024)
+	o2, _ := a.Alloc(1024)
+	if err := a.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(o2); err != nil {
+		t.Fatal(err)
+	}
+	if a.InUse() != 0 {
+		t.Errorf("InUse = %d, want 0", a.InUse())
+	}
+	if a.Peak() != 2048 {
+		t.Errorf("Peak = %d, want 2048", a.Peak())
+	}
+}
+
+// Property: any interleaving of allocs and frees never hands out
+// overlapping ranges and always leaves the allocator consistent.
+func TestQuickAllocNoOverlap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := MustOpen(Config{Capacity: 1 << 16})
+		a := NewAllocator(d)
+		type alloc struct{ off, size int64 }
+		var live []alloc
+		overlaps := func(x alloc) bool {
+			for _, y := range live {
+				if x.off < y.off+y.size && y.off < x.off+x.size {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(live))
+				if err := a.Free(live[k].off); err != nil {
+					return false
+				}
+				live = append(live[:k], live[k+1:]...)
+				continue
+			}
+			size := int64(rng.Intn(2000) + 1)
+			off, err := a.Alloc(size)
+			if err != nil {
+				continue // exhaustion is legal
+			}
+			na := alloc{off, size}
+			if overlaps(na) {
+				return false
+			}
+			live = append(live, na)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

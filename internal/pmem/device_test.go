@@ -1,0 +1,258 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testDevice(t *testing.T, cap int64) *Device {
+	t.Helper()
+	d, err := Open(Config{Capacity: cap, TrackWear: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return d
+}
+
+func TestOpenValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero capacity", Config{}},
+		{"negative capacity", Config{Capacity: -1}},
+		{"non power-of-two cacheline", Config{Capacity: 1024, CachelineSize: 96}},
+		{"tiny cacheline", Config{Capacity: 1024, CachelineSize: 4}},
+		{"negative latency", Config{Capacity: 1024, ReadLatency: -time.Nanosecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Open(tc.cfg); err == nil {
+				t.Fatalf("Open(%+v) succeeded, want error", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestOpenDefaults(t *testing.T) {
+	d := testDevice(t, 4096)
+	if got := d.CachelineSize(); got != DefaultCachelineSize {
+		t.Errorf("CachelineSize = %d, want %d", got, DefaultCachelineSize)
+	}
+	if got := d.ReadLatency(); got != DefaultReadLatency {
+		t.Errorf("ReadLatency = %v, want %v", got, DefaultReadLatency)
+	}
+	if got := d.WriteLatency(); got != DefaultWriteLatency {
+		t.Errorf("WriteLatency = %v, want %v", got, DefaultWriteLatency)
+	}
+	if got := d.Lambda(); got != 15 {
+		t.Errorf("Lambda = %v, want 15", got)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	d := testDevice(t, 4096)
+	in := []byte("persistent memory is byte-addressable")
+	if err := d.WriteAt(in, 100); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	out := make([]byte, len(in))
+	if err := d.ReadAt(out, 100); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("round trip mismatch: %q != %q", out, in)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := testDevice(t, 256)
+	buf := make([]byte, 16)
+	if err := d.ReadAt(buf, 250); err == nil {
+		t.Error("ReadAt past end succeeded, want error")
+	}
+	if err := d.WriteAt(buf, -1); err == nil {
+		t.Error("WriteAt negative offset succeeded, want error")
+	}
+	if err := d.WriteAt(make([]byte, 300), 0); err == nil {
+		t.Error("WriteAt larger than device succeeded, want error")
+	}
+}
+
+func TestCachelineAccounting(t *testing.T) {
+	d := testDevice(t, 4096)
+	cases := []struct {
+		off   int64
+		n     int
+		lines uint64
+	}{
+		{0, 1, 1},      // single byte, one line
+		{0, 64, 1},     // exactly one line
+		{0, 65, 2},     // spills into second line
+		{63, 2, 2},     // straddles a boundary
+		{64, 64, 1},    // aligned second line
+		{10, 80, 2},    // an 80-byte record usually touches 2 lines
+		{0, 1024, 16},  // one block = 16 lines
+		{32, 1024, 17}, // unaligned block touches 17
+	}
+	for _, tc := range cases {
+		d.ResetStats()
+		if err := d.WriteAt(make([]byte, tc.n), tc.off); err != nil {
+			t.Fatalf("WriteAt(%d, %d): %v", tc.off, tc.n, err)
+		}
+		if got := d.Stats().Writes; got != tc.lines {
+			t.Errorf("write [%d,+%d): %d lines, want %d", tc.off, tc.n, got, tc.lines)
+		}
+		d.ResetStats()
+		if err := d.ReadAt(make([]byte, tc.n), tc.off); err != nil {
+			t.Fatalf("ReadAt(%d, %d): %v", tc.off, tc.n, err)
+		}
+		if got := d.Stats().Reads; got != tc.lines {
+			t.Errorf("read [%d,+%d): %d lines, want %d", tc.off, tc.n, got, tc.lines)
+		}
+	}
+}
+
+func TestSimIOTime(t *testing.T) {
+	d := MustOpen(Config{Capacity: 4096, ReadLatency: 10 * time.Nanosecond, WriteLatency: 150 * time.Nanosecond})
+	if err := d.WriteAt(make([]byte, 128), 0); err != nil { // 2 lines
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(make([]byte, 64), 0); err != nil { // 1 line
+		t.Fatal(err)
+	}
+	want := 2*150*time.Nanosecond + 1*10*time.Nanosecond
+	if got := d.Stats().SimIOTime; got != want {
+		t.Errorf("SimIOTime = %v, want %v", got, want)
+	}
+}
+
+func TestSetLatencies(t *testing.T) {
+	d := testDevice(t, 4096)
+	d.SetLatencies(10*time.Nanosecond, 50*time.Nanosecond)
+	if got := d.Lambda(); got != 5 {
+		t.Errorf("Lambda after SetLatencies = %v, want 5", got)
+	}
+	d.ResetStats()
+	if err := d.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().SimIOTime; got != 50*time.Nanosecond {
+		t.Errorf("SimIOTime = %v, want 50ns", got)
+	}
+}
+
+func TestWearTracking(t *testing.T) {
+	d := testDevice(t, 1024)
+	for i := 0; i < 5; i++ {
+		if err := d.WriteAt(make([]byte, 64), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.WriteAt(make([]byte, 64), 512); err != nil {
+		t.Fatal(err)
+	}
+	w := d.Wear()
+	if !w.Tracked {
+		t.Fatal("wear not tracked")
+	}
+	if w.Written != 2 {
+		t.Errorf("Written = %d, want 2", w.Written)
+	}
+	if w.MaxWrites != 5 {
+		t.Errorf("MaxWrites = %d, want 5", w.MaxWrites)
+	}
+	if w.MeanWrite != 3 {
+		t.Errorf("MeanWrite = %v, want 3", w.MeanWrite)
+	}
+}
+
+func TestStatsSubAdd(t *testing.T) {
+	d := testDevice(t, 4096)
+	if err := d.WriteAt(make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if err := d.WriteAt(make([]byte, 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	delta := d.Stats().Sub(before)
+	if delta.Writes != 2 {
+		t.Errorf("delta.Writes = %d, want 2", delta.Writes)
+	}
+	sum := before.Add(delta)
+	if sum != d.Stats() {
+		t.Errorf("Add/Sub not inverse: %+v != %+v", sum, d.Stats())
+	}
+}
+
+// Property: reading back any written range returns the written bytes, and
+// the cacheline count matches the analytic formula.
+func TestQuickReadBackAndLineCount(t *testing.T) {
+	d := testDevice(t, 1<<16)
+	f := func(off uint16, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		o := int64(off) % (d.Capacity() - int64(len(raw)))
+		if o < 0 {
+			o = 0
+		}
+		before := d.Stats()
+		if err := d.WriteAt(raw, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(raw))
+		if err := d.ReadAt(got, o); err != nil {
+			return false
+		}
+		delta := d.Stats().Sub(before)
+		cls := int64(d.CachelineSize())
+		wantLines := uint64((o+int64(len(raw))-1)/cls - o/cls + 1)
+		return bytes.Equal(raw, got) && delta.Writes == wantLines && delta.Reads == wantLines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	d := testDevice(t, 4096)
+	if err := d.WriteAt(make([]byte, 64), 0); err != nil { // 1 line
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(make([]byte, 128), 0); err != nil { // 2 lines
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	want := float64(DefaultWriteEnergyPJ) + 2*float64(DefaultReadEnergyPJ)
+	if got := st.EnergyPJ(0, 0); got != want {
+		t.Errorf("EnergyPJ = %v, want %v", got, want)
+	}
+	if got := st.EnergyPJ(1, 10); got != 12 {
+		t.Errorf("custom EnergyPJ = %v, want 12", got)
+	}
+	// The asymmetry property the paper leans on: a write-heavy profile
+	// costs more energy than a read-heavy one of equal line count.
+	writeHeavy := Stats{Reads: 0, Writes: 100}
+	readHeavy := Stats{Reads: 100, Writes: 0}
+	if writeHeavy.EnergyPJ(0, 0) <= readHeavy.EnergyPJ(0, 0) {
+		t.Error("write energy not above read energy")
+	}
+}
+
+func TestZeroLengthAccess(t *testing.T) {
+	d := testDevice(t, 256)
+	if err := d.WriteAt(nil, 0); err != nil {
+		t.Fatalf("zero-length write: %v", err)
+	}
+	if err := d.ReadAt(nil, 256); err != nil { // at end, zero length: legal
+		t.Fatalf("zero-length read at end: %v", err)
+	}
+	st := d.Stats()
+	if st.Reads != 0 || st.Writes != 0 {
+		t.Errorf("zero-length access counted lines: %+v", st)
+	}
+}

@@ -1,0 +1,54 @@
+package record
+
+import "fmt"
+
+// Emit receives one generated record. The slice is reused between calls;
+// implementations must copy if they retain it.
+type Emit func(rec []byte) error
+
+// Generate produces n records whose keys are a seeded permutation of
+// 0..n-1, calling emit for each. This is the sort benchmark's input.
+func Generate(n int, seed uint64, emit Emit) error {
+	if n < 0 {
+		return fmt.Errorf("record: negative cardinality %d", n)
+	}
+	if n == 0 {
+		return nil
+	}
+	perm := NewPermutation(uint64(n), seed)
+	rec := make([]byte, Size)
+	for i := 0; i < n; i++ {
+		Fill(rec, perm.Apply(uint64(i)))
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenerateJoin produces the paper's join microbenchmark: a left input of
+// nLeft records with unique permuted keys 0..nLeft-1, and a right input of
+// nRight records whose keys cycle through 0..nLeft-1 in permuted order, so
+// every left record matches exactly nRight/nLeft right records (ten in the
+// paper's 1M ⋈ 10M setup).
+func GenerateJoin(nLeft, nRight int, seed uint64, emitLeft, emitRight Emit) error {
+	if nLeft <= 0 || nRight < 0 {
+		return fmt.Errorf("record: invalid join cardinalities %d ⋈ %d", nLeft, nRight)
+	}
+	permL := NewPermutation(uint64(nLeft), seed)
+	rec := make([]byte, Size)
+	for i := 0; i < nLeft; i++ {
+		Fill(rec, permL.Apply(uint64(i)))
+		if err := emitLeft(rec); err != nil {
+			return err
+		}
+	}
+	permR := NewPermutation(uint64(nLeft), seed+1)
+	for i := 0; i < nRight; i++ {
+		Fill(rec, permR.Apply(uint64(i%nLeft)))
+		if err := emitRight(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

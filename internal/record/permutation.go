@@ -1,0 +1,49 @@
+package record
+
+// Permutation is a bijection on [0, n) with good dispersion, standing in
+// for the Wisconsin benchmark's unique key-value permutation. It composes a
+// full-period linear congruential step on the next power of two with cycle
+// walking, which preserves bijectivity on the restricted domain.
+type Permutation struct {
+	n    uint64
+	mask uint64 // m-1 where m = next power of two ≥ n
+	mult uint64 // ≡ 1 (mod 4) for full period on a power-of-two ring
+	add  uint64 // odd for full period
+}
+
+// NewPermutation builds a permutation of [0, n) seeded by seed.
+func NewPermutation(n uint64, seed uint64) *Permutation {
+	if n == 0 {
+		panic("record: permutation over empty domain")
+	}
+	m := uint64(1)
+	for m < n {
+		m <<= 1
+	}
+	// Derive full-period LCG parameters from the seed (splitmix-style
+	// scrambling), then force the Hull–Dobell conditions for a
+	// power-of-two modulus: mult ≡ 1 (mod 4), add odd.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	mult := z&^3 | 5 // low bits 101: mult ≡ 1 (mod 4) and mult ≥ 5
+	add := z>>32 | 1
+	return &Permutation{n: n, mask: m - 1, mult: mult, add: add}
+}
+
+// N reports the domain size.
+func (p *Permutation) N() uint64 { return p.n }
+
+// Apply maps i ∈ [0, n) to its permuted value in [0, n).
+func (p *Permutation) Apply(i uint64) uint64 {
+	if i >= p.n {
+		panic("record: permutation input out of domain")
+	}
+	x := i
+	for {
+		x = (x*p.mult + p.add) & p.mask
+		if x < p.n {
+			return x
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package record
+
+import "sort"
+
+// Vec is a DRAM-resident vector of fixed-size records backed by one flat
+// byte slice. Algorithms use it for their in-memory working sets (the
+// budget M): a flat backing array keeps the Go garbage collector out of the
+// measured path, per the reproduction note on GC obscuring write costs.
+type Vec struct {
+	data []byte
+	size int // record size in bytes
+	n    int // records
+}
+
+// NewVec returns a Vec for records of size bytes with capacity for
+// capRecords records (it grows as needed).
+func NewVec(size, capRecords int) *Vec {
+	if size <= 0 {
+		panic("record: non-positive record size")
+	}
+	return &Vec{data: make([]byte, 0, size*capRecords), size: size}
+}
+
+// Len reports the number of records.
+func (v *Vec) Len() int { return v.n }
+
+// RecordSize reports the per-record size in bytes.
+func (v *Vec) RecordSize() int { return v.size }
+
+// Bytes reports the payload size in bytes.
+func (v *Vec) Bytes() int { return v.n * v.size }
+
+// Append copies rec into the vector.
+func (v *Vec) Append(rec []byte) {
+	if len(rec) != v.size {
+		panic("record: Vec.Append size mismatch")
+	}
+	v.data = append(v.data, rec...)
+	v.n++
+}
+
+// At returns record i. The slice aliases the vector's storage.
+func (v *Vec) At(i int) []byte {
+	return v.data[i*v.size : (i+1)*v.size : (i+1)*v.size]
+}
+
+// Set overwrites record i with rec.
+func (v *Vec) Set(i int, rec []byte) {
+	copy(v.data[i*v.size:(i+1)*v.size], rec)
+}
+
+// Swap exchanges records i and j.
+func (v *Vec) Swap(i, j int) {
+	if i == j {
+		return
+	}
+	tmp := make([]byte, v.size)
+	copy(tmp, v.At(i))
+	copy(v.data[i*v.size:], v.At(j))
+	copy(v.data[j*v.size:], tmp)
+}
+
+// Reset empties the vector, keeping capacity.
+func (v *Vec) Reset() {
+	v.data = v.data[:0]
+	v.n = 0
+}
+
+// Truncate keeps the first n records.
+func (v *Vec) Truncate(n int) {
+	if n < 0 || n > v.n {
+		panic("record: Vec.Truncate out of range")
+	}
+	v.data = v.data[:n*v.size]
+	v.n = n
+}
+
+type vecSorter struct {
+	v   *Vec
+	tmp []byte
+}
+
+func (s vecSorter) Len() int           { return s.v.n }
+func (s vecSorter) Less(i, j int) bool { return Less(s.v.At(i), s.v.At(j)) }
+func (s vecSorter) Swap(i, j int) {
+	copy(s.tmp, s.v.At(i))
+	copy(s.v.data[i*s.v.size:], s.v.At(j))
+	copy(s.v.data[j*s.v.size:], s.tmp)
+}
+
+// SortByKey sorts the records in place by ascending key.
+func (v *Vec) SortByKey() {
+	sort.Sort(vecSorter{v: v, tmp: make([]byte, v.size)})
+}
+
+// SortedByKey reports whether the records are in ascending key order.
+func (v *Vec) SortedByKey() bool {
+	return sort.IsSorted(vecSorter{v: v, tmp: make([]byte, v.size)})
+}

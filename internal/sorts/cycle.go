@@ -1,0 +1,57 @@
+package sorts
+
+import "wlpm/internal/record"
+
+// CycleSortVec sorts v in place using cycle sort (Haddon 1990), the
+// write-optimal comparison sort the paper cites as the theoretical floor:
+// every record is written at most once, directly to its final position,
+// at the price of quadratic reads. The paper's lazy algorithms are the
+// external, budgeted descendants of this idea; cycle sort itself is an
+// in-memory reference used by the ablation benchmarks. It returns the
+// number of record writes performed.
+func CycleSortVec(v *record.Vec) int {
+	n := v.Len()
+	writes := 0
+	tmp := make([]byte, v.RecordSize())
+	item := make([]byte, v.RecordSize())
+	for start := 0; start < n-1; start++ {
+		copy(item, v.At(start))
+
+		// Find where item belongs: count records smaller than it.
+		pos := start
+		for i := start + 1; i < n; i++ {
+			if record.Less(v.At(i), item) {
+				pos++
+			}
+		}
+		if pos == start {
+			continue // already in place, zero writes
+		}
+		// Skip duplicates of item.
+		for string(v.At(pos)) == string(item) {
+			pos++
+		}
+		copy(tmp, v.At(pos))
+		v.Set(pos, item)
+		copy(item, tmp)
+		writes++
+
+		// Rotate the rest of the cycle.
+		for pos != start {
+			pos = start
+			for i := start + 1; i < n; i++ {
+				if record.Less(v.At(i), item) {
+					pos++
+				}
+			}
+			for string(v.At(pos)) == string(item) {
+				pos++
+			}
+			copy(tmp, v.At(pos))
+			v.Set(pos, item)
+			copy(item, tmp)
+			writes++
+		}
+	}
+	return writes
+}

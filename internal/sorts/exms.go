@@ -1,0 +1,34 @@
+package sorts
+
+import (
+	"wlpm/internal/algo"
+	"wlpm/internal/storage"
+)
+
+// ExternalMergeSort is ExMS: the paper's symmetric-I/O baseline. Run
+// formation uses replacement selection (runs ≈ 2M); runs are merged in
+// passes bounded by the memory budget's fan-in.
+type ExternalMergeSort struct{}
+
+// NewExternalMergeSort returns the ExMS operator.
+func NewExternalMergeSort() *ExternalMergeSort { return &ExternalMergeSort{} }
+
+// Name implements Algorithm.
+func (s *ExternalMergeSort) Name() string { return "ExMS" }
+
+// Sort implements Algorithm.
+func (s *ExternalMergeSort) Sort(env *algo.Env, in, out storage.Collection) error {
+	if err := checkArgs(env, in, out); err != nil {
+		return err
+	}
+	it := in.Scan()
+	defer it.Close()
+	runs, err := formRunsReplacementSelection(env, it, in.RecordSize(), env.BudgetRecords(in.RecordSize()))
+	if err != nil {
+		return err
+	}
+	if err := mergeRuns(env, runs, out, in.RecordSize()); err != nil {
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,203 @@
+package sorts
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/xheap"
+)
+
+// HybridSort is HybS (§2.1.2, Algorithm 1). The memory budget is split
+// into a selection region Rs (fraction x of M, the "write intensity") and
+// a replacement-selection region Rr. Rs accumulates the globally smallest
+// records — written exactly once, directly to the output — while Rr runs
+// ordinary two-heap replacement selection over everything Rs displaces.
+// The runs Rr produces are merged and appended after Rs's records.
+type HybridSort struct {
+	// Intensity is x ∈ (0, 1]: the fraction of M given to the selection
+	// region. Larger x means fewer writes (more records bypass run
+	// formation) but shorter replacement-selection runs.
+	Intensity float64
+}
+
+// NewHybridSort returns HybS with the given selection-region fraction.
+func NewHybridSort(x float64) *HybridSort { return &HybridSort{Intensity: x} }
+
+// Name implements Algorithm.
+func (s *HybridSort) Name() string { return fmt.Sprintf("HybS(%.2f)", s.Intensity) }
+
+// Sort implements Algorithm.
+func (s *HybridSort) Sort(env *algo.Env, in, out storage.Collection) error {
+	if err := checkArgs(env, in, out); err != nil {
+		return err
+	}
+	if s.Intensity < 0 || s.Intensity > 1 {
+		return fmt.Errorf("sorts: HybS intensity %v out of [0,1]", s.Intensity)
+	}
+	recSize := in.RecordSize()
+	m := env.BudgetRecords(recSize)
+	rsCap := int(s.Intensity * float64(m))
+	if rsCap < 1 {
+		rsCap = 1
+	}
+	rrCap := m - rsCap
+	if rrCap < 1 {
+		rrCap = 1
+	}
+
+	rs := xheap.New(func(a, b []byte) bool { return less(b, a) }, rsCap) // max-heap
+	cur := xheap.New(less, rrCap)                                        // min-heap, current run
+	next := record.NewVec(recSize, rrCap)
+
+	var runs []storage.Collection
+	var run storage.Collection
+	openRun := func() error {
+		r, err := env.CreateTemp("hybrun", recSize)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+		run = r
+		return nil
+	}
+
+	// insertRr places rec into the replacement-selection region,
+	// spilling the region's minimum to the current run when full and
+	// rotating runs when the current heap is exhausted (Algorithm 1,
+	// lines 6–16).
+	insertRr := func(rec []byte) error {
+		for {
+			if cur.Len()+next.Len() < rrCap {
+				cp := make([]byte, recSize)
+				copy(cp, rec)
+				cur.Push(cp)
+				return nil
+			}
+			if cur.Len() > 0 {
+				break
+			}
+			// Current run's heap exhausted: close the run and promote the
+			// next-run records to a fresh current heap.
+			if run != nil {
+				if err := run.Close(); err != nil {
+					return err
+				}
+			}
+			items := make([][]byte, 0, next.Len())
+			for i := 0; i < next.Len(); i++ {
+				items = append(items, append(make([]byte, 0, recSize), next.At(i)...))
+			}
+			cur = xheap.Heapify(items, less)
+			next.Reset()
+			if err := openRun(); err != nil {
+				return err
+			}
+		}
+		if run == nil {
+			if err := openRun(); err != nil {
+				return err
+			}
+		}
+		n := cur.Pop()
+		if err := run.Append(n); err != nil {
+			return err
+		}
+		if !less(rec, n) {
+			cp := n[:recSize] // reuse the spilled record's buffer
+			copy(cp, rec)
+			cur.Push(cp)
+		} else {
+			next.Append(rec)
+		}
+		return nil
+	}
+
+	it := in.Scan()
+	defer it.Close()
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if rs.Len() < rsCap {
+			cp := make([]byte, recSize)
+			copy(cp, rec)
+			rs.Push(cp)
+			continue
+		}
+		if less(rec, rs.Peek()) {
+			// rec joins the global minima; the displaced maximum moves to
+			// the replacement-selection region.
+			displaced := rs.ReplaceRoot(append(make([]byte, 0, recSize), rec...))
+			if err := insertRr(displaced); err != nil {
+				return err
+			}
+		} else if err := insertRr(rec); err != nil {
+			return err
+		}
+	}
+
+	// Rs holds the global minimum |Rs| records: sort and emit them first.
+	rsSorted := record.NewVec(recSize, rs.Len())
+	for _, r := range rs.Drain() { // ascending via inverted comparator? Drain pops max-first.
+		rsSorted.Append(r)
+	}
+	rsSorted.SortByKey()
+	for i := 0; i < rsSorted.Len(); i++ {
+		if err := out.Append(rsSorted.At(i)); err != nil {
+			return err
+		}
+	}
+
+	// Flush the replacement-selection region: the current heap finishes
+	// the open run; the deferred records form one final run.
+	if cur.Len() > 0 {
+		if run == nil {
+			if err := openRun(); err != nil {
+				return err
+			}
+		}
+		for cur.Len() > 0 {
+			if err := run.Append(cur.Pop()); err != nil {
+				return err
+			}
+		}
+	}
+	if run != nil {
+		if err := run.Close(); err != nil {
+			return err
+		}
+	}
+	if next.Len() > 0 {
+		if err := openRun(); err != nil {
+			return err
+		}
+		next.SortByKey()
+		for i := 0; i < next.Len(); i++ {
+			if err := run.Append(next.At(i)); err != nil {
+				return err
+			}
+		}
+		if err := run.Close(); err != nil {
+			return err
+		}
+	}
+	live := runs[:0]
+	for _, r := range runs {
+		if r.Len() > 0 {
+			live = append(live, r)
+		} else if err := r.Destroy(); err != nil {
+			return err
+		}
+	}
+	if err := mergeRuns(env, live, out, recSize); err != nil {
+		return err
+	}
+	return out.Close()
+}

@@ -1,0 +1,281 @@
+package sorts
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/xheap"
+)
+
+// formRunsReplacementSelection consumes it and writes sorted runs using
+// the classic two-heap replacement-selection scheme with budget records of
+// working memory. Runs average twice the memory size on random input,
+// which is the 2M assumption of the segment-sort cost model (Eq. 1).
+// Returned runs are closed.
+func formRunsReplacementSelection(env *algo.Env, it storage.Iterator, recSize, budget int) ([]storage.Collection, error) {
+	if budget < 1 {
+		budget = 1
+	}
+	cur := xheap.New(less, budget) // current run's heap
+	var next *record.Vec           // records destined for the next run
+	next = record.NewVec(recSize, budget)
+
+	var runs []storage.Collection
+	newRun := func() (storage.Collection, error) {
+		return env.CreateTemp("run", recSize)
+	}
+	run, err := newRun()
+	if err != nil {
+		return nil, err
+	}
+	runs = append(runs, run)
+
+	closeRun := func() error {
+		if err := run.Close(); err != nil {
+			return err
+		}
+		// Rebuild the current heap from the deferred records and open a
+		// fresh run.
+		items := make([][]byte, 0, next.Len())
+		for i := 0; i < next.Len(); i++ {
+			cp := make([]byte, recSize)
+			copy(cp, next.At(i))
+			items = append(items, cp)
+		}
+		cur = xheap.Heapify(items, less)
+		next.Reset()
+		r, err := newRun()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, r)
+		run = r
+		return nil
+	}
+
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if cur.Len()+next.Len() < budget {
+			cp := make([]byte, recSize)
+			copy(cp, rec)
+			cur.Push(cp)
+			continue
+		}
+		// Memory full: emit the current minimum and place the newcomer.
+		min := cur.Pop()
+		if err := run.Append(min); err != nil {
+			return nil, err
+		}
+		if !less(rec, min) {
+			cp := min[:recSize] // reuse the popped record's storage
+			copy(cp, rec)
+			cur.Push(cp)
+		} else {
+			next.Append(rec)
+		}
+		if cur.Len() == 0 {
+			if err := closeRun(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Drain: current heap finishes the current run, the deferred records
+	// form one final run.
+	for cur.Len() > 0 {
+		if err := run.Append(cur.Pop()); err != nil {
+			return nil, err
+		}
+	}
+	if err := run.Close(); err != nil {
+		return nil, err
+	}
+	if next.Len() > 0 {
+		r, err := newRun()
+		if err != nil {
+			return nil, err
+		}
+		next.SortByKey()
+		for i := 0; i < next.Len(); i++ {
+			if err := r.Append(next.At(i)); err != nil {
+				return nil, err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		runs = append(runs, r)
+	}
+	// Drop trailing empty runs (possible on empty input).
+	out := runs[:0]
+	for _, r := range runs {
+		if r.Len() > 0 {
+			out = append(out, r)
+		} else if err := r.Destroy(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// mergeRuns merges sorted runs into out with fan-in bounded by the memory
+// budget (one block buffer per open run plus one for the output).
+// Intermediate merge passes create and destroy temporary runs; input runs
+// are destroyed as they are consumed.
+func mergeRuns(env *algo.Env, runs []storage.Collection, out storage.Collection, recSize int) error {
+	return mergeRunsWith(env, runs, nil, out, recSize)
+}
+
+// mergeRunsWith additionally merges streaming sorted sources into the
+// final pass. Streams participate only in the last merge — they are the
+// write-avoidance mechanism of segment sort's selection segment, whose
+// records must be written exactly once, at their final location in out.
+func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.Iterator, out storage.Collection, recSize int) error {
+	fanIn := env.BudgetBuffers() - 1 - len(streams)
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	for len(runs) > fanIn {
+		var nextGen []storage.Collection
+		for lo := 0; lo < len(runs); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			group := runs[lo:hi]
+			if len(group) == 1 {
+				nextGen = append(nextGen, group[0])
+				continue
+			}
+			merged, err := env.CreateTemp("merge", recSize)
+			if err != nil {
+				return err
+			}
+			if err := mergeInto(group, merged); err != nil {
+				return err
+			}
+			if err := merged.Close(); err != nil {
+				return err
+			}
+			for _, r := range group {
+				if err := r.Destroy(); err != nil {
+					return err
+				}
+			}
+			nextGen = append(nextGen, merged)
+		}
+		runs = nextGen
+	}
+	iters := make([]storage.Iterator, 0, len(runs)+len(streams))
+	for _, r := range runs {
+		iters = append(iters, r.Scan())
+	}
+	iters = append(iters, streams...)
+	if err := mergeIters(iters, out.Append); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if err := r.Destroy(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeInto k-way merges the sorted runs into a collection.
+func mergeInto(runs []storage.Collection, out storage.Collection) error {
+	iters := make([]storage.Iterator, len(runs))
+	for i, r := range runs {
+		iters[i] = r.Scan()
+	}
+	return mergeIters(iters, out.Append)
+}
+
+// mergeIters k-way merges sorted iterators into emit, closing them.
+func mergeIters(iters []storage.Iterator, emit func(rec []byte) error) error {
+	for _, it := range iters {
+		defer it.Close()
+	}
+	if len(iters) == 0 {
+		return nil
+	}
+	if len(iters) == 1 {
+		for {
+			rec, err := iters[0].Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+	}
+	type head struct {
+		rec []byte
+		src int
+	}
+	h := xheap.New(func(a, b head) bool { return less(a.rec, b.rec) }, len(iters))
+	advance := func(src int) error {
+		rec, err := iters[src].Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		h.Push(head{cp, src})
+		return nil
+	}
+	for i := range iters {
+		if err := advance(i); err != nil {
+			return err
+		}
+	}
+	for h.Len() > 0 {
+		top := h.Pop()
+		if err := emit(top.rec); err != nil {
+			return err
+		}
+		if err := advance(top.src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifySortedInvariant is a debugging helper used by tests.
+func verifySortedInvariant(c storage.Collection) error {
+	it := c.Scan()
+	defer it.Close()
+	prev := make([]byte, 0, c.RecordSize())
+	first := true
+	idx := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if !first && less(rec, prev) {
+			return fmt.Errorf("sorts: output %q out of order at record %d", c.Name(), idx)
+		}
+		prev = append(prev[:0], rec...)
+		first = false
+		idx++
+	}
+}

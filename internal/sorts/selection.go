@@ -1,0 +1,193 @@
+package sorts
+
+import (
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/xheap"
+)
+
+// ranked pairs a record with its position in the input so that duplicate
+// keys are totally ordered by (record, position): the multi-pass selection
+// scans rely on a strict progression through this order (§2.1.1's
+// "position must be greater than the position of the maximum element of
+// the previous run").
+type ranked struct {
+	rec []byte
+	pos int
+}
+
+func rankedLess(a, b ranked) bool {
+	if ka, kb := record.Key(a.rec), record.Key(b.rec); ka != kb {
+		return ka < kb
+	}
+	if sa, sb := string(a.rec), string(b.rec); sa != sb {
+		return sa < sb
+	}
+	return a.pos < b.pos
+}
+
+func rankedGreater(a, b ranked) bool { return rankedLess(b, a) }
+
+// selectionPass scans src once and collects into a bounded max-heap the
+// budget smallest elements strictly greater (in ranked order) than bound.
+// It returns them in ascending order. A nil bound means no lower bound.
+// onSurvivor, when non-nil, receives every element that is beyond the
+// selected set (still unsorted business for later passes); this is the
+// hook lazy sort uses to materialize its intermediate inputs.
+func selectionPass(src storage.Collection, budget int, bound *ranked, onSurvivor func(rec []byte) error) ([]ranked, error) {
+	h := xheap.New(rankedGreater, budget) // max-heap of the current minima
+	it := src.Scan()
+	defer it.Close()
+	pos := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		cand := ranked{rec, pos}
+		pos++
+		if bound != nil && !rankedLess(*bound, cand) {
+			// Already emitted in a previous pass.
+			continue
+		}
+		if h.Len() < budget {
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			h.Push(ranked{cp, cand.pos})
+			continue
+		}
+		if rankedLess(cand, h.Peek()) {
+			// Displace the current maximum; the displaced element remains
+			// unsorted input for later passes.
+			displaced := h.ReplaceRoot(ranked{append(make([]byte, 0, len(rec)), rec...), cand.pos})
+			if onSurvivor != nil {
+				if err := onSurvivor(displaced.rec); err != nil {
+					return nil, err
+				}
+			}
+		} else if onSurvivor != nil {
+			if err := onSurvivor(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Drain the max-heap and reverse into ascending order.
+	desc := h.Drain()
+	for i, j := 0, len(desc)-1; i < j; i, j = i+1, j-1 {
+		desc[i], desc[j] = desc[j], desc[i]
+	}
+	return desc, nil
+}
+
+// selectionStream is a sorted, lazily produced view of a collection: each
+// refill runs one bounded selection pass, so records are *read* once per
+// pass but never written until the consumer (the final merge) places them
+// at their final location. This is how segment sort's selection segment
+// achieves one write per record (§2.1.1).
+type selectionStream struct {
+	src     storage.Collection
+	budget  int
+	bound   *ranked
+	batch   []ranked
+	pos     int
+	emitted int
+	done    bool
+}
+
+// newSelectionStream builds a stream over src extracting budget records
+// per pass.
+func newSelectionStream(src storage.Collection, budget int) *selectionStream {
+	if budget < 1 {
+		budget = 1
+	}
+	return &selectionStream{src: src, budget: budget}
+}
+
+// Next implements storage.Iterator.
+func (s *selectionStream) Next() ([]byte, error) {
+	for s.pos >= len(s.batch) {
+		if s.done || s.emitted >= s.src.Len() {
+			s.done = true
+			return nil, io.EOF
+		}
+		batch, err := selectionPass(s.src, s.budget, s.bound, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			s.done = true
+			return nil, io.EOF
+		}
+		last := batch[len(batch)-1]
+		s.bound = &ranked{append([]byte(nil), last.rec...), last.pos}
+		s.batch = batch
+		s.pos = 0
+		s.emitted += len(batch)
+	}
+	rec := s.batch[s.pos].rec
+	s.pos++
+	return rec, nil
+}
+
+// Close implements storage.Iterator.
+func (s *selectionStream) Close() error {
+	s.done = true
+	s.batch = nil
+	return nil
+}
+
+// SelectionSort is SelS: the write-minimal multi-pass generalization of
+// selection sort (§2.1.1). Each pass scans the whole input and extracts
+// the next M smallest records, so the input is written exactly once (as
+// output) at the price of |T|/M read passes.
+type SelectionSort struct{}
+
+// NewSelectionSort returns the SelS operator.
+func NewSelectionSort() *SelectionSort { return &SelectionSort{} }
+
+// Name implements Algorithm.
+func (s *SelectionSort) Name() string { return "SelS" }
+
+// Sort implements Algorithm.
+func (s *SelectionSort) Sort(env *algo.Env, in, out storage.Collection) error {
+	if err := checkArgs(env, in, out); err != nil {
+		return err
+	}
+	if err := selectionSortInto(env, in, out); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// selectionSortInto appends the fully sorted contents of in to dst using
+// repeated bounded selection passes. Shared by SelS and segment sort's
+// write-limited segment.
+func selectionSortInto(env *algo.Env, in storage.Collection, dst storage.Collection) error {
+	budget := env.BudgetRecords(in.RecordSize())
+	var bound *ranked
+	emitted := 0
+	for emitted < in.Len() {
+		batch, err := selectionPass(in, budget, bound, nil)
+		if err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, r := range batch {
+			if err := dst.Append(r.rec); err != nil {
+				return err
+			}
+		}
+		last := batch[len(batch)-1]
+		bound = &ranked{append([]byte(nil), last.rec...), last.pos}
+		emitted += len(batch)
+	}
+	return nil
+}

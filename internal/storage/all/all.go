@@ -1,0 +1,40 @@
+// Package all registers the four persistence-layer backends behind one
+// constructor, keyed by the paper's implementation names.
+package all
+
+import (
+	"fmt"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/blocked"
+	"wlpm/internal/storage/dynarray"
+	"wlpm/internal/storage/pmfs"
+	"wlpm/internal/storage/ramdisk"
+)
+
+// New creates a factory for the named backend ("blocked", "dynarray",
+// "ramdisk", "pmfs") on dev.
+func New(name string, dev *pmem.Device, blockSize int) (storage.Factory, error) {
+	switch name {
+	case "blocked":
+		return blocked.New(dev, blockSize), nil
+	case "dynarray":
+		return dynarray.New(dev, blockSize), nil
+	case "ramdisk":
+		return ramdisk.New(dev, blockSize)
+	case "pmfs":
+		return pmfs.New(dev, blockSize)
+	default:
+		return nil, fmt.Errorf("storage: unknown backend %q (want one of %v)", name, storage.Backends)
+	}
+}
+
+// MustNew is New for known-good arguments.
+func MustNew(name string, dev *pmem.Device, blockSize int) storage.Factory {
+	f, err := New(name, dev, blockSize)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,41 @@
+package all
+
+import (
+	"testing"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/storage"
+)
+
+func TestNewCoversEveryBackend(t *testing.T) {
+	for _, b := range storage.Backends {
+		dev := pmem.MustOpen(pmem.Config{Capacity: 16 << 20})
+		f, err := New(b, dev, 0)
+		if err != nil {
+			t.Fatalf("New(%q): %v", b, err)
+		}
+		if f.Name() != b {
+			t.Errorf("New(%q).Name() = %q", b, f.Name())
+		}
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(unknown) did not panic")
+		}
+	}()
+	MustNew("tape", pmem.MustOpen(pmem.Config{Capacity: 1 << 20}), 0)
+}
+
+func TestNewPropagatesFormatErrors(t *testing.T) {
+	// A device too small for filesystem metadata must fail cleanly.
+	tiny := pmem.MustOpen(pmem.Config{Capacity: 4 << 10})
+	if _, err := New("pmfs", tiny, 0); err == nil {
+		t.Error("pmfs on a tiny device succeeded")
+	}
+	if _, err := New("ramdisk", tiny, 0); err == nil {
+		t.Error("ramdisk on a tiny device succeeded")
+	}
+}

@@ -1,0 +1,464 @@
+package storage_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+// newFactory builds a backend on a fresh 64 MiB device.
+func newFactory(t *testing.T, backend string) storage.Factory {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 64 << 20})
+	f, err := all.New(backend, dev, 0)
+	if err != nil {
+		t.Fatalf("all.New(%q): %v", backend, err)
+	}
+	return f
+}
+
+func forEachBackend(t *testing.T, fn func(t *testing.T, f storage.Factory)) {
+	for _, b := range storage.Backends {
+		t.Run(b, func(t *testing.T) {
+			fn(t, newFactory(t, b))
+		})
+	}
+}
+
+func TestFactoryIdentity(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		found := false
+		for _, b := range storage.Backends {
+			if f.Name() == b {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("factory name %q not registered", f.Name())
+		}
+		if f.BlockSize() != storage.DefaultBlockSize {
+			t.Errorf("BlockSize = %d, want default %d", f.BlockSize(), storage.DefaultBlockSize)
+		}
+		if f.Device() == nil {
+			t.Error("Device() is nil")
+		}
+	})
+}
+
+func TestUnknownBackend(t *testing.T) {
+	dev := pmem.MustOpen(pmem.Config{Capacity: 1 << 20})
+	if _, err := all.New("floppy", dev, 0); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		if _, err := f.Create("", 80); err == nil {
+			t.Error("empty name accepted")
+		}
+		if _, err := f.Create("c", 0); err == nil {
+			t.Error("zero record size accepted")
+		}
+		if _, err := f.Create("dup", 80); err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		if _, err := f.Create("dup", 80); err == nil {
+			t.Error("duplicate name accepted")
+		}
+	})
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, err := f.Create("t", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 1000
+		for i := 0; i < n; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatalf("Append #%d: %v", i, err)
+			}
+		}
+		if c.Len() != n {
+			t.Fatalf("Len = %d, want %d", c.Len(), n)
+		}
+		// Scan before Close: tail records still in DRAM must be visible.
+		checkSequential(t, c, n)
+		if err := c.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// And after Close: everything served from the device.
+		checkSequential(t, c, n)
+	})
+}
+
+func checkSequential(t *testing.T, c storage.Collection, n int) {
+	t.Helper()
+	it := c.Scan()
+	defer it.Close()
+	for i := 0; i < n; i++ {
+		rec, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if got := record.Key(rec); got != uint64(i) {
+			t.Fatalf("record %d has key %d", i, got)
+		}
+	}
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("Next past end = %v, want io.EOF", err)
+	}
+}
+
+func TestRecordSizeMismatch(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", 80)
+		if err := c.Append(make([]byte, 79)); err == nil {
+			t.Error("short record accepted")
+		}
+		if err := c.Append(make([]byte, 81)); err == nil {
+			t.Error("long record accepted")
+		}
+	})
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", 80)
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(make([]byte, 80)); err == nil {
+			t.Error("append after Close succeeded")
+		}
+	})
+}
+
+func TestTruncateAndReuse(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", record.Size)
+		for i := 0; i < 100; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Truncate(); err != nil {
+			t.Fatalf("Truncate: %v", err)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("Len after Truncate = %d", c.Len())
+		}
+		for i := 0; i < 50; i++ {
+			if err := c.Append(record.New(uint64(1000 + i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := storage.ReadAll(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 50 || record.Key(recs[0]) != 1000 {
+			t.Fatalf("after reuse: %d records, first key %d", len(recs), record.Key(recs[0]))
+		}
+	})
+}
+
+func TestDestroyReleasesSpace(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", record.Size)
+		for i := 0; i < 1000; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Destroy(); err != nil {
+			t.Fatalf("Destroy: %v", err)
+		}
+		if err := c.Append(record.New(1)); err == nil {
+			t.Error("append after Destroy succeeded")
+		}
+		// Space must be reusable: fill a large fraction of the device.
+		c2, err := f.Create("t2", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if err := c2.Append(record.New(uint64(i))); err != nil {
+				t.Fatalf("append to t2 after destroy of t: %v", err)
+			}
+		}
+	})
+}
+
+func TestNameReusableAfterDestroy(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, err := f.Create("temp", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Append(record.New(1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		// Operators create and destroy temp collections repeatedly; the
+		// name must be reusable like a deleted file's.
+		c2, err := f.Create("temp", record.Size)
+		if err != nil {
+			t.Fatalf("recreate after Destroy: %v", err)
+		}
+		if c2.Len() != 0 {
+			t.Fatalf("recreated collection has %d records", c2.Len())
+		}
+	})
+}
+
+func TestConcurrentIterators(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", record.Size)
+		const n = 500
+		for i := 0; i < n; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		it1, it2 := c.Scan(), c.Scan()
+		defer it1.Close()
+		defer it2.Close()
+		for i := 0; i < n; i++ {
+			r1, err1 := it1.Next()
+			if err1 != nil {
+				t.Fatal(err1)
+			}
+			k1 := record.Key(r1)
+			r2, err2 := it2.Next()
+			if err2 != nil {
+				t.Fatal(err2)
+			}
+			if k1 != record.Key(r2) {
+				t.Fatalf("iterators diverge at %d: %d vs %d", i, k1, record.Key(r2))
+			}
+		}
+	})
+}
+
+func TestScanSnapshotWhileAppending(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, _ := f.Create("t", record.Size)
+		for i := 0; i < 100; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		it := c.Scan()
+		defer it.Close()
+		// Appends after Scan must not be observed by this iterator.
+		for i := 100; i < 200; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		count := 0
+		for {
+			_, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			count++
+		}
+		if count != 100 {
+			t.Fatalf("snapshot iterator saw %d records, want 100", count)
+		}
+	})
+}
+
+// Odd record sizes exercise records straddling block and sector
+// boundaries.
+func TestOddRecordSizes(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		for _, size := range []int{1, 7, 63, 64, 65, 80, 511, 512, 513, 1024, 1500} {
+			c, err := f.Create(fmt.Sprintf("sz%d", size), size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(size)))
+			const n = 64
+			want := make([][]byte, n)
+			for i := range want {
+				rec := make([]byte, size)
+				rng.Read(rec)
+				want[i] = rec
+				if err := c.Append(rec); err != nil {
+					t.Fatalf("size %d append #%d: %v", size, i, err)
+				}
+			}
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := storage.ReadAll(c)
+			if err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+			if len(got) != n {
+				t.Fatalf("size %d: got %d records", size, len(got))
+			}
+			for i := range got {
+				if string(got[i]) != string(want[i]) {
+					t.Fatalf("size %d: record %d mismatch", size, i)
+				}
+			}
+		}
+	})
+}
+
+func TestCopyAll(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		src, _ := f.Create("src", record.Size)
+		for i := 0; i < 100; i++ {
+			if err := src.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dst, _ := f.Create("dst", record.Size)
+		n, err := storage.CopyAll(dst, src)
+		if err != nil || n != 100 {
+			t.Fatalf("CopyAll = %d, %v", n, err)
+		}
+		checkSequential(t, dst, 100)
+	})
+}
+
+// Property: a random sequence of appends round-trips byte-exactly through
+// every backend.
+func TestQuickRoundTrip(t *testing.T) {
+	for _, b := range storage.Backends {
+		b := b
+		t.Run(b, func(t *testing.T) {
+			f := func(seed int64, nRaw uint8) bool {
+				n := int(nRaw)%200 + 1
+				fac := newFactory(t, b)
+				c, err := fac.Create("q", record.Size)
+				if err != nil {
+					return false
+				}
+				rng := rand.New(rand.NewSource(seed))
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64()
+					if err := c.Append(record.New(keys[i])); err != nil {
+						return false
+					}
+				}
+				if rng.Intn(2) == 0 {
+					if err := c.Close(); err != nil {
+						return false
+					}
+				}
+				got, err := storage.ReadAll(c)
+				if err != nil || len(got) != n {
+					return false
+				}
+				for i := range got {
+					if record.Key(got[i]) != keys[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// The backends must exhibit the paper's write-cost ordering on an
+// append-heavy workload: dynarray (copy amplification) must write more
+// cachelines than blocked, and the filesystems must add only metadata.
+func TestBackendWriteProfile(t *testing.T) {
+	writes := make(map[string]uint64)
+	for _, b := range storage.Backends {
+		f := newFactory(t, b)
+		c, err := f.Create("w", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Device().ResetStats()
+		for i := 0; i < 20000; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		writes[b] = f.Device().Stats().Writes
+	}
+	if writes["dynarray"] <= writes["blocked"]*3/2 {
+		t.Errorf("dynarray writes %d not amplified vs blocked %d", writes["dynarray"], writes["blocked"])
+	}
+	if writes["pmfs"] < writes["blocked"] {
+		t.Errorf("pmfs writes %d below blocked %d", writes["pmfs"], writes["blocked"])
+	}
+	if writes["pmfs"] > writes["blocked"]*3/2 {
+		t.Errorf("pmfs metadata overhead too large: %d vs blocked %d", writes["pmfs"], writes["blocked"])
+	}
+	if writes["ramdisk"] < writes["blocked"] {
+		t.Errorf("ramdisk writes %d below blocked %d", writes["ramdisk"], writes["blocked"])
+	}
+}
+
+// The software-overhead clock must order the backends as the paper's
+// implementation comparison does for the access path: blocked charges
+// nothing, pmfs less than ramdisk.
+func TestBackendSoftOverhead(t *testing.T) {
+	soft := make(map[string]int64)
+	for _, b := range storage.Backends {
+		f := newFactory(t, b)
+		c, err := f.Create("s", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Device().ResetStats()
+		for i := 0; i < 5000; i++ {
+			if err := c.Append(record.New(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		it := c.Scan()
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+		it.Close()
+		soft[b] = int64(f.Device().Stats().SoftTime)
+	}
+	if soft["blocked"] != 0 {
+		t.Errorf("blocked charged software time %d", soft["blocked"])
+	}
+	if soft["dynarray"] != 0 {
+		t.Errorf("dynarray charged software time %d", soft["dynarray"])
+	}
+	if !(soft["pmfs"] > 0 && soft["ramdisk"] > soft["pmfs"]) {
+		t.Errorf("software overhead ordering violated: pmfs=%d ramdisk=%d", soft["pmfs"], soft["ramdisk"])
+	}
+}

@@ -1,0 +1,81 @@
+package pmfs
+
+import (
+	"testing"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+func TestFactoryBasics(t *testing.T) {
+	dev := pmem.MustOpen(pmem.Config{Capacity: 32 << 20})
+	f, err := New(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "pmfs" || f.BlockSize() != storage.DefaultBlockSize || f.Device() != dev {
+		t.Fatalf("factory identity broken: %s/%d", f.Name(), f.BlockSize())
+	}
+	if _, err := New(pmem.MustOpen(pmem.Config{Capacity: 1 << 10}), 0); err == nil {
+		t.Error("formatted a device smaller than the metadata region")
+	}
+}
+
+// PMFS's defining property versus the RAM disk: byte-granularity access,
+// so metadata overhead is a few percent, not whole sectors.
+func TestByteGranularMetadataOverhead(t *testing.T) {
+	dev := pmem.MustOpen(pmem.Config{Capacity: 32 << 20})
+	f, err := New(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Create("c", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12800 // 1 MiB payload
+	dev.ResetStats()
+	for i := 0; i < n; i++ {
+		if err := c.Append(record.New(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	payload := uint64(n * record.Size / 64)
+	if st.Writes < payload {
+		t.Fatalf("writes %d below payload %d", st.Writes, payload)
+	}
+	if st.Writes > payload*115/100 {
+		t.Errorf("metadata overhead too large: %d writes for %d payload lines", st.Writes, payload)
+	}
+	if st.SoftTime == 0 {
+		t.Error("filesystem calls charged no software time")
+	}
+}
+
+func TestDestroyFreesFile(t *testing.T) {
+	dev := pmem.MustOpen(pmem.Config{Capacity: 32 << 20})
+	f, err := New(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.Create("c", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := c.Append(record.New(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatalf("second Destroy not idempotent: %v", err)
+	}
+}

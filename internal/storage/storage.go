@@ -1,0 +1,134 @@
+// Package storage defines the thin persistence layer of the paper's
+// implementation stack (§3, Fig. 3): persistent collections hosted in
+// persistent memory, manipulated by the runtime algorithms through a common
+// abstraction, with data exchanged between DRAM and the device in blocks.
+//
+// Four interchangeable backends instantiate the layer, one per
+// implementation alternative evaluated in the paper (§3.2):
+//
+//   - blocked  — linked memory blocks; zero overhead beyond raw device I/O
+//   - dynarray — doubling dynamic array; write amplification on growth
+//   - ramdisk  — block-granularity filesystem (512-byte sectors)
+//   - pmfs     — byte-addressable filesystem in the spirit of Intel PMFS
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"wlpm/internal/pmem"
+)
+
+// DefaultBlockSize is the DRAM↔PM exchange unit. The paper evaluated 512 B
+// to 8 KiB and settled on 1024 B (§4, "Implementation and hardware").
+const DefaultBlockSize = 1024
+
+// ErrClosed is returned by operations on a closed collection.
+var ErrClosed = errors.New("storage: collection is closed")
+
+// Collection is an append-only sequence of fixed-size records in
+// persistent memory. Collections are not safe for concurrent use; the
+// algorithms of the paper are single-threaded (§4).
+type Collection interface {
+	// Name identifies the collection within its factory.
+	Name() string
+	// RecordSize is the fixed record size in bytes.
+	RecordSize() int
+	// Len reports the number of records appended so far.
+	Len() int
+	// Append copies rec (exactly RecordSize bytes) to the end.
+	Append(rec []byte) error
+	// Scan returns an iterator over all records present when Scan was
+	// called. Multiple simultaneous iterators are allowed; appending while
+	// scanning is allowed and the iterator observes the prefix.
+	Scan() Iterator
+	// ScanFrom returns an iterator positioned at record index start
+	// without reading the skipped prefix (segmented algorithms scan input
+	// suffixes directly).
+	ScanFrom(start int) Iterator
+	// Truncate discards all records, keeping the collection usable.
+	Truncate() error
+	// Close flushes buffered data. A closed collection may still be
+	// scanned but not appended to.
+	Close() error
+	// Destroy releases the collection's device space. The collection is
+	// unusable afterwards.
+	Destroy() error
+}
+
+// Iterator streams records. The slice returned by Next is only valid until
+// the following call; callers must copy to retain.
+type Iterator interface {
+	// Next returns the next record, or io.EOF when exhausted.
+	Next() ([]byte, error)
+	// Close releases iterator resources.
+	Close() error
+}
+
+// Factory creates collections on a shared device. Factory names are the
+// experiment-facing backend identifiers ("blocked", "dynarray", "ramdisk",
+// "pmfs").
+type Factory interface {
+	Name() string
+	Device() *pmem.Device
+	// Create makes an empty collection. Names must be unique per factory.
+	Create(name string, recordSize int) (Collection, error)
+	// BlockSize is the DRAM↔PM exchange unit used by this factory.
+	BlockSize() int
+}
+
+// Backends lists the canonical backend names in the paper's presentation
+// order of increasing abstraction overhead at the memory end.
+var Backends = []string{"blocked", "pmfs", "ramdisk", "dynarray"}
+
+// CopyAll appends every record of src to dst and reports the count.
+func CopyAll(dst Collection, src Collection) (int, error) {
+	it := src.Scan()
+	defer it.Close()
+	n := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := dst.Append(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ReadAll materializes src into a DRAM slice of copied records; intended
+// for tests and small collections.
+func ReadAll(src Collection) ([][]byte, error) {
+	it := src.Scan()
+	defer it.Close()
+	var out [][]byte
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		out = append(out, cp)
+	}
+}
+
+// ValidateCreate checks common Create argument errors for backends.
+func ValidateCreate(name string, recordSize int) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty collection name")
+	}
+	if recordSize <= 0 {
+		return fmt.Errorf("storage: record size must be positive, got %d", recordSize)
+	}
+	return nil
+}

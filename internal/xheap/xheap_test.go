@@ -1,0 +1,150 @@
+package xheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(intLess, 0)
+	for _, x := range []int{5, 1, 9, 3, 7, 2, 8} {
+		h.Push(x)
+	}
+	want := []int{1, 2, 3, 5, 7, 8, 9}
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop #%d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len after drain = %d", h.Len())
+	}
+}
+
+func TestMaxHeap(t *testing.T) {
+	h := New(func(a, b int) bool { return a > b }, 0)
+	for _, x := range []int{5, 1, 9} {
+		h.Push(x)
+	}
+	if got := h.Peek(); got != 9 {
+		t.Errorf("max-heap Peek = %d, want 9", got)
+	}
+	if got := h.Pop(); got != 9 {
+		t.Errorf("max-heap Pop = %d, want 9", got)
+	}
+}
+
+func TestHeapify(t *testing.T) {
+	items := []int{9, 4, 7, 1, 0, 8, 2}
+	h := Heapify(items, intLess)
+	got := h.Drain()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("Drain after Heapify not sorted: %v", got)
+	}
+	if len(got) != 7 {
+		t.Fatalf("Drain length = %d, want 7", len(got))
+	}
+}
+
+func TestReplaceRoot(t *testing.T) {
+	h := Heapify([]int{1, 5, 3}, intLess)
+	if old := h.ReplaceRoot(4); old != 1 {
+		t.Fatalf("ReplaceRoot returned %d, want 1", old)
+	}
+	if got := h.Pop(); got != 3 {
+		t.Fatalf("Pop after ReplaceRoot = %d, want 3", got)
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(*Heap[int]){
+		"Pop":         func(h *Heap[int]) { h.Pop() },
+		"Peek":        func(h *Heap[int]) { h.Peek() },
+		"ReplaceRoot": func(h *Heap[int]) { h.ReplaceRoot(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap did not panic", name)
+				}
+			}()
+			f(New(intLess, 0))
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(intLess, 0)
+	h.Push(1)
+	h.Push(2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", h.Len())
+	}
+	h.Push(5)
+	if h.Peek() != 5 {
+		t.Error("heap unusable after Reset")
+	}
+}
+
+// Property: popping everything yields the sorted input.
+func TestQuickHeapSorts(t *testing.T) {
+	f := func(xs []int) bool {
+		h := New(intLess, len(xs))
+		for _, x := range xs {
+			h.Push(x)
+		}
+		got := h.Drain()
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved Push/Pop maintains the invariant that Pop returns
+// the current minimum.
+func TestQuickInterleaved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(intLess, 0)
+		var mirror []int
+		for i := 0; i < 300; i++ {
+			if len(mirror) > 0 && rng.Intn(3) == 0 {
+				min := mirror[0]
+				idx := 0
+				for j, v := range mirror {
+					if v < min {
+						min, idx = v, j
+					}
+				}
+				if h.Pop() != min {
+					return false
+				}
+				mirror = append(mirror[:idx], mirror[idx+1:]...)
+			} else {
+				v := rng.Intn(1000)
+				h.Push(v)
+				mirror = append(mirror, v)
+			}
+		}
+		return h.Len() == len(mirror)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

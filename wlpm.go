@@ -1,0 +1,401 @@
+// Package wlpm is a Go implementation of write-limited sorts and joins
+// for persistent memory, reproducing Viglas, PVLDB 7(5), 2014.
+//
+// Persistent memory is byte-addressable but write-asymmetric: writes cost
+// roughly an order of magnitude more than reads (λ = w/r > 1). The
+// algorithms here trade expensive writes for cheap(er) reads, either by
+// splitting the computation into a write-incurring and a write-limited
+// part with a tunable "write intensity" knob (segment sort, hybrid sort,
+// hybrid Grace-nested-loops join, segmented Grace join), or by processing
+// lazily and materializing intermediate results only when the accumulated
+// re-read penalty exceeds the write savings (lazy sort, lazy hash join).
+//
+// The package is a façade over the building blocks:
+//
+//   - a simulated persistent-memory device with per-cacheline read/write
+//     accounting and latency charging (10 ns / 150 ns by default)
+//   - four persistence-layer backends mirroring the paper's
+//     implementation study: blocked memory, a PMFS-like byte-addressable
+//     filesystem, a sector-based RAM disk, and doubling dynamic arrays
+//   - the sort and join operators with their baselines
+//   - the analytic cost model (Eqs. 1–11) and knob solvers
+//   - the deferred-materialization runtime API (split/partition/filter/
+//     merge over a control-flow graph)
+//   - the experiment harness regenerating every figure and table of the
+//     paper's evaluation
+//
+// # Quick start
+//
+//	sys, _ := wlpm.New(wlpm.WithCapacity(1 << 30))
+//	in, _ := sys.Create("input")
+//	_ = wlpm.GenerateRecords(1_000_000, 42, in.Append)
+//	_ = in.Close()
+//	out, _ := sys.Create("sorted")
+//	_ = sys.Sort(wlpm.SegmentSort(0.2), in, out, 4<<20) // 4 MiB budget
+//	fmt.Println(sys.Stats()) // cacheline writes vs reads
+package wlpm
+
+import (
+	"time"
+
+	"wlpm/internal/aggregate"
+	"wlpm/internal/algo"
+	"wlpm/internal/bench"
+	"wlpm/internal/core"
+	"wlpm/internal/cost"
+	"wlpm/internal/joins"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+// Re-exported building blocks. The aliases make the internal types usable
+// by external importers through this package's namespace.
+type (
+	// Device is the simulated persistent-memory device.
+	Device = pmem.Device
+	// DeviceConfig parametrizes a Device.
+	DeviceConfig = pmem.Config
+	// Stats is a snapshot of device counters: cacheline reads/writes and
+	// the simulated clock.
+	Stats = pmem.Stats
+	// WearSummary aggregates per-cacheline write counters.
+	WearSummary = pmem.WearSummary
+	// Collection is an append-only sequence of fixed-size records on the
+	// persistence layer.
+	Collection = storage.Collection
+	// Iterator streams a collection's records.
+	Iterator = storage.Iterator
+	// Factory creates collections on one backend.
+	Factory = storage.Factory
+	// Env is the execution environment (factory + memory budget) of one
+	// operator invocation.
+	Env = algo.Env
+	// SortAlgorithm is a persistent-memory sort operator.
+	SortAlgorithm = sorts.Algorithm
+	// JoinAlgorithm is a persistent-memory equi-join operator.
+	JoinAlgorithm = joins.Algorithm
+	// OpCtx is the deferred-materialization runtime of §3.1.
+	OpCtx = core.OpCtx
+	// Readable is the consumer-facing face of a possibly-deferred
+	// collection.
+	Readable = core.Readable
+	// ExperimentConfig controls the paper-experiment harness.
+	ExperimentConfig = bench.Config
+	// Report is one regenerated table or figure.
+	Report = bench.Report
+)
+
+// RecordSize is the benchmark schema's record size: ten 8-byte integer
+// attributes; the key is attribute zero.
+const RecordSize = record.Size
+
+// Attribute slots of GroupBy result records.
+const (
+	GroupAttrKey   = aggregate.AttrGroupKey
+	GroupAttrCount = aggregate.AttrCount
+	GroupAttrSum   = aggregate.AttrSum
+	GroupAttrMin   = aggregate.AttrMin
+	GroupAttrMax   = aggregate.AttrMax
+)
+
+// Attr reads attribute i of a benchmark record.
+func Attr(rec []byte, i int) uint64 { return record.Attr(rec, i) }
+
+// SetAttr writes attribute i of a benchmark record.
+func SetAttr(rec []byte, i int, v uint64) { record.SetAttr(rec, i, v) }
+
+// Backends lists the four persistence-layer implementations.
+var Backends = storage.Backends
+
+// Option configures New.
+type Option func(*sysConfig)
+
+type sysConfig struct {
+	capacity     int64
+	backend      string
+	blockSize    int
+	readLatency  time.Duration
+	writeLatency time.Duration
+	trackWear    bool
+	spin         bool
+}
+
+// WithCapacity sets the device size in bytes (default 256 MiB).
+func WithCapacity(bytes int64) Option { return func(c *sysConfig) { c.capacity = bytes } }
+
+// WithBackend selects the persistence layer: "blocked" (default),
+// "pmfs", "ramdisk" or "dynarray".
+func WithBackend(name string) Option { return func(c *sysConfig) { c.backend = name } }
+
+// WithBlockSize sets the DRAM↔PM exchange unit (default 1024 bytes).
+func WithBlockSize(bytes int) Option { return func(c *sysConfig) { c.blockSize = bytes } }
+
+// WithLatencies sets the charged per-cacheline latencies (defaults
+// 10 ns read, 150 ns write: λ = 15).
+func WithLatencies(read, write time.Duration) Option {
+	return func(c *sysConfig) { c.readLatency, c.writeLatency = read, write }
+}
+
+// WithWearTracking enables the per-cacheline endurance counters.
+func WithWearTracking() Option { return func(c *sysConfig) { c.trackWear = true } }
+
+// WithSpin makes the device busy-wait for each charged latency, like the
+// paper's idle-loop instrumentation, instead of only accounting it.
+func WithSpin() Option { return func(c *sysConfig) { c.spin = true } }
+
+// System bundles a device and a persistence layer.
+type System struct {
+	dev *pmem.Device
+	fac storage.Factory
+}
+
+// New opens a fresh system.
+func New(opts ...Option) (*System, error) {
+	cfg := sysConfig{
+		capacity:  256 << 20,
+		backend:   "blocked",
+		blockSize: storage.DefaultBlockSize,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dev, err := pmem.Open(pmem.Config{
+		Capacity:     cfg.capacity,
+		ReadLatency:  cfg.readLatency,
+		WriteLatency: cfg.writeLatency,
+		TrackWear:    cfg.trackWear,
+		Spin:         cfg.spin,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fac, err := all.New(cfg.backend, dev, cfg.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	return &System{dev: dev, fac: fac}, nil
+}
+
+// Device exposes the underlying simulated device.
+func (s *System) Device() *Device { return s.dev }
+
+// Factory exposes the persistence layer.
+func (s *System) Factory() Factory { return s.fac }
+
+// Backend reports the persistence layer's name.
+func (s *System) Backend() string { return s.fac.Name() }
+
+// Create makes a collection of benchmark-schema records.
+func (s *System) Create(name string) (Collection, error) {
+	return s.fac.Create(name, RecordSize)
+}
+
+// CreateSized makes a collection with a custom record size.
+func (s *System) CreateSized(name string, recordSize int) (Collection, error) {
+	return s.fac.Create(name, recordSize)
+}
+
+// Sort runs a sort algorithm with the given DRAM budget in bytes.
+func (s *System) Sort(a SortAlgorithm, in, out Collection, memoryBudget int64) error {
+	return a.Sort(algo.NewEnv(s.fac, memoryBudget), in, out)
+}
+
+// Join runs a join algorithm with the given DRAM budget in bytes. The
+// output collection's record size must be the sum of the inputs'.
+func (s *System) Join(a JoinAlgorithm, left, right, out Collection, memoryBudget int64) error {
+	return a.Join(algo.NewEnv(s.fac, memoryBudget), left, right, out)
+}
+
+// NewEnv builds an operator environment for direct algorithm use.
+func (s *System) NewEnv(memoryBudget int64) *Env { return algo.NewEnv(s.fac, memoryBudget) }
+
+// GroupBy runs the write-limited sort-based aggregation (an extension in
+// the spirit of the paper's §6 outlook): in is grouped by key and
+// attribute attr is aggregated; out receives one benchmark-schema record
+// per group carrying count/sum/min/max in the GroupAttr* slots. The write
+// profile is inherited from the chosen sort algorithm.
+func (s *System) GroupBy(a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
+	return aggregate.GroupBy(algo.NewEnv(s.fac, memoryBudget), a, in, attr, out)
+}
+
+// NewOpCtx builds a deferred-materialization runtime context (§3.1).
+func (s *System) NewOpCtx(memoryBudget int64) *OpCtx {
+	return core.NewOpCtx(algo.NewEnv(s.fac, memoryBudget))
+}
+
+// Stats snapshots the device counters.
+func (s *System) Stats() Stats { return s.dev.Stats() }
+
+// ResetStats zeroes the device counters.
+func (s *System) ResetStats() { s.dev.ResetStats() }
+
+// Wear summarizes device endurance exposure (requires WithWearTracking).
+func (s *System) Wear() WearSummary { return s.dev.Wear() }
+
+// EnergyPJ estimates the device energy spent so far in picojoules using
+// PCM access energies (§4.3's power-asymmetry remark: write-limited
+// algorithms gain more under energy metrics than under latency, because
+// the write/read energy ratio is steeper).
+func (s *System) EnergyPJ() float64 { return s.dev.Stats().EnergyPJ(0, 0) }
+
+// --- Sort algorithm constructors ---
+
+// ExternalMergeSort is ExMS, the symmetric-I/O baseline.
+func ExternalMergeSort() SortAlgorithm { return sorts.NewExternalMergeSort() }
+
+// SelectionSort is SelS, the write-minimal multi-pass selection sort.
+func SelectionSort() SortAlgorithm { return sorts.NewSelectionSort() }
+
+// SegmentSort is SegS with write intensity x ∈ [0, 1] (§2.1.1).
+func SegmentSort(x float64) SortAlgorithm { return sorts.NewSegmentSort(x) }
+
+// AutoSegmentSort is SegS with its intensity placed by the cost model
+// (Eq. 4).
+func AutoSegmentSort() SortAlgorithm { return sorts.NewAutoSegmentSort() }
+
+// HybridSort is HybS with selection-region fraction x ∈ [0, 1] (§2.1.2).
+func HybridSort(x float64) SortAlgorithm { return sorts.NewHybridSort(x) }
+
+// LazySort is LaS (§2.1.3).
+func LazySort() SortAlgorithm { return sorts.NewLazySort() }
+
+// --- Join algorithm constructors ---
+
+// NestedLoopsJoin is NLJ, the write-minimal read-intensive baseline.
+func NestedLoopsJoin() JoinAlgorithm { return joins.NewNestedLoops() }
+
+// HashJoin is HJ, the standard iterative hash join.
+func HashJoin() JoinAlgorithm { return joins.NewHash() }
+
+// GraceJoin is GJ, the partition-everything baseline.
+func GraceJoin() JoinAlgorithm { return joins.NewGrace() }
+
+// HybridJoin is HybJ with Grace fractions x (left) and y (right) (§2.2.1).
+func HybridJoin(x, y float64) JoinAlgorithm { return joins.NewHybridGraceNL(x, y) }
+
+// AutoHybridJoin is HybJ with its knobs placed by the cost model
+// (Eqs. 7–8).
+func AutoHybridJoin() JoinAlgorithm { return joins.NewAutoHybridGraceNL() }
+
+// SegmentedGraceJoin is SegJ materializing the given fraction of
+// partitions (§2.2.2).
+func SegmentedGraceJoin(intensity float64) JoinAlgorithm {
+	return joins.NewSegmentedGrace(intensity)
+}
+
+// LazyHashJoin is LaJ (§2.2.3).
+func LazyHashJoin() JoinAlgorithm { return joins.NewLazyHash() }
+
+// --- Workload generators ---
+
+// GenerateRecords emits n benchmark records whose keys are a seeded
+// permutation of 0..n-1 (the Wisconsin-style sort input).
+func GenerateRecords(n int, seed uint64, emit func(rec []byte) error) error {
+	return record.Generate(n, seed, record.Emit(emit))
+}
+
+// GenerateJoinInputs emits the join microbenchmark: nLeft unique-keyed
+// records and nRight records with nRight/nLeft matches per left key.
+func GenerateJoinInputs(nLeft, nRight int, seed uint64, emitLeft, emitRight func(rec []byte) error) error {
+	return record.GenerateJoin(nLeft, nRight, seed, record.Emit(emitLeft), record.Emit(emitRight))
+}
+
+// Key returns a benchmark record's key attribute.
+func Key(rec []byte) uint64 { return record.Key(rec) }
+
+// NewRecord builds a benchmark record with key k and derived payload.
+func NewRecord(k uint64) []byte { return record.New(k) }
+
+// --- Cost model ---
+
+// Lambda computes the write/read cost ratio of a latency pair.
+func Lambda(read, write time.Duration) float64 {
+	if read <= 0 {
+		return 1
+	}
+	return float64(write) / float64(read)
+}
+
+// OptimalSegmentSortIntensity solves Eq. 4 for the response-time-minimal
+// write intensity; sizes in buffers.
+func OptimalSegmentSortIntensity(t, m, lambda float64) float64 {
+	return cost.SegmentSortOptimalX(t, m, lambda)
+}
+
+// HybridJoinSaddle returns the Eq. 7–8 saddle point of the HybJ cost.
+func HybridJoinSaddle(t, v, m, lambda float64) (x, y float64) {
+	return cost.HybridJoinSaddle(t, v, m, lambda)
+}
+
+// KendallTau is the rank-correlation coefficient of the validation study.
+func KendallTau(a, b []float64) float64 { return cost.KendallTau(a, b) }
+
+// SegmentSortCost evaluates Eq. 1: the cost of SegS at write intensity x
+// for an input of t buffers with m buffers of memory, in buffer-read
+// units. x = 1 degenerates to external mergesort, x = 0 to selection
+// sort.
+func SegmentSortCost(x, t, m, lambda float64) float64 {
+	return cost.SegmentSortCost(x, t, m, lambda)
+}
+
+// HybridJoinCost evaluates Eq. 6 for HybJ at intensities (x, y).
+func HybridJoinCost(x, y, t, v, m, lambda float64) float64 {
+	return cost.HybridJoinCost(x, y, t, v, m, lambda)
+}
+
+// GraceJoinCost evaluates r(|T|+|V|)(2+λ).
+func GraceJoinCost(t, v, lambda float64) float64 { return cost.GraceJoinCost(t, v, lambda) }
+
+// IOProfile is an estimated read/write volume in buffer units, priced via
+// Price(read, write). Unlike the printed-equation surfaces above, the
+// Profile* constructors model this library's shipped implementations and
+// are what an optimizer embedding wlpm should rank with (they are what
+// the Fig. 12 concordance study validates).
+type IOProfile = cost.Profile
+
+// ProfileExternalMergeSort estimates ExMS over t input buffers with m
+// buffers of memory.
+func ProfileExternalMergeSort(t, m float64) IOProfile { return cost.ExMSProfile(t, m) }
+
+// ProfileSelectionSort estimates SelS.
+func ProfileSelectionSort(t, m float64) IOProfile { return cost.SelSProfile(t, m) }
+
+// ProfileSegmentSort estimates SegS at write intensity x.
+func ProfileSegmentSort(x, t, m float64) IOProfile { return cost.SegSProfile(x, t, m) }
+
+// ProfileHybridSort estimates HybS at selection fraction x.
+func ProfileHybridSort(x, t, m float64) IOProfile { return cost.HybSProfile(x, t, m) }
+
+// ProfileGraceJoin estimates GJ for inputs of t and v buffers.
+func ProfileGraceJoin(t, v float64) IOProfile { return cost.GJProfile(t, v) }
+
+// ProfileHashJoin estimates HJ.
+func ProfileHashJoin(t, v, m float64) IOProfile { return cost.HJProfile(t, v, m) }
+
+// ProfileNestedLoopsJoin estimates NLJ.
+func ProfileNestedLoopsJoin(t, v, m float64) IOProfile { return cost.NLJProfile(t, v, m) }
+
+// ProfileHybridJoin estimates HybJ at intensities (x, y).
+func ProfileHybridJoin(x, y, t, v, m float64) IOProfile { return cost.HybJProfile(x, y, t, v, m) }
+
+// ProfileSegmentedGraceJoin estimates SegJ at the given intensity.
+func ProfileSegmentedGraceJoin(intensity, t, v, m float64) IOProfile {
+	return cost.SegJProfile(intensity, t, v, m)
+}
+
+// --- Experiments ---
+
+// Experiments lists the reproducible paper artifacts (fig2…fig12,
+// table1, table2).
+func Experiments() []string { return bench.Experiments() }
+
+// RunExperiment regenerates one paper figure or table.
+func RunExperiment(id string, cfg ExperimentConfig) ([]*Report, error) {
+	return bench.Run(id, cfg)
+}
+
+// Version identifies this reproduction.
+const Version = "1.0.0"
