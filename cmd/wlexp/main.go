@@ -29,6 +29,8 @@ func main() {
 		rdLat   = flag.Duration("read-latency", 10*time.Nanosecond, "device read latency per cacheline")
 		wrLat   = flag.Duration("write-latency", 150*time.Nanosecond, "device write latency per cacheline")
 		memList = flag.String("mem", "", "comma-separated memory fractions overriding each experiment's sweep (e.g. 0.05,0.10)")
+		par     = flag.Int("p", 0, "operator worker parallelism (0/1 = serial; the scaling experiment sweeps its own)")
+		spin    = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		verbose = flag.Bool("v", false, "progress output on stderr")
 	)
@@ -47,6 +49,8 @@ func main() {
 		BlockSize:    *block,
 		ReadLatency:  *rdLat,
 		WriteLatency: *wrLat,
+		Parallelism:  *par,
+		Spin:         *spin,
 		Verbose:      *verbose,
 		Log:          os.Stderr,
 	}

@@ -33,6 +33,7 @@ func main() {
 		block    = flag.Int("block", 1024, "block size in bytes")
 		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
+		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
 	)
 	flag.Parse()
 
@@ -94,7 +95,7 @@ func main() {
 		fatal(err)
 	}
 
-	env := algo.NewEnv(fac, int64(*mem*float64(*nLeft)*record.Size))
+	env := algo.NewParallelEnv(fac, int64(*mem*float64(*nLeft)*record.Size), *par)
 	dev.ResetStats()
 	start := time.Now()
 	if err := a.Join(env, left, right, out); err != nil {
@@ -103,7 +104,7 @@ func main() {
 	wall := time.Since(start)
 	st := dev.Stats()
 
-	fmt.Printf("algorithm      %s on %s (block %d B)\n", a.Name(), *backend, *block)
+	fmt.Printf("algorithm      %s on %s (block %d B, P=%d)\n", a.Name(), *backend, *block, *par)
 	fmt.Printf("inputs         %d ⋈ %d records, memory %.1f%% of left\n", *nLeft, *nRight, *mem*100)
 	fmt.Printf("matches        %d\n", out.Len())
 	fmt.Printf("response       %v  (wall %v + sim I/O %v + soft %v)\n",

@@ -32,6 +32,7 @@ func main() {
 		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		wear     = flag.Bool("wear", false, "track and report device wear")
+		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
 	)
 	flag.Parse()
 
@@ -85,7 +86,7 @@ func main() {
 		fatal(err)
 	}
 
-	env := algo.NewEnv(fac, int64(*mem*float64(payload)))
+	env := algo.NewParallelEnv(fac, int64(*mem*float64(payload)), *par)
 	dev.ResetStats()
 	start := time.Now()
 	if err := a.Sort(env, in, out); err != nil {
@@ -94,7 +95,7 @@ func main() {
 	wall := time.Since(start)
 	st := dev.Stats()
 
-	fmt.Printf("algorithm      %s on %s (block %d B)\n", a.Name(), *backend, *block)
+	fmt.Printf("algorithm      %s on %s (block %d B, P=%d)\n", a.Name(), *backend, *block, *par)
 	fmt.Printf("input          %d records (%d MB), memory %.1f%%\n", *n, payload>>20, *mem*100)
 	fmt.Printf("response       %v  (wall %v + sim I/O %v + soft %v)\n",
 		(wall + st.SimTime()).Round(time.Microsecond), wall.Round(time.Microsecond),

@@ -1,0 +1,3 @@
+module wlpm
+
+go 1.22

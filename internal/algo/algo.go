@@ -6,6 +6,7 @@ package algo
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wlpm/internal/storage"
 )
@@ -15,6 +16,11 @@ import (
 const HashTableExpansion = 1.2
 
 // Env is the execution environment of one operator invocation.
+//
+// An Env (and the collections it creates) is owned by one goroutine at a
+// time. Parallel operators obtain per-worker child environments via Split,
+// whose budgets sum to the parent's M so the paper's cost model keeps
+// holding under parallel execution.
 type Env struct {
 	// Factory creates temporary collections (runs, partitions,
 	// intermediate inputs) on the persistence layer under test.
@@ -22,13 +28,31 @@ type Env struct {
 	// MemoryBudget is M: the DRAM working memory in bytes available to
 	// the operator (heaps, hash tables, merge buffers).
 	MemoryBudget int64
+	// Parallelism is P: the number of workers independent phases (run
+	// formation, intermediate merges, partitioning, probing) may fan out
+	// to. Zero or one means serial execution, the paper's configuration.
+	Parallelism int
 
+	ns     string // temp-name namespace ("" for the root environment)
 	tmpSeq int
 }
 
+// envSeq numbers root environments so that concurrent operator
+// invocations sharing one factory create temporaries in disjoint name
+// spaces.
+var envSeq atomic.Int64
+
 // NewEnv builds an environment with the given factory and budget.
 func NewEnv(f storage.Factory, memoryBudget int64) *Env {
-	return &Env{Factory: f, MemoryBudget: memoryBudget}
+	return &Env{Factory: f, MemoryBudget: memoryBudget, ns: fmt.Sprintf("e%d.", envSeq.Add(1))}
+}
+
+// NewParallelEnv builds an environment that fans independent work out to
+// up to parallelism workers.
+func NewParallelEnv(f storage.Factory, memoryBudget int64, parallelism int) *Env {
+	e := NewEnv(f, memoryBudget)
+	e.Parallelism = parallelism
+	return e
 }
 
 // Validate reports configuration errors.
@@ -39,13 +63,16 @@ func (e *Env) Validate() error {
 	if e.MemoryBudget <= 0 {
 		return fmt.Errorf("algo: memory budget must be positive, got %d", e.MemoryBudget)
 	}
+	if e.Parallelism < 0 {
+		return fmt.Errorf("algo: parallelism must be non-negative, got %d", e.Parallelism)
+	}
 	return nil
 }
 
 // TempName returns a fresh collection name with the given prefix.
 func (e *Env) TempName(prefix string) string {
 	e.tmpSeq++
-	return fmt.Sprintf("%s.%d", prefix, e.tmpSeq)
+	return fmt.Sprintf("%s%s.%d", e.ns, prefix, e.tmpSeq)
 }
 
 // CreateTemp creates a temporary collection for intermediate results.

@@ -1,0 +1,119 @@
+package algo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Workers reports the effective worker count for tasks independent units
+// of work: the environment's parallelism clamped to [1, tasks].
+func (e *Env) Workers(tasks int) int {
+	w := e.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	if tasks < 1 {
+		tasks = 1
+	}
+	if w > tasks {
+		w = tasks
+	}
+	return w
+}
+
+// Split returns w child environments for one parallel phase. Each child
+// shares the parent's factory, runs serially (Parallelism 1), and receives
+// a 1/w share of the parent's memory budget, so the children's budgets sum
+// to M and the write-limited cost model's memory accounting is preserved.
+// Children create temporary collections in disjoint name spaces, so they
+// may be used concurrently (one child per goroutine) without coordinating
+// on the parent's name sequence.
+func (e *Env) Split(w int) []*Env {
+	if w < 1 {
+		w = 1
+	}
+	e.tmpSeq++ // one generation number per Split, so successive phases never collide
+	gen := e.tmpSeq
+	share := e.MemoryBudget / int64(w)
+	if share < 1 {
+		share = 1
+	}
+	children := make([]*Env, w)
+	for i := range children {
+		children[i] = &Env{
+			Factory:      e.Factory,
+			MemoryBudget: share,
+			Parallelism:  1,
+			ns:           fmt.Sprintf("%sg%d.w%d.", e.ns, gen, i),
+		}
+	}
+	return children
+}
+
+// RunWorkers runs fn(0..w-1) on w goroutines and waits for all of them.
+// Every worker runs to completion regardless of other workers' errors (a
+// worker participating in ordered emission must reach its turn hand-off);
+// the first error by worker index is returned. w ≤ 1 calls fn(0) inline.
+func RunWorkers(w int, fn func(worker int) error) error {
+	if w <= 1 {
+		return fn(0)
+	}
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Turnstile serializes one ordered section across w concurrent workers:
+// worker i's Wait(i) returns only after workers 0..i-1 have called
+// Done. Operators use it to emit into a shared output collection in task
+// order while the work that produces the emissions runs in parallel.
+type Turnstile struct {
+	gates []chan struct{}
+}
+
+// NewTurnstile returns a turnstile for w workers with worker 0's gate open.
+func NewTurnstile(w int) *Turnstile {
+	t := &Turnstile{gates: make([]chan struct{}, w+1)}
+	for i := range t.gates {
+		t.gates[i] = make(chan struct{})
+	}
+	close(t.gates[0])
+	return t
+}
+
+// Wait blocks until it is worker i's turn. It may be called repeatedly;
+// once open, a gate stays open.
+func (t *Turnstile) Wait(i int) { <-t.gates[i] }
+
+// Done opens worker i+1's gate. It must be called exactly once per worker,
+// even on error paths — deferring it is the usual pattern.
+func (t *Turnstile) Done(i int) { close(t.gates[i+1]) }
+
+// SplitRange divides n items into w contiguous chunks and reports chunk
+// i's half-open range [lo, hi). Chunks differ in size by at most one and
+// preserve item order across chunk index order.
+func SplitRange(n, w, i int) (lo, hi int) {
+	if w < 1 {
+		w = 1
+	}
+	q, r := n/w, n%w
+	lo = i*q + min(i, r)
+	hi = lo + q
+	if i < r {
+		hi++
+	}
+	return lo, hi
+}

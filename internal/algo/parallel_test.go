@@ -1,0 +1,178 @@
+package algo
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/storage/blocked"
+)
+
+func newParallelTestEnv(t *testing.T, budget int64, parallelism int) *Env {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 16 << 20})
+	e := NewParallelEnv(blocked.New(dev, 0), budget, parallelism)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct {
+		parallelism, tasks, want int
+	}{
+		{0, 10, 1},
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 3, 3},
+		{4, 0, 1},
+		{8, 1, 1},
+	}
+	for _, c := range cases {
+		e := &Env{Parallelism: c.parallelism}
+		if got := e.Workers(c.tasks); got != c.want {
+			t.Errorf("Workers(P=%d, tasks=%d) = %d, want %d", c.parallelism, c.tasks, got, c.want)
+		}
+	}
+}
+
+func TestSplitBudgetsSumToM(t *testing.T) {
+	e := newParallelTestEnv(t, 1<<20, 4)
+	children := e.Split(4)
+	if len(children) != 4 {
+		t.Fatalf("Split(4) returned %d children", len(children))
+	}
+	var sum int64
+	for _, c := range children {
+		if c.Parallelism != 1 {
+			t.Errorf("child parallelism = %d, want 1 (no nested fan-out)", c.Parallelism)
+		}
+		if c.Factory != e.Factory {
+			t.Error("child does not share the parent factory")
+		}
+		sum += c.MemoryBudget
+	}
+	if sum > e.MemoryBudget {
+		t.Errorf("children budgets sum to %d > parent M %d", sum, e.MemoryBudget)
+	}
+}
+
+// TestSplitTempNamesDisjoint creates temporaries concurrently from every
+// child of two successive Split generations; all names must be unique
+// (the factory rejects duplicates).
+func TestSplitTempNamesDisjoint(t *testing.T) {
+	e := newParallelTestEnv(t, 1<<20, 4)
+	for gen := 0; gen < 2; gen++ {
+		children := e.Split(4)
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(children))
+		for _, c := range children {
+			wg.Add(1)
+			go func(c *Env) {
+				defer wg.Done()
+				for j := 0; j < 50; j++ {
+					if _, err := c.CreateTemp("run", 80); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+	}
+}
+
+func TestRunWorkersError(t *testing.T) {
+	sentinel := errors.New("boom")
+	var ran atomic.Int32
+	err := RunWorkers(4, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunWorkers error = %v, want %v", err, sentinel)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("only %d workers ran; all must run to completion", ran.Load())
+	}
+}
+
+func TestRunWorkersInline(t *testing.T) {
+	calls := 0
+	if err := RunWorkers(1, func(i int) error {
+		calls++
+		if i != 0 {
+			t.Errorf("worker index %d, want 0", i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times, want 1", calls)
+	}
+}
+
+// TestTurnstileOrders checks that ordered sections execute in worker-index
+// order even when workers arrive in reverse.
+func TestTurnstileOrders(t *testing.T) {
+	const w = 8
+	ts := NewTurnstile(w)
+	var order []int
+	var mu sync.Mutex
+	err := RunWorkers(w, func(i int) error {
+		ts.Wait(i)
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		ts.Done(i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("ordered sections ran as %v", order)
+		}
+	}
+}
+
+func TestSplitRangeCovers(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, w := range []int{1, 3, 8} {
+			next := 0
+			for i := 0; i < w; i++ {
+				lo, hi := SplitRange(n, w, i)
+				if lo != next {
+					t.Fatalf("SplitRange(%d,%d,%d) = [%d,%d), want lo %d", n, w, i, lo, hi, next)
+				}
+				if hi < lo {
+					t.Fatalf("SplitRange(%d,%d,%d) = [%d,%d): inverted", n, w, i, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("SplitRange(%d,%d,·) covers [0,%d), want [0,%d)", n, w, next, n)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsNegativeParallelism(t *testing.T) {
+	e := newParallelTestEnv(t, 1<<20, 0)
+	e.Parallelism = -1
+	if err := e.Validate(); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}

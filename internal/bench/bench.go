@@ -44,6 +44,15 @@ type Config struct {
 	// MemoryPoints overrides the default memory sweep (fractions of the
 	// relevant input size).
 	MemoryPoints []float64
+	// Parallelism is the operator worker count (0 and 1 both mean the
+	// paper's serial execution). The scaling experiment sweeps it.
+	Parallelism int
+	// Spin injects device latencies as real (overlappable) delays instead
+	// of only accounting them, like the paper's idle-loop
+	// instrumentation. The scaling experiment forces it on: overlapping
+	// device latency across workers is the speedup partition parallelism
+	// buys, and it shows even on a single-core host.
+	Spin bool
 	// Verbose emits progress lines to Log.
 	Verbose bool
 	Log     io.Writer
@@ -142,17 +151,18 @@ type Runner func(cfg Config) ([]*Report, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"fig2":   Fig2,
-	"fig5":   Fig5,
-	"fig6":   Fig6,
-	"fig7":   Fig7,
-	"fig8":   Fig8,
-	"fig9":   Fig9,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"table1": Table1,
-	"table2": Table2,
+	"fig2":    Fig2,
+	"fig5":    Fig5,
+	"fig6":    Fig6,
+	"fig7":    Fig7,
+	"fig8":    Fig8,
+	"fig9":    Fig9,
+	"fig10":   Fig10,
+	"fig11":   Fig11,
+	"fig12":   Fig12,
+	"table1":  Table1,
+	"table2":  Table2,
+	"scaling": Scaling,
 }
 
 // Experiments lists the registered experiment ids in presentation order.

@@ -29,6 +29,7 @@ func newRig(cfg Config, backend string, payloadBytes int64) (*rig, error) {
 		ReadLatency:   cfg.ReadLatency,
 		WriteLatency:  cfg.WriteLatency,
 		CachelineSize: pmem.DefaultCachelineSize,
+		Spin:          cfg.Spin,
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +127,7 @@ func measureSort(cfg Config, backend string, a sorts.Algorithm, n int, memFrac f
 	if budget < int64(record.Size) {
 		budget = record.Size
 	}
-	env := algo.NewEnv(r.fac, budget)
+	env := algo.NewParallelEnv(r.fac, budget, cfg.Parallelism)
 	m, err := r.measure(cfg, func() error { return a.Sort(env, in, out) })
 	if err != nil {
 		return Metrics{}, fmt.Errorf("%s (backend %s, mem %.1f%%): %w", a.Name(), backend, memFrac*100, err)
@@ -160,7 +161,7 @@ func measureJoin(cfg Config, backend string, a joins.Algorithm, nLeft, nRight in
 	if budget < int64(record.Size) {
 		budget = record.Size
 	}
-	env := algo.NewEnv(r.fac, budget)
+	env := algo.NewParallelEnv(r.fac, budget, cfg.Parallelism)
 	m, err := r.measure(cfg, func() error { return a.Join(env, left, right, out) })
 	if err != nil {
 		return Metrics{}, fmt.Errorf("%s (backend %s, mem %.1f%%): %w", a.Name(), backend, memFrac*100, err)

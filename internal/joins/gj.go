@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wlpm/internal/algo"
-	"wlpm/internal/record"
 	"wlpm/internal/storage"
 )
 
@@ -12,6 +11,11 @@ import (
 // persistent memory in one pass, then each partition pair is joined with
 // an in-memory hash table. Cost r(|T|+|V|)(2+λ): the symmetric-I/O
 // baseline the write-limited joins are measured against.
+//
+// Under env.Parallelism > 1 the partitioning scans fan out over input
+// chunks and each partition's probe fans out over its probe stream; the
+// output order and the cacheline I/O counts match the serial run (see
+// parallel.go).
 type Grace struct{}
 
 // NewGrace returns the GJ operator.
@@ -27,65 +31,92 @@ func (j *Grace) Join(env *algo.Env, left, right, out storage.Collection) error {
 	}
 	k := partitionCount(env, left.Len(), left.RecordSize())
 
-	lp, err := partitionInto(env, left, k, "gjl")
+	lp, err := partitionInto(env, left, k, k, "gjl")
 	if err != nil {
 		return err
 	}
-	rp, err := partitionInto(env, right, k, "gjr")
+	rp, err := partitionInto(env, right, k, k, "gjr")
 	if err != nil {
 		return err
 	}
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 	for p := 0; p < k; p++ {
-		if err := joinPartition(env, lp[p], rp[p], em); err != nil {
+		if err := joinPartition(lp[p], rp[p], em); err != nil {
 			return err
 		}
-		if err := lp[p].Destroy(); err != nil {
+		if err := destroyAll(lp[p]); err != nil {
 			return err
 		}
-		if err := rp[p].Destroy(); err != nil {
+		if err := destroyAll(rp[p]); err != nil {
 			return err
 		}
 	}
 	return out.Close()
 }
 
-// partitionInto hashes src into k fresh collections.
-func partitionInto(env *algo.Env, src storage.Collection, k int, prefix string) ([]storage.Collection, error) {
-	parts := make([]storage.Collection, k)
-	for p := range parts {
-		c, err := env.CreateTemp(fmt.Sprintf("%s%d", prefix, p), src.RecordSize())
-		if err != nil {
-			return nil, err
-		}
-		parts[p] = c
+// partitionInto hashes src into the first x of k partitions (x = k keeps
+// everything; SegJ materializes only a prefix). The scan fans out over
+// env.Parallelism contiguous chunks of src, each worker appending to its
+// own sub-collections; partition p is returned as the ordered list of the
+// workers' sub-collections, whose concatenation reproduces the serial
+// partition contents record-for-record.
+//
+// Like the serial algorithm's x output partitions, every open
+// sub-collection holds one block-sized DRAM tail buffer outside the
+// modelled budget M (the paper does not count partition output buffers
+// against M either); parallelism multiplies that infrastructure class by
+// w, i.e. w·x blocks during the scan.
+func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix string) ([][]storage.Collection, error) {
+	w := env.Workers(src.Len())
+	var envs []*algo.Env
+	if w > 1 {
+		envs = env.Split(w)
+	} else {
+		envs = []*algo.Env{env}
 	}
-	if err := scanInto(src, func(rec []byte) error {
-		return parts[partitionOf(rec, k)].Append(rec)
-	}); err != nil {
+	subs := make([][]storage.Collection, w) // [worker][partition]
+	err := algo.RunWorkers(w, func(i int) error {
+		mine := make([]storage.Collection, x)
+		for p := range mine {
+			c, err := envs[i].CreateTemp(fmt.Sprintf("%s%d", prefix, p), src.RecordSize())
+			if err != nil {
+				return err
+			}
+			mine[p] = c
+		}
+		subs[i] = mine
+		lo, hi := algo.SplitRange(src.Len(), w, i)
+		if err := scanInto(storage.Slice(src, lo, hi), func(rec []byte) error {
+			if p := partitionOf(rec, k); p < x {
+				return mine[p].Append(rec)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		return closeAll(mine)
+	})
+	if err != nil {
 		return nil, err
 	}
-	for _, p := range parts {
-		if err := p.Close(); err != nil {
-			return nil, err
+	parts := make([][]storage.Collection, x)
+	for p := range parts {
+		for i := 0; i < w; i++ {
+			parts[p] = append(parts[p], subs[i][p])
 		}
 	}
 	return parts, nil
 }
 
-// joinPartition builds a table over lp and probes it with rp.
-func joinPartition(env *algo.Env, lp, rp storage.Collection, em *emitter) error {
-	table := newHashTable(lp.RecordSize(), lp.Len())
-	if err := scanInto(lp, func(rec []byte) error {
-		table.insert(rec)
-		return nil
-	}); err != nil {
+// joinPartition builds a table over partition lp (its sub-collections in
+// worker order, preserving the serial insertion order) and probes it with
+// partition rp, one probe worker per sub-collection (the partitioning
+// phase's worker count, itself bounded by env.Parallelism, fixes the
+// probe fan-out).
+func joinPartition(lp, rp []storage.Collection, em *emitter) error {
+	table, err := buildTable(lp)
+	if err != nil {
 		return err
 	}
-	_ = env
-	return scanInto(rp, func(r []byte) error {
-		return table.probe(record.Key(r), func(l []byte) error {
-			return em.emit(l, r)
-		})
-	})
+	return parallelProbe(rp, table, nil, em)
 }

@@ -6,7 +6,6 @@ import (
 
 	"wlpm/internal/algo"
 	"wlpm/internal/cost"
-	"wlpm/internal/record"
 	"wlpm/internal/storage"
 )
 
@@ -21,6 +20,10 @@ import (
 //	T(1−x) ⋈ V  — block nested loops over the left suffix and all of V
 //
 // x and y are the algorithm's write intensities (Eq. 6; Fig. 2 heatmaps).
+//
+// Under env.Parallelism > 1 the partitioning scans and all three probe
+// streams fan out to workers with serial-identical output order; the
+// hash-table builds stay serial (insertion order is emission order).
 type HybridGraceNL struct {
 	// X and Y are the Grace fractions of the left and right inputs.
 	X, Y float64
@@ -64,47 +67,41 @@ func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection)
 	splitV := int(y * float64(right.Len()))
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 
-	// Phase 1: partition the Grace fractions.
+	// Phase 1: partition the Grace fractions (the scans fan out over
+	// input chunks under env.Parallelism).
 	k := partitionCount(env, splitT, left.RecordSize())
-	var lp, rp []storage.Collection
+	var lp, rp [][]storage.Collection
 	if splitT > 0 {
 		var err error
-		if lp, err = partitionInto(env, storage.Slice(left, 0, splitT), k, "hybl"); err != nil {
+		if lp, err = partitionInto(env, storage.Slice(left, 0, splitT), k, k, "hybl"); err != nil {
 			return err
 		}
-		if rp, err = partitionInto(env, storage.Slice(right, 0, splitV), k, "hybr"); err != nil {
+		if rp, err = partitionInto(env, storage.Slice(right, 0, splitV), k, k, "hybr"); err != nil {
 			return err
 		}
 	}
 
 	// Phase 2: per-partition Grace join, with the unpartitioned right
-	// suffix V(1−y) piggybacked onto each resident partition table.
+	// suffix V(1−y) piggybacked onto each resident partition table. The
+	// builds stay serial; both probe streams fan out to workers.
 	vSuffix := storage.Slice(right, splitV, right.Len())
 	for p := 0; p < len(lp); p++ {
-		table := newHashTable(left.RecordSize(), lp[p].Len())
-		if err := scanInto(lp[p], func(rec []byte) error {
-			table.insert(rec)
-			return nil
-		}); err != nil {
+		table, err := buildTable(lp[p])
+		if err != nil {
 			return err
 		}
-		probe := func(r []byte) error {
-			return table.probe(record.Key(r), func(l []byte) error {
-				return em.emit(l, r)
-			})
-		}
-		if err := scanInto(rp[p], probe); err != nil {
+		if err := parallelProbe(rp[p], table, nil, em); err != nil {
 			return err
 		}
 		if vSuffix.Len() > 0 {
-			if err := scanInto(vSuffix, probe); err != nil {
+			if err := probeRange(env, vSuffix, table, nil, em); err != nil {
 				return err
 			}
 		}
-		if err := lp[p].Destroy(); err != nil {
+		if err := destroyAll(lp[p]); err != nil {
 			return err
 		}
-		if err := rp[p].Destroy(); err != nil {
+		if err := destroyAll(rp[p]); err != nil {
 			return err
 		}
 	}
@@ -131,11 +128,7 @@ func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection)
 			}
 			it.Close()
 			done += table.len()
-			if err := scanInto(right, func(r []byte) error {
-				return table.probe(record.Key(r), func(l []byte) error {
-					return em.emit(l, r)
-				})
-			}); err != nil {
+			if err := probeRange(env, right, table, nil, em); err != nil {
 				return err
 			}
 		}

@@ -135,6 +135,13 @@ func (e *emitter) emit(left, right []byte) error {
 	return e.out.Append(e.scratch)
 }
 
+// emitRaw appends an already-materialized output record; the ordered
+// parallel emitter uses it to flush DRAM-staged matches.
+func (e *emitter) emitRaw(rec []byte) error {
+	e.matches++
+	return e.out.Append(rec)
+}
+
 // scanInto iterates src and applies fn to each record.
 func scanInto(src storage.Collection, fn func(rec []byte) error) error {
 	it := src.Scan()

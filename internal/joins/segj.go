@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wlpm/internal/algo"
-	"wlpm/internal/record"
 	"wlpm/internal/storage"
 )
 
@@ -15,6 +14,11 @@ import (
 // partition is processed by re-scanning both inputs and filtering — reads
 // traded for the writes that were never made (Eq. 9; Eq. 10 bounds when
 // this beats plain Grace join).
+//
+// Under env.Parallelism > 1 the offload scans, the materialized
+// partitions' probes and the filtered probe re-scans fan out to workers;
+// the build re-scans stay serial because insertion order fixes the
+// emission order. Output order and I/O counts match the serial run.
 type SegmentedGrace struct {
 	// Intensity ∈ [0, 1] is the fraction of partitions materialized.
 	Intensity float64
@@ -41,58 +45,33 @@ func (j *SegmentedGrace) Join(env *algo.Env, left, right, out storage.Collection
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 
 	// Initial scan of both inputs: offload partitions 0..x-1 only.
-	lp := make([]storage.Collection, x)
-	rp := make([]storage.Collection, x)
-	for p := 0; p < x; p++ {
-		var err error
-		if lp[p], err = env.CreateTemp(fmt.Sprintf("segl%d", p), left.RecordSize()); err != nil {
-			return err
-		}
-		if rp[p], err = env.CreateTemp(fmt.Sprintf("segr%d", p), right.RecordSize()); err != nil {
-			return err
-		}
-	}
+	var lp, rp [][]storage.Collection
 	if x > 0 {
-		if err := scanInto(left, func(rec []byte) error {
-			if p := partitionOf(rec, k); p < x {
-				return lp[p].Append(rec)
-			}
-			return nil
-		}); err != nil {
+		var err error
+		if lp, err = partitionInto(env, left, k, x, "segl"); err != nil {
 			return err
 		}
-		if err := scanInto(right, func(rec []byte) error {
-			if p := partitionOf(rec, k); p < x {
-				return rp[p].Append(rec)
-			}
-			return nil
-		}); err != nil {
+		if rp, err = partitionInto(env, right, k, x, "segr"); err != nil {
 			return err
-		}
-		for p := 0; p < x; p++ {
-			if err := lp[p].Close(); err != nil {
-				return err
-			}
-			if err := rp[p].Close(); err != nil {
-				return err
-			}
 		}
 	}
 
 	// Grace-style join of the materialized partitions.
 	for p := 0; p < x; p++ {
-		if err := joinPartition(env, lp[p], rp[p], em); err != nil {
+		if err := joinPartition(lp[p], rp[p], em); err != nil {
 			return err
 		}
-		if err := lp[p].Destroy(); err != nil {
+		if err := destroyAll(lp[p]); err != nil {
 			return err
 		}
-		if err := rp[p].Destroy(); err != nil {
+		if err := destroyAll(rp[p]); err != nil {
 			return err
 		}
 	}
 
-	// Remaining partitions: one filtered re-scan of both inputs each.
+	// Remaining partitions: one filtered re-scan of both inputs each. The
+	// build re-scan is serial (insertion order is emission order); the
+	// probe re-scan fans out over chunks of the right input.
 	table := newHashTable(left.RecordSize(), buildCap(env, left.RecordSize()))
 	for p := x; p < k; p++ {
 		table.reset()
@@ -104,14 +83,10 @@ func (j *SegmentedGrace) Join(env *algo.Env, left, right, out storage.Collection
 		}); err != nil {
 			return err
 		}
-		if err := scanInto(right, func(r []byte) error {
-			if partitionOf(r, k) != p {
-				return nil
-			}
-			return table.probe(record.Key(r), func(l []byte) error {
-				return em.emit(l, r)
-			})
-		}); err != nil {
+		part := p
+		if err := probeRange(env, right, table, func(r []byte) bool {
+			return partitionOf(r, k) == part
+		}, em); err != nil {
 			return err
 		}
 	}

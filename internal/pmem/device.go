@@ -16,6 +16,7 @@ package pmem
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -201,15 +202,29 @@ func (d *Device) WriteAt(p []byte, off int64) error {
 	return nil
 }
 
+// spinSleepThreshold bounds how long charge busy-waits: delays at or above
+// it are served by the scheduler instead, so large spin-mode transfers do
+// not peg a core per worker under parallel execution.
+const spinSleepThreshold = 100 * time.Microsecond
+
 // charge adds n accesses of latency lat to the simulated clock and
-// optionally spins for the same duration.
+// optionally delays for the same duration. Short delays busy-wait (the
+// paper's idle-loop instrumentation) but yield the processor each
+// iteration; long delays sleep coarsely, so concurrent workers on small
+// machines make progress instead of livelocking on spinning siblings.
 func (d *Device) charge(n uint64, lat time.Duration) {
 	total := time.Duration(n) * lat
 	d.simIONanos.Add(int64(total))
-	if d.cfg.Spin && total > 0 {
-		deadline := time.Now().Add(total)
-		for time.Now().Before(deadline) { //nolint:revive // intentional busy wait
-		}
+	if !d.cfg.Spin || total <= 0 {
+		return
+	}
+	if total >= spinSleepThreshold {
+		time.Sleep(total)
+		return
+	}
+	deadline := time.Now().Add(total)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
 	}
 }
 

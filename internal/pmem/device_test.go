@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -254,5 +255,66 @@ func TestZeroLengthAccess(t *testing.T) {
 	st := d.Stats()
 	if st.Reads != 0 || st.Writes != 0 {
 		t.Errorf("zero-length access counted lines: %+v", st)
+	}
+}
+
+// TestSpinChargeYields checks both spin paths: short charges busy-wait
+// (yielding), long charges sleep — and both account the simulated clock
+// while wall time stays the same order as the charge, not a livelock.
+func TestSpinChargeYields(t *testing.T) {
+	d := MustOpen(Config{
+		Capacity:     1 << 20,
+		Spin:         true,
+		ReadLatency:  50 * time.Nanosecond,   // short path: 64 B read = 50 ns spin
+		WriteLatency: 200 * time.Microsecond, // long path: ≥ spinSleepThreshold, sleeps
+	})
+	buf := make([]byte, 64)
+	start := time.Now()
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := d.Stats()
+	want := 50*time.Nanosecond + 200*time.Microsecond
+	if st.SimIOTime != want {
+		t.Errorf("SimIOTime = %v, want %v", st.SimIOTime, want)
+	}
+	if elapsed < 200*time.Microsecond {
+		t.Errorf("spin mode returned after %v, before the charged %v", elapsed, want)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("spin mode took %v for a %v charge", elapsed, want)
+	}
+}
+
+// TestSpinChargeConcurrent drives a spinning device from many goroutines;
+// with the yielding loop this completes promptly even on one core.
+func TestSpinChargeConcurrent(t *testing.T) {
+	d := MustOpen(Config{Capacity: 1 << 20, Spin: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			off := int64(g) * 1024
+			for i := 0; i < 50; i++ {
+				if err := d.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := d.ReadAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := d.Stats(); st.Writes != 8*50*8 {
+		t.Errorf("writes = %d, want %d", st.Writes, 8*50*8)
 	}
 }

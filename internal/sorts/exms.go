@@ -7,7 +7,10 @@ import (
 
 // ExternalMergeSort is ExMS: the paper's symmetric-I/O baseline. Run
 // formation uses replacement selection (runs ≈ 2M); runs are merged in
-// passes bounded by the memory budget's fan-in.
+// passes bounded by the memory budget's fan-in. Under env.Parallelism > 1
+// run formation fans contiguous input chunks out to workers with per-worker
+// budgets summing to M, and intermediate merge passes merge groups
+// concurrently; the final merge into out stays single-streamed.
 type ExternalMergeSort struct{}
 
 // NewExternalMergeSort returns the ExMS operator.
@@ -21,9 +24,7 @@ func (s *ExternalMergeSort) Sort(env *algo.Env, in, out storage.Collection) erro
 	if err := checkArgs(env, in, out); err != nil {
 		return err
 	}
-	it := in.Scan()
-	defer it.Close()
-	runs, err := formRunsReplacementSelection(env, it, in.RecordSize(), env.BudgetRecords(in.RecordSize()))
+	runs, err := formRuns(env, in, in.RecordSize())
 	if err != nil {
 		return err
 	}

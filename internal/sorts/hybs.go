@@ -16,6 +16,10 @@ import (
 // records — written exactly once, directly to the output — while Rr runs
 // ordinary two-heap replacement selection over everything Rs displaces.
 // The runs Rr produces are merged and appended after Rs's records.
+//
+// The pass that fills Rs and Rr is order-dependent (Rs tracks the global
+// minima seen so far) and stays serial; under env.Parallelism > 1 the
+// merging of Rr's runs fans merge groups out to workers.
 type HybridSort struct {
 	// Intensity is x ∈ (0, 1]: the fraction of M given to the selection
 	// region. Larger x means fewer writes (more records bypass run

@@ -10,6 +10,43 @@ import (
 	"wlpm/internal/xheap"
 )
 
+// formRuns writes sorted runs over in, fanning contiguous input chunks out
+// to env.Parallelism workers. Each worker runs replacement selection with a
+// 1/w share of the memory budget, so per-worker budgets sum to M and every
+// record is still written exactly once during run formation — the serial
+// write count is preserved (runs are shorter by a factor of w, which only
+// matters if it pushes the run count past the merge fan-in). With
+// parallelism ≤ 1 this is exactly the serial algorithm.
+func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Collection, error) {
+	w := env.Workers(in.Len())
+	if w <= 1 {
+		it := in.Scan()
+		defer it.Close()
+		return formRunsReplacementSelection(env, it, recSize, env.BudgetRecords(recSize))
+	}
+	children := env.Split(w)
+	perWorker := make([][]storage.Collection, w)
+	err := algo.RunWorkers(w, func(i int) error {
+		lo, hi := algo.SplitRange(in.Len(), w, i)
+		it := storage.Slice(in, lo, hi).Scan()
+		defer it.Close()
+		runs, err := formRunsReplacementSelection(children[i], it, recSize, children[i].BudgetRecords(recSize))
+		if err != nil {
+			return err
+		}
+		perWorker[i] = runs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var runs []storage.Collection
+	for _, r := range perWorker {
+		runs = append(runs, r...)
+	}
+	return runs, nil
+}
+
 // formRunsReplacementSelection consumes it and writes sorted runs using
 // the classic two-heap replacement-selection scheme with budget records of
 // working memory. Runs average twice the memory size on random input,
@@ -144,35 +181,10 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 		fanIn = 2
 	}
 	for len(runs) > fanIn {
-		var nextGen []storage.Collection
-		for lo := 0; lo < len(runs); lo += fanIn {
-			hi := lo + fanIn
-			if hi > len(runs) {
-				hi = len(runs)
-			}
-			group := runs[lo:hi]
-			if len(group) == 1 {
-				nextGen = append(nextGen, group[0])
-				continue
-			}
-			merged, err := env.CreateTemp("merge", recSize)
-			if err != nil {
-				return err
-			}
-			if err := mergeInto(group, merged); err != nil {
-				return err
-			}
-			if err := merged.Close(); err != nil {
-				return err
-			}
-			for _, r := range group {
-				if err := r.Destroy(); err != nil {
-					return err
-				}
-			}
-			nextGen = append(nextGen, merged)
+		var err error
+		if runs, err = mergePass(env, runs, recSize, len(streams)); err != nil {
+			return err
 		}
-		runs = nextGen
 	}
 	iters := make([]storage.Iterator, 0, len(runs)+len(streams))
 	for _, r := range runs {
@@ -188,6 +200,74 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 		}
 	}
 	return nil
+}
+
+// mergePass merges one generation of runs into the next, fanning
+// independent merge groups out to env.Parallelism workers. The per-group
+// fan-in shrinks with the worker count so the total number of open block
+// buffers stays within the memory budget (w groups of g runs plus one
+// output buffer each: w·(g+1) ≤ M/B − reserved, where reserved keeps the
+// buffers set aside for the final merge's streaming sources — at w = 1
+// this reproduces the serial grouping exactly).
+func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) ([]storage.Collection, error) {
+	w := env.Workers((len(runs) + 1) / 2)
+	var groupFan, nGroups int
+	for {
+		groupFan = (env.BudgetBuffers()-reserved)/w - 1
+		if groupFan < 2 {
+			groupFan = 2
+		}
+		nGroups = (len(runs) + groupFan - 1) / groupFan
+		if w <= nGroups {
+			break
+		}
+		// Fewer groups than workers: surviving workers may take the
+		// freed-up buffers as extra fan-in.
+		w = nGroups
+	}
+	var children []*algo.Env
+	if w > 1 {
+		children = env.Split(w)
+	} else {
+		children = []*algo.Env{env}
+	}
+	nextGen := make([]storage.Collection, nGroups)
+	err := algo.RunWorkers(w, func(wi int) error {
+		child := children[wi]
+		for g := wi; g < nGroups; g += w {
+			lo := g * groupFan
+			hi := lo + groupFan
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			group := runs[lo:hi]
+			if len(group) == 1 {
+				nextGen[g] = group[0]
+				continue
+			}
+			merged, err := child.CreateTemp("merge", recSize)
+			if err != nil {
+				return err
+			}
+			if err := mergeInto(group, merged); err != nil {
+				return err
+			}
+			if err := merged.Close(); err != nil {
+				return err
+			}
+			for _, r := range group {
+				if err := r.Destroy(); err != nil {
+					return err
+				}
+			}
+			nextGen[g] = merged
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nextGen, nil
 }
 
 // mergeInto k-way merges the sorted runs into a collection.

@@ -55,12 +55,11 @@ func (s *SegmentSort) Sort(env *algo.Env, in, out storage.Collection) error {
 	recSize := in.RecordSize()
 	split := int(x * float64(in.Len()))
 
-	// Segment 1: external mergesort run formation over the prefix.
+	// Segment 1: external mergesort run formation over the prefix,
+	// fanned out to env.Parallelism workers over contiguous chunks.
 	var runs []storage.Collection
 	if split > 0 {
-		it := storage.Slice(in, 0, split).Scan()
-		r, err := formRunsReplacementSelection(env, it, recSize, env.BudgetRecords(recSize))
-		it.Close()
+		r, err := formRuns(env, storage.Slice(in, 0, split), recSize)
 		if err != nil {
 			return err
 		}

@@ -7,16 +7,20 @@ package blocked
 
 import (
 	"fmt"
+	"sync"
 
 	"wlpm/internal/pmem"
 	"wlpm/internal/storage"
 )
 
-// Factory creates blocked-memory collections.
+// Factory creates blocked-memory collections. Create and Destroy are safe
+// for concurrent use; individual collections remain single-owner.
 type Factory struct {
 	alloc     *pmem.Allocator
 	blockSize int
-	names     map[string]bool
+
+	mu    sync.Mutex
+	names map[string]bool
 }
 
 // New returns a factory on dev with the given block size (0 for the
@@ -46,6 +50,8 @@ func (f *Factory) Create(name string, recordSize int) (storage.Collection, error
 	if err := storage.ValidateCreate(name, recordSize); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.names[name] {
 		return nil, fmt.Errorf("blocked: collection %q already exists", name)
 	}
@@ -117,6 +123,8 @@ func (s *store) Truncate() error {
 
 // Destroy frees the blocks and releases the collection's name for reuse.
 func (s *store) Destroy() error {
+	s.f.mu.Lock()
 	delete(s.f.names, s.name)
+	s.f.mu.Unlock()
 	return s.Truncate()
 }

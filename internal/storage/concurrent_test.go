@@ -1,0 +1,90 @@
+package storage_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// TestConcurrentCreate hammers each backend's catalog with concurrent
+// Create/Append/Close/Destroy cycles — the access pattern of the
+// partition-parallel operators (run with -race).
+func TestConcurrentCreate(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		const workers, rounds, recs = 8, 10, 30
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					name := fmt.Sprintf("w%d.r%d", w, r)
+					c, err := f.Create(name, record.Size)
+					if err != nil {
+						errCh <- fmt.Errorf("create %s: %w", name, err)
+						return
+					}
+					for i := 0; i < recs; i++ {
+						if err := c.Append(record.New(uint64(w*1000 + i))); err != nil {
+							errCh <- fmt.Errorf("append %s: %w", name, err)
+							return
+						}
+					}
+					if err := c.Close(); err != nil {
+						errCh <- fmt.Errorf("close %s: %w", name, err)
+						return
+					}
+					if c.Len() != recs {
+						errCh <- fmt.Errorf("%s has %d records, want %d", name, c.Len(), recs)
+						return
+					}
+					// Destroy every other round so names are both reused
+					// and retained across workers.
+					if r%2 == 0 {
+						if err := c.Destroy(); err != nil {
+							errCh <- fmt.Errorf("destroy %s: %w", name, err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConcurrentCreateDuplicate checks that exactly one of many racing
+// Create calls for the same name wins on every backend.
+func TestConcurrentCreateDuplicate(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		const racers = 8
+		var wg sync.WaitGroup
+		wins := make(chan storage.Collection, racers)
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if c, err := f.Create("contested", record.Size); err == nil {
+					wins <- c
+				}
+			}()
+		}
+		wg.Wait()
+		close(wins)
+		n := 0
+		for range wins {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("%d racing Creates succeeded, want exactly 1", n)
+		}
+	})
+}

@@ -8,16 +8,20 @@ package dynarray
 
 import (
 	"fmt"
+	"sync"
 
 	"wlpm/internal/pmem"
 	"wlpm/internal/storage"
 )
 
-// Factory creates dynamic-array collections.
+// Factory creates dynamic-array collections. Create and Destroy are safe
+// for concurrent use; individual collections remain single-owner.
 type Factory struct {
 	alloc     *pmem.Allocator
 	blockSize int
-	names     map[string]bool
+
+	mu    sync.Mutex
+	names map[string]bool
 }
 
 // New returns a factory on dev with the given block size (0 for the
@@ -47,6 +51,8 @@ func (f *Factory) Create(name string, recordSize int) (storage.Collection, error
 	if err := storage.ValidateCreate(name, recordSize); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.names[name] {
 		return nil, fmt.Errorf("dynarray: collection %q already exists", name)
 	}
@@ -139,6 +145,8 @@ func (s *store) Truncate() error {
 
 // Destroy frees the region and releases the collection's name for reuse.
 func (s *store) Destroy() error {
+	s.f.mu.Lock()
 	delete(s.f.names, s.name)
+	s.f.mu.Unlock()
 	return s.Truncate()
 }

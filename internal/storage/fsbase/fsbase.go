@@ -21,6 +21,7 @@ package fsbase
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 	"time"
 
 	"wlpm/internal/pmem"
@@ -87,14 +88,19 @@ type inode struct {
 	indirOff int64    // device offset of the indirect block, 0 if none
 }
 
-// FS is a formatted filesystem instance.
+// FS is a formatted filesystem instance. Create and Remove are safe for
+// concurrent use (mu guards the inode directory and the name index); file
+// data paths are not synchronized — each open file has a single owner, as
+// with the other persistence layers.
 type FS struct {
 	dev     *pmem.Device
 	prof    Profile
 	alloc   *pmem.Allocator
-	inodes  [NInodes]inode
-	byName  map[string]int
 	dataOff int64
+
+	mu     sync.Mutex
+	inodes [NInodes]inode
+	byName map[string]int
 }
 
 // Format creates a fresh filesystem occupying all of dev.
@@ -245,6 +251,8 @@ func (fs *FS) Create(name string) (*File, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%s: empty file name", fs.prof.Name)
 	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if _, ok := fs.byName[name]; ok {
 		return nil, fmt.Errorf("%s: file %q exists", fs.prof.Name, name)
 	}
@@ -269,6 +277,8 @@ func (fs *FS) Create(name string) (*File, error) {
 // Remove deletes a file and frees its extents.
 func (fs *FS) Remove(name string) error {
 	fs.charge()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	idx, ok := fs.byName[name]
 	if !ok {
 		return fmt.Errorf("%s: no such file %q", fs.prof.Name, name)

@@ -8,6 +8,7 @@ package pmfs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"wlpm/internal/pmem"
@@ -19,11 +20,15 @@ import (
 // a kernel-level filesystem with a deliberately thin code path.
 const CallOverhead = 150 * time.Nanosecond
 
-// Factory creates collections as files on a freshly formatted PMFS volume.
+// Factory creates collections as files on a freshly formatted PMFS
+// volume. Create and Destroy are safe for concurrent use; individual
+// collections remain single-owner.
 type Factory struct {
 	fs        *fsbase.FS
 	blockSize int
-	names     map[string]bool
+
+	mu    sync.Mutex
+	names map[string]bool
 }
 
 // New formats dev as a PMFS volume and returns its factory.
@@ -66,6 +71,8 @@ func (f *Factory) Create(name string, recordSize int) (storage.Collection, error
 	if err := storage.ValidateCreate(name, recordSize); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.names[name] {
 		return nil, fmt.Errorf("pmfs: collection %q already exists", name)
 	}
@@ -90,6 +97,8 @@ func (s *store) Truncate() error { return s.file.Truncate() }
 
 // Destroy removes the backing file and releases the name for reuse.
 func (s *store) Destroy() error {
+	s.f.mu.Lock()
 	delete(s.f.names, s.file.Name())
+	s.f.mu.Unlock()
 	return s.f.fs.Remove(s.file.Name())
 }

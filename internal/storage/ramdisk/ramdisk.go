@@ -9,6 +9,7 @@ package ramdisk
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"wlpm/internal/pmem"
@@ -25,10 +26,14 @@ const SectorSize = 512
 const CallOverhead = 600 * time.Nanosecond
 
 // Factory creates collections as files on a freshly formatted RAM disk.
+// Create and Destroy are safe for concurrent use; individual collections
+// remain single-owner.
 type Factory struct {
 	fs        *fsbase.FS
 	blockSize int
-	names     map[string]bool
+
+	mu    sync.Mutex
+	names map[string]bool
 }
 
 // New formats dev as a RAM disk and returns its factory.
@@ -71,6 +76,8 @@ func (f *Factory) Create(name string, recordSize int) (storage.Collection, error
 	if err := storage.ValidateCreate(name, recordSize); err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.names[name] {
 		return nil, fmt.Errorf("ramdisk: collection %q already exists", name)
 	}
@@ -97,6 +104,8 @@ func (s *store) Truncate() error { return s.file.Truncate() }
 
 // Destroy removes the backing file and releases the name for reuse.
 func (s *store) Destroy() error {
+	s.f.mu.Lock()
 	delete(s.f.names, s.file.Name())
+	s.f.mu.Unlock()
 	return s.f.fs.Remove(s.file.Name())
 }

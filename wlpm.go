@@ -121,6 +121,7 @@ type sysConfig struct {
 	writeLatency time.Duration
 	trackWear    bool
 	spin         bool
+	parallelism  int
 }
 
 // WithCapacity sets the device size in bytes (default 256 MiB).
@@ -146,10 +147,17 @@ func WithWearTracking() Option { return func(c *sysConfig) { c.trackWear = true 
 // paper's idle-loop instrumentation, instead of only accounting it.
 func WithSpin() Option { return func(c *sysConfig) { c.spin = true } }
 
+// WithParallelism sets P, the number of workers operators fan independent
+// partitions, runs and probe chunks out to (default 1, the paper's serial
+// execution). Per-worker memory budgets sum to the operator's M and the
+// output is byte-identical to the serial run at any P.
+func WithParallelism(n int) Option { return func(c *sysConfig) { c.parallelism = n } }
+
 // System bundles a device and a persistence layer.
 type System struct {
 	dev *pmem.Device
 	fac storage.Factory
+	par int
 }
 
 // New opens a fresh system.
@@ -176,7 +184,7 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dev: dev, fac: fac}, nil
+	return &System{dev: dev, fac: fac, par: cfg.parallelism}, nil
 }
 
 // Device exposes the underlying simulated device.
@@ -187,6 +195,10 @@ func (s *System) Factory() Factory { return s.fac }
 
 // Backend reports the persistence layer's name.
 func (s *System) Backend() string { return s.fac.Name() }
+
+// Parallelism reports the configured worker count (0 and 1 both mean
+// serial execution).
+func (s *System) Parallelism() int { return s.par }
 
 // Create makes a collection of benchmark-schema records.
 func (s *System) Create(name string) (Collection, error) {
@@ -200,17 +212,20 @@ func (s *System) CreateSized(name string, recordSize int) (Collection, error) {
 
 // Sort runs a sort algorithm with the given DRAM budget in bytes.
 func (s *System) Sort(a SortAlgorithm, in, out Collection, memoryBudget int64) error {
-	return a.Sort(algo.NewEnv(s.fac, memoryBudget), in, out)
+	return a.Sort(s.NewEnv(memoryBudget), in, out)
 }
 
 // Join runs a join algorithm with the given DRAM budget in bytes. The
 // output collection's record size must be the sum of the inputs'.
 func (s *System) Join(a JoinAlgorithm, left, right, out Collection, memoryBudget int64) error {
-	return a.Join(algo.NewEnv(s.fac, memoryBudget), left, right, out)
+	return a.Join(s.NewEnv(memoryBudget), left, right, out)
 }
 
-// NewEnv builds an operator environment for direct algorithm use.
-func (s *System) NewEnv(memoryBudget int64) *Env { return algo.NewEnv(s.fac, memoryBudget) }
+// NewEnv builds an operator environment for direct algorithm use,
+// carrying the system's parallelism.
+func (s *System) NewEnv(memoryBudget int64) *Env {
+	return algo.NewParallelEnv(s.fac, memoryBudget, s.par)
+}
 
 // GroupBy runs the write-limited sort-based aggregation (an extension in
 // the spirit of the paper's §6 outlook): in is grouped by key and
@@ -218,12 +233,12 @@ func (s *System) NewEnv(memoryBudget int64) *Env { return algo.NewEnv(s.fac, mem
 // per group carrying count/sum/min/max in the GroupAttr* slots. The write
 // profile is inherited from the chosen sort algorithm.
 func (s *System) GroupBy(a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
-	return aggregate.GroupBy(algo.NewEnv(s.fac, memoryBudget), a, in, attr, out)
+	return aggregate.GroupBy(s.NewEnv(memoryBudget), a, in, attr, out)
 }
 
 // NewOpCtx builds a deferred-materialization runtime context (§3.1).
 func (s *System) NewOpCtx(memoryBudget int64) *OpCtx {
-	return core.NewOpCtx(algo.NewEnv(s.fac, memoryBudget))
+	return core.NewOpCtx(s.NewEnv(memoryBudget))
 }
 
 // Stats snapshots the device counters.

@@ -217,8 +217,8 @@ func TestCostFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := wlpm.Experiments()
-	if len(ids) != 11 {
-		t.Fatalf("got %d experiments, want 11", len(ids))
+	if len(ids) != 12 {
+		t.Fatalf("got %d experiments, want 12", len(ids))
 	}
 	reps, err := wlpm.RunExperiment("table2", wlpm.ExperimentConfig{Scale: 0.001})
 	if err != nil {
@@ -226,5 +226,86 @@ func TestExperimentFacade(t *testing.T) {
 	}
 	if len(reps) != 1 || len(reps[0].Rows) == 0 {
 		t.Fatal("table2 report malformed")
+	}
+}
+
+// TestParallelismFacade runs a parallel sort and join end-to-end through
+// the façade and checks the output matches the serial system's.
+func TestParallelismFacade(t *testing.T) {
+	const n = 10_000
+	results := make(map[int][]uint64)
+	for _, p := range []int{1, 4} {
+		sys := newSystem(t, wlpm.WithParallelism(p))
+		if sys.Parallelism() != p {
+			t.Fatalf("Parallelism() = %d, want %d", sys.Parallelism(), p)
+		}
+		in, err := sys.Create("in")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wlpm.GenerateRecords(n, 3, in.Append); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Close(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := sys.Create("sorted")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Sort(wlpm.SegmentSort(0.4), in, out, 40*1024); err != nil {
+			t.Fatalf("P=%d sort: %v", p, err)
+		}
+		if out.Len() != n {
+			t.Fatalf("P=%d: sorted %d records, want %d", p, out.Len(), n)
+		}
+		var keys []uint64
+		it := out.Scan()
+		for {
+			rec, err := it.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, wlpm.Key(rec))
+		}
+		it.Close()
+		results[p] = keys
+
+		jl, err := sys.Create("jl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jr, err := sys.Create("jr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wlpm.GenerateJoinInputs(1000, 5000, 3, jl.Append, jr.Append); err != nil {
+			t.Fatal(err)
+		}
+		if err := jl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := jr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		jout, err := sys.CreateSized("jout", 2*wlpm.RecordSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Join(wlpm.GraceJoin(), jl, jr, jout, 16*1024); err != nil {
+			t.Fatalf("P=%d join: %v", p, err)
+		}
+		if jout.Len() != 5000 {
+			t.Fatalf("P=%d: %d matches, want 5000", p, jout.Len())
+		}
+	}
+	serial, parallel := results[1], results[4]
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("sorted key %d differs: P=1 %d, P=4 %d", i, serial[i], parallel[i])
+		}
 	}
 }
