@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"os"
 
+	"wlpm/internal/cliutil"
 	"wlpm/internal/cost"
 )
+
+const cmd = "wlcost"
 
 var shades = []byte(" .:-=+*#%@")
 
@@ -36,6 +39,13 @@ func main() {
 		k       = flag.Int("k", 8, "iterations for -ledger")
 	)
 	flag.Parse()
+
+	cliutil.CheckPositiveFloat(cmd, "t", *t)
+	cliutil.CheckPositiveFloat(cmd, "v", *v)
+	cliutil.CheckPositiveFloat(cmd, "m", *m)
+	cliutil.CheckPositiveFloat(cmd, "lambda", *lambda)
+	cliutil.CheckPositiveFloat(cmd, "ratio", *ratio)
+	cliutil.CheckPositiveInt(cmd, "k", *k)
 
 	switch {
 	case *heatmap:

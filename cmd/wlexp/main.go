@@ -18,7 +18,10 @@ import (
 	"time"
 
 	"wlpm/internal/bench"
+	"wlpm/internal/cliutil"
 )
+
+const cmd = "wlexp"
 
 func main() {
 	var (
@@ -43,6 +46,10 @@ func main() {
 		return
 	}
 
+	cliutil.CheckPositiveFloat(cmd, "scale", *scale)
+	cliutil.CheckPositiveInt(cmd, "block", *block)
+	cliutil.CheckParallelism(cmd, *par)
+
 	cfg := bench.Config{
 		Scale:        *scale,
 		Backend:      *backend,
@@ -57,25 +64,32 @@ func main() {
 	if *memList != "" {
 		for _, s := range strings.Split(*memList, ",") {
 			f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "wlexp: bad -mem entry %q: %v\n", s, err)
-				os.Exit(2)
+			if err != nil || f <= 0 {
+				cliutil.Usage(cmd, "bad -mem entry %q (want a positive fraction)", s)
 			}
 			cfg.MemoryPoints = append(cfg.MemoryPoints, f)
 		}
 	}
 
+	known := map[string]bool{}
+	for _, id := range bench.Experiments() {
+		known[id] = true
+	}
 	ids := bench.Experiments()
 	if *runIDs != "all" {
 		ids = strings.Split(*runIDs, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+			if !known[ids[i]] {
+				cliutil.Usage(cmd, "unknown experiment %q (have %s)", ids[i], strings.Join(bench.Experiments(), " "))
+			}
+		}
 	}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
 		start := time.Now()
 		reps, err := bench.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wlexp: %s: %v\n", id, err)
-			os.Exit(1)
+			cliutil.Fatal(cmd, fmt.Errorf("%s: %w", id, err))
 		}
 		for _, r := range reps {
 			r.Print(os.Stdout)

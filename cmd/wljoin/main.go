@@ -10,15 +10,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"wlpm/internal/algo"
+	"wlpm/internal/cliutil"
 	"wlpm/internal/joins"
 	"wlpm/internal/pmem"
 	"wlpm/internal/record"
 	"wlpm/internal/storage/all"
 )
+
+const cmd = "wljoin"
 
 func main() {
 	var (
@@ -36,6 +38,14 @@ func main() {
 		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
 	)
 	flag.Parse()
+
+	cliutil.CheckPositiveInt(cmd, "left", *nLeft)
+	cliutil.CheckPositiveInt(cmd, "right", *nRight)
+	cliutil.CheckPositiveFloat(cmd, "mem", *mem)
+	cliutil.CheckPositiveInt(cmd, "block", *block)
+	cliutil.CheckParallelism(cmd, *par)
+	cliutil.CheckFraction(cmd, "x", *x)
+	cliutil.CheckFraction(cmd, "y", *y)
 
 	var a joins.Algorithm
 	switch *algoName {
@@ -56,8 +66,7 @@ func main() {
 	case "LaJ":
 		a = joins.NewLazyHash()
 	default:
-		fmt.Fprintf(os.Stderr, "wljoin: unknown algorithm %q\n", *algoName)
-		os.Exit(2)
+		cliutil.UnknownAlgorithm(cmd, *algoName, []string{"NLJ", "HJ", "GJ", "HybJ", "SegJ", "LaJ"})
 	}
 
 	payload := int64(*nLeft+*nRight) * record.Size
@@ -113,7 +122,4 @@ func main() {
 	fmt.Printf("cacheline I/O  %d writes, %d reads (λ=%.1f)\n", st.Writes, st.Reads, dev.Lambda())
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "wljoin: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal(cmd, err) }

@@ -1,0 +1,238 @@
+// Command wlquery runs a query plan through the pipelined execution
+// engine: it parses a tiny plan DSL, lets the cost-model physical
+// planner choose the write-limited sort and join algorithms (unless the
+// plan pins them), and prints the chosen plan next to the measured
+// response and cacheline traffic.
+//
+// Plan DSL (stages piped left to right; see internal/exec):
+//
+//	scan(T)                          start from table T
+//	filter(aN OP value)              OP: == != < <= > >=
+//	project(aI,aJ,...)               keep 8-byte attributes, in order
+//	join(PLAN)  join(PLAN; GJ)       equi-join on a0; optional pinned algorithm
+//	groupby(aN) groupby(aN, groups=G; SegS:0.4)
+//	orderby     orderby(ExMS)
+//	limit(N)
+//
+// Tables are generated: -table name=rows creates unique permuted keys
+// 0..rows-1; -table name=rows:parent draws keys from parent's key
+// domain (the paper's join microbenchmark shape).
+//
+// Usage:
+//
+//	wlquery -table dim=20000 -table fact=200000:dim \
+//	    -plan 'scan(dim) | join(scan(fact)) | project(a0,a1,a12,a13,a14,a5,a16,a7,a18,a9) | groupby(a3) | orderby' \
+//	    -mem 0.05 -p 4 -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"wlpm"
+	"wlpm/internal/cliutil"
+	"wlpm/internal/record"
+)
+
+const cmd = "wlquery"
+
+// tableSpec is one -table flag: name=rows or name=rows:parent.
+type tableSpec struct {
+	name   string
+	rows   int
+	parent string
+}
+
+type tableFlags []tableSpec
+
+func (t *tableFlags) String() string { return fmt.Sprintf("%v", []tableSpec(*t)) }
+
+func (t *tableFlags) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=rows or name=rows:parent, got %q", s)
+	}
+	rowsStr, parent, _ := strings.Cut(spec, ":")
+	rows, err := strconv.Atoi(rowsStr)
+	if err != nil || rows <= 0 {
+		return fmt.Errorf("bad row count in %q", s)
+	}
+	*t = append(*t, tableSpec{name: name, rows: rows, parent: parent})
+	return nil
+}
+
+func main() {
+	var tables tableFlags
+	var (
+		planSrc     = flag.String("plan", "", "plan DSL (required)")
+		mem         = flag.Float64("mem", 0.05, "plan memory budget as a fraction of the largest table")
+		backend     = flag.String("backend", "blocked", "blocked|pmfs|ramdisk|dynarray")
+		block       = flag.Int("block", 1024, "block size in bytes")
+		rdLat       = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
+		wrLat       = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
+		par         = flag.Int("p", 1, "worker parallelism (1 = serial)")
+		explain     = flag.Bool("explain", false, "print the physical plan and algorithm choices")
+		materialize = flag.Bool("materialize", false, "materialize after every operator (the naive baseline)")
+		show        = flag.Int("show", 5, "result records to print")
+		seed        = flag.Uint64("seed", 42, "workload generator seed")
+	)
+	flag.Var(&tables, "table", "table to generate: name=rows or name=rows:parent (repeatable)")
+	flag.Parse()
+
+	if *planSrc == "" {
+		cliutil.Usage(cmd, "-plan is required")
+	}
+	if len(tables) == 0 {
+		cliutil.Usage(cmd, "at least one -table is required")
+	}
+	cliutil.CheckPositiveFloat(cmd, "mem", *mem)
+	cliutil.CheckPositiveInt(cmd, "block", *block)
+	cliutil.CheckParallelism(cmd, *par)
+	if *show < 0 {
+		cliutil.Usage(cmd, "-show must be non-negative, got %d", *show)
+	}
+
+	maxRows := 0
+	byName := map[string]tableSpec{}
+	for _, spec := range tables {
+		if _, dup := byName[spec.name]; dup {
+			cliutil.Usage(cmd, "duplicate table %q", spec.name)
+		}
+		if spec.parent != "" {
+			if _, ok := byName[spec.parent]; !ok {
+				cliutil.Usage(cmd, "table %q references unknown parent %q (declare the parent first)", spec.name, spec.parent)
+			}
+		}
+		byName[spec.name] = spec
+		if spec.rows > maxRows {
+			maxRows = spec.rows
+		}
+	}
+
+	payload := int64(0)
+	for _, spec := range tables {
+		payload += int64(spec.rows) * record.Size
+	}
+	sys, err := wlpm.New(
+		wlpm.WithCapacity(payload*16+(64<<20)),
+		wlpm.WithBackend(*backend),
+		wlpm.WithBlockSize(*block),
+		wlpm.WithLatencies(*rdLat, *wrLat),
+		wlpm.WithParallelism(*par),
+	)
+	if err != nil {
+		cliutil.Fatal(cmd, err)
+	}
+
+	// Generate the tables in declaration order so parents exist first.
+	cols := map[string]wlpm.Collection{}
+	for _, spec := range tables {
+		c, err := sys.Create(spec.name)
+		if err != nil {
+			cliutil.Fatal(cmd, err)
+		}
+		if spec.parent == "" {
+			err = record.Generate(spec.rows, *seed, c.Append)
+		} else {
+			// Keys drawn from the parent's 0..rows-1 domain, the join
+			// microbenchmark's foreign-key shape. The parent rows were
+			// generated from the same domain, so every key matches.
+			err = generateChild(spec.rows, byName[spec.parent].rows, *seed, c.Append)
+		}
+		if err != nil {
+			cliutil.Fatal(cmd, err)
+		}
+		if err := c.Close(); err != nil {
+			cliutil.Fatal(cmd, err)
+		}
+		cols[spec.name] = c
+	}
+
+	q, err := sys.ParseQuery(*planSrc, func(name string) (wlpm.Collection, error) {
+		c, ok := cols[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown table %q (declare it with -table)", name)
+		}
+		return c, nil
+	})
+	if err != nil {
+		cliutil.Usage(cmd, "%v", err)
+	}
+
+	budget := int64(*mem * float64(maxRows) * record.Size)
+	if budget < record.Size {
+		budget = record.Size
+	}
+
+	ex, err := q.Explain(budget)
+	if err != nil {
+		cliutil.Fatal(cmd, err)
+	}
+	if *explain {
+		fmt.Print(ex.String())
+	}
+
+	out, err := sys.CreateSized("result", ex.RecordSize)
+	if err != nil {
+		cliutil.Fatal(cmd, err)
+	}
+	sys.ResetStats()
+	start := time.Now()
+	if *materialize {
+		err = q.RunMaterialized(out, budget)
+	} else {
+		err = q.Run(out, budget)
+	}
+	if err != nil {
+		cliutil.Fatal(cmd, err)
+	}
+	wall := time.Since(start)
+	st := sys.Stats()
+
+	mode := "pipelined"
+	if *materialize {
+		mode = "materialize-every-step"
+	}
+	fmt.Printf("mode           %s on %s (block %d B, P=%d)\n", mode, sys.Backend(), *block, *par)
+	fmt.Printf("memory         %d B across %d blocking stage(s)\n", budget, ex.Stages)
+	fmt.Printf("result         %d records × %d B\n", out.Len(), out.RecordSize())
+	fmt.Printf("response       %v  (wall %v + sim I/O %v + soft %v)\n",
+		(wall + st.SimTime()).Round(time.Microsecond), wall.Round(time.Microsecond),
+		st.SimIOTime.Round(time.Microsecond), st.SoftTime.Round(time.Microsecond))
+	fmt.Printf("cacheline I/O  %d writes, %d reads (λ=%.1f)\n", st.Writes, st.Reads, sys.Device().Lambda())
+
+	if *show > 0 && out.Len() > 0 {
+		n := *show
+		if n > out.Len() {
+			n = out.Len()
+		}
+		fmt.Printf("\nfirst %d record(s):\n", n)
+		it := out.Scan()
+		defer it.Close()
+		for i := 0; i < n; i++ {
+			rec, err := it.Next()
+			if err != nil {
+				cliutil.Fatal(cmd, err)
+			}
+			attrs := len(rec) / record.AttrSize
+			fmt.Printf("  [")
+			for a := 0; a < attrs; a++ {
+				if a > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%d", record.Attr(rec, a))
+			}
+			fmt.Println("]")
+		}
+	}
+}
+
+// generateChild emits rows records whose keys cycle through the parent's
+// 0..parentRows-1 domain in permuted order.
+func generateChild(rows, parentRows int, seed uint64, emit func(rec []byte) error) error {
+	var sink func(rec []byte) error = func([]byte) error { return nil }
+	return record.GenerateJoin(parentRows, rows, seed, sink, emit)
+}

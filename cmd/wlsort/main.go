@@ -10,15 +10,17 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"wlpm/internal/algo"
+	"wlpm/internal/cliutil"
 	"wlpm/internal/pmem"
 	"wlpm/internal/record"
 	"wlpm/internal/sorts"
 	"wlpm/internal/storage/all"
 )
+
+const cmd = "wlsort"
 
 func main() {
 	var (
@@ -35,6 +37,12 @@ func main() {
 		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
 	)
 	flag.Parse()
+
+	cliutil.CheckPositiveInt(cmd, "n", *n)
+	cliutil.CheckPositiveFloat(cmd, "mem", *mem)
+	cliutil.CheckPositiveInt(cmd, "block", *block)
+	cliutil.CheckParallelism(cmd, *par)
+	cliutil.CheckFraction(cmd, "x", *x)
 
 	var a sorts.Algorithm
 	switch *algoName {
@@ -53,8 +61,7 @@ func main() {
 	case "LaS":
 		a = sorts.NewLazySort()
 	default:
-		fmt.Fprintf(os.Stderr, "wlsort: unknown algorithm %q\n", *algoName)
-		os.Exit(2)
+		cliutil.UnknownAlgorithm(cmd, *algoName, []string{"ExMS", "SelS", "SegS", "HybS", "LaS"})
 	}
 
 	payload := int64(*n) * record.Size
@@ -110,7 +117,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "wlsort: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Fatal(cmd, err) }

@@ -151,18 +151,19 @@ type Runner func(cfg Config) ([]*Report, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"fig2":    Fig2,
-	"fig5":    Fig5,
-	"fig6":    Fig6,
-	"fig7":    Fig7,
-	"fig8":    Fig8,
-	"fig9":    Fig9,
-	"fig10":   Fig10,
-	"fig11":   Fig11,
-	"fig12":   Fig12,
-	"table1":  Table1,
-	"table2":  Table2,
-	"scaling": Scaling,
+	"fig2":     Fig2,
+	"fig5":     Fig5,
+	"fig6":     Fig6,
+	"fig7":     Fig7,
+	"fig8":     Fig8,
+	"fig9":     Fig9,
+	"fig10":    Fig10,
+	"fig11":    Fig11,
+	"fig12":    Fig12,
+	"table1":   Table1,
+	"table2":   Table2,
+	"scaling":  Scaling,
+	"pipeline": Pipeline,
 }
 
 // Experiments lists the registered experiment ids in presentation order.

@@ -101,6 +101,33 @@ func HybSProfile(x, t, m float64) Profile {
 	}
 }
 
+// LaSProfile: lazy sort's dynamic behaviour in expectation — selection
+// scans of the shrinking input, with the remainder materialized every
+// n-th iteration (Eq. 5). Unlike the other sort profiles the estimate
+// depends on λ, because the materialization points do.
+func LaSProfile(t, m, lambda float64) Profile {
+	if t <= 0 || m <= 0 {
+		return Profile{}
+	}
+	var p Profile
+	remaining := t
+	for remaining > 0 {
+		n := float64(LazySortMaterializeIteration(remaining, m, lambda))
+		emitted := n * m
+		if emitted > remaining {
+			emitted = remaining
+		}
+		p.Reads += n * remaining // n selection passes over the current input
+		p.Writes += emitted      // output buffers written once each
+		remaining -= emitted
+		if remaining > 0 {
+			p.Writes += remaining // materialize the intermediate input Ti
+			p.Reads += remaining  // and re-read it next round
+		}
+	}
+	return p
+}
+
 // joinOutput is the materialized result size in buffers: the paper's
 // evaluation writes one input-sized record per match, and the benchmark
 // produces |V| matches.
@@ -155,6 +182,34 @@ func HybJProfile(x, y, t, v, m float64) Profile {
 		Reads:  x*t + y*v + x*t + y*v + k*(1-y)*v + (1-x)*t + nlBlocks*v,
 		Writes: x*t + y*v + joinOutput(v),
 	}
+}
+
+// LaJProfile: lazy hash join — Table 1's right half up to the
+// materialization iteration n (every pass re-reads the original inputs,
+// writes nothing), then the surviving fraction is materialized and the
+// remaining iterations proceed like standard hash join. λ places n.
+func LaJProfile(t, v, m, lambda float64) Profile {
+	if t <= 0 || m <= 0 {
+		return Profile{}
+	}
+	k := math.Ceil(1.2 * t / m)
+	if k < 1 {
+		k = 1
+	}
+	per := (t + v) / k
+	n := float64(LazyHashJoinMaterializeIteration(int(k), lambda))
+	if n > k {
+		n = k
+	}
+	var p Profile
+	p.Reads = n * (t + v)         // lazy passes re-scan the full inputs
+	p.Writes = (k - n) * per      // materialize the survivors at iteration n
+	for i := n + 1; i <= k; i++ { // standard iterations over the remainder
+		p.Reads += (k - i + 1) * per
+		p.Writes += (k - i) * per
+	}
+	p.Writes += joinOutput(v)
+	return p
 }
 
 // SegJProfile: initial scan offloading x of the k partitions, their

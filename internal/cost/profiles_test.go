@@ -103,6 +103,49 @@ func TestJoinProfilesStructure(t *testing.T) {
 	}
 }
 
+func TestLazyProfilesStructure(t *testing.T) {
+	const tt, m, lambda = 100000.0, 5000.0, 15.0
+
+	las := LaSProfile(tt, m, lambda)
+	sels := SelSProfile(tt, m)
+	exms := ExMSProfile(tt, m)
+	// Lazy sort sits between the write-minimal and symmetric extremes:
+	// fewer writes than ExMS (it defers materialization), more reads than
+	// ExMS, and at least the output's |T| writes.
+	if las.Writes < tt || las.Writes >= exms.Writes {
+		t.Errorf("LaS writes %v out of [|T|, ExMS %v)", las.Writes, exms.Writes)
+	}
+	if las.Reads <= exms.Reads || las.Reads > sels.Reads {
+		t.Errorf("LaS reads %v out of (ExMS %v, SelS %v]", las.Reads, exms.Reads, sels.Reads)
+	}
+
+	const v = 10 * tt
+	laj := LaJProfile(tt, v, m, lambda)
+	hj := HJProfile(tt, v, m)
+	// Lazy hash join trades rewrites for re-reads against standard HJ.
+	if laj.Writes >= hj.Writes {
+		t.Errorf("LaJ writes %v not below HJ %v", laj.Writes, hj.Writes)
+	}
+	if laj.Reads <= hj.Reads {
+		t.Errorf("LaJ reads %v not above HJ %v", laj.Reads, hj.Reads)
+	}
+	// A higher λ defers materialization further: fewer writes still.
+	lajHot := LaJProfile(tt, v, m, 2)
+	if laj.Writes > lajHot.Writes {
+		t.Errorf("LaJ writes at λ=15 (%v) above λ=2 (%v)", laj.Writes, lajHot.Writes)
+	}
+
+	// Degenerate sizes return empty profiles instead of looping.
+	for _, p := range []Profile{
+		LaSProfile(0, m, lambda), LaSProfile(tt, 0, lambda),
+		LaJProfile(0, v, m, lambda), LaJProfile(tt, v, 0, lambda),
+	} {
+		if p != (Profile{}) {
+			t.Errorf("degenerate lazy profile %+v, want zero", p)
+		}
+	}
+}
+
 // Property: profiles are non-negative and monotone in input size.
 func TestQuickProfilesSane(t *testing.T) {
 	f := func(tRaw, mRaw uint16, x8 uint8) bool {
@@ -114,6 +157,7 @@ func TestQuickProfilesSane(t *testing.T) {
 			HybSProfile(x, tt, m), GJProfile(tt, 10*tt), HJProfile(tt, 10*tt, m),
 			NLJProfile(tt, 10*tt, m), HybJProfile(x, 1-x, tt, 10*tt, m),
 			SegJProfile(x, tt, 10*tt, m),
+			LaSProfile(tt, m, 1+14*x), LaJProfile(tt, 10*tt, m, 1+14*x),
 		} {
 			if p.Reads < 0 || p.Writes < 0 {
 				return false

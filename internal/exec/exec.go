@@ -1,0 +1,261 @@
+// Package exec is the pipelined query-execution engine layered over the
+// paper's operators: a Volcano-style batch-iterator tree of physical
+// operators (scan, filter, project, limit, order-by, group-by, join,
+// materialize) over storage collections, a small logical-plan builder,
+// and a physical planner that consults the internal/cost model — device
+// λ, per-stage memory budget, input cardinalities — to choose among the
+// write-limited sort and join variants (and place their write-intensity
+// knobs) instead of requiring the caller to name an algorithm.
+//
+// Non-blocking operators (Filter, Project, Limit) stream records without
+// touching the device, so a pipelined plan writes strictly fewer
+// cachelines than the naive compose-by-materializing sequence of the
+// same operators. Blocking operators (OrderBy, GroupBy, Join) split the
+// plan's DRAM budget M evenly among themselves and inherit the plan's
+// Parallelism, so the partition-parallel execution of the underlying
+// algorithms carries over to whole pipelines.
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/storage"
+)
+
+// Operator is one node of a physical plan: a pull-based record stream in
+// the Volcano style. The slice returned by Next is only valid until the
+// following call; callers must copy to retain. Operators are
+// single-owner and not safe for concurrent use — parallelism lives
+// inside the blocking operators' algorithms, not between operators.
+type Operator interface {
+	// Name renders the operator (with its physical algorithm choice, if
+	// any) for plan display.
+	Name() string
+	// RecordSize is the byte width of the records this operator emits.
+	RecordSize() int
+	// Children returns the input operators, left to right.
+	Children() []Operator
+	// Open prepares the stream. Blocking operators do their work here.
+	Open(ctx *Ctx) error
+	// Next returns the next record, or io.EOF when exhausted.
+	Next() ([]byte, error)
+	// Close releases resources (temporaries, iterators) and closes the
+	// children. Close is idempotent.
+	Close() error
+}
+
+// memoryConsumer marks blocking operators that claim an equal share of
+// the plan's memory budget. Materialize is deliberately not one: it
+// breaks the pipeline but holds no working state beyond one record.
+type memoryConsumer interface {
+	consumesMemory() bool
+}
+
+// collectionSource is implemented by operators whose whole output
+// already exists as a storage collection once Open returns: Scan (the
+// base collection) and the blocking operators (their materialized
+// result). Blocking parents use it to hand the collection straight to a
+// sort/join algorithm instead of copying the stream.
+type collectionSource interface {
+	source() (storage.Collection, bool)
+}
+
+// directEmitter is implemented by blocking operators that can write
+// their result straight into the caller's output collection, saving the
+// temp-then-copy writes when they sit at the plan root.
+type directEmitter interface {
+	emitTo(ctx *Ctx, out storage.Collection) error
+}
+
+// Ctx is the execution context of one plan run: the persistence layer,
+// the total DRAM budget M shared by the plan's blocking stages, and the
+// worker parallelism P handed to each stage's algorithm environment.
+type Ctx struct {
+	Factory      storage.Factory
+	MemoryBudget int64
+	Parallelism  int
+
+	stages  int       // blocking stages sharing the budget (≥ 1)
+	scratch *algo.Env // temp-name allocator for non-consuming operators
+}
+
+// NewCtx builds a context. The budget is the whole plan's M; Run divides
+// it among the blocking stages it finds in the operator tree.
+func NewCtx(fac storage.Factory, memoryBudget int64, parallelism int) *Ctx {
+	return &Ctx{Factory: fac, MemoryBudget: memoryBudget, Parallelism: parallelism}
+}
+
+func (c *Ctx) validate() error {
+	if c.Factory == nil {
+		return fmt.Errorf("exec: nil storage factory")
+	}
+	if c.MemoryBudget <= 0 {
+		return fmt.Errorf("exec: memory budget must be positive, got %d", c.MemoryBudget)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("exec: parallelism must be non-negative, got %d", c.Parallelism)
+	}
+	return nil
+}
+
+// init counts the blocking stages of the tree rooted at op so StageEnv
+// can split the budget. Idempotent per run.
+func (c *Ctx) init(root Operator) error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	c.stages = countConsumers(root)
+	if c.stages < 1 {
+		c.stages = 1
+	}
+	c.scratch = algo.NewParallelEnv(c.Factory, c.MemoryBudget, c.Parallelism)
+	return nil
+}
+
+func countConsumers(op Operator) int {
+	n := 0
+	if m, ok := op.(memoryConsumer); ok && m.consumesMemory() {
+		n++
+	}
+	for _, ch := range op.Children() {
+		n += countConsumers(ch)
+	}
+	return n
+}
+
+// Stages reports the number of blocking stages found by the last run
+// (for display; 0 before any run).
+func (c *Ctx) Stages() int { return c.stages }
+
+// StageBudget is the per-blocking-stage share of the plan budget.
+func (c *Ctx) StageBudget() int64 {
+	stages := c.stages
+	if stages < 1 {
+		stages = 1
+	}
+	share := c.MemoryBudget / int64(stages)
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// StageEnv builds the execution environment of one blocking stage: an
+// equal share of the plan budget, carrying the plan parallelism.
+func (c *Ctx) StageEnv() *algo.Env {
+	return algo.NewParallelEnv(c.Factory, c.StageBudget(), c.Parallelism)
+}
+
+// tempEnv is the environment non-consuming operators (Materialize,
+// stream drains) allocate temporaries from.
+func (c *Ctx) tempEnv() *algo.Env {
+	if c.scratch == nil {
+		c.scratch = algo.NewParallelEnv(c.Factory, c.MemoryBudget, c.Parallelism)
+	}
+	return c.scratch
+}
+
+// Run executes the plan rooted at root, appending its stream to out (in
+// stream order) and closing both the tree and out. out must be empty and
+// match the root's record size. When the root is a blocking operator it
+// emits directly into out, avoiding a final temp-and-copy.
+func Run(ctx *Ctx, root Operator, out storage.Collection) error {
+	if err := ctx.init(root); err != nil {
+		return err
+	}
+	if out == nil {
+		return fmt.Errorf("exec: nil output collection")
+	}
+	if out.RecordSize() != root.RecordSize() {
+		return fmt.Errorf("exec: output record size %d, plan emits %d", out.RecordSize(), root.RecordSize())
+	}
+	if out.Len() != 0 {
+		return fmt.Errorf("exec: output collection %q not empty", out.Name())
+	}
+	if e, ok := root.(directEmitter); ok {
+		if err := e.emitTo(ctx, out); err != nil {
+			root.Close() //nolint:errcheck // best-effort cleanup after failure
+			return err
+		}
+		if err := root.Close(); err != nil {
+			return err
+		}
+		return out.Close()
+	}
+	if err := root.Open(ctx); err != nil {
+		root.Close() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	if err := drain(root, out.Append); err != nil {
+		root.Close() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	if err := root.Close(); err != nil {
+		return err
+	}
+	return out.Close()
+}
+
+// drain pulls op until EOF, feeding each record to emit.
+func drain(op Operator, emit func(rec []byte) error) error {
+	for {
+		rec, err := op.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// inputCollection opens child and returns its whole output as a storage
+// collection: directly when the child's output already lives on storage
+// (Scan, blocking children), as a re-scannable zero-write view when the
+// child is a Filter/Project chain over such a source (see fuseView),
+// and otherwise by draining the stream into a temporary. The returned
+// cleanup destroys the temporary (it is a no-op for direct collections
+// and views) and must be called once the collection has been consumed;
+// the child itself is closed by the caller's Close.
+func inputCollection(ctx *Ctx, child Operator) (storage.Collection, func() error, error) {
+	if err := child.Open(ctx); err != nil {
+		return nil, nil, err
+	}
+	if c, ok, err := fuseView(child); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return c, func() error { return nil }, nil
+	}
+	tmp, err := ctx.tempEnv().CreateTemp("pipe", child.RecordSize())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := drain(child, tmp.Append); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return nil, nil, err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return nil, nil, err
+	}
+	return tmp, tmp.Destroy, nil
+}
+
+// closeAll closes every operator, keeping the first error.
+func closeAll(ops ...Operator) error {
+	var first error
+	for _, op := range ops {
+		if op == nil {
+			continue
+		}
+		if err := op.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

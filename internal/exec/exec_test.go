@@ -1,0 +1,561 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"wlpm/internal/aggregate"
+	"wlpm/internal/algo"
+	"wlpm/internal/joins"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+// rig is one isolated engine test environment.
+type rig struct {
+	dev *pmem.Device
+	fac storage.Factory
+}
+
+func newRig(t testing.TB) *rig {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 256 << 20})
+	fac, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{dev: dev, fac: fac}
+}
+
+func (r *rig) ctx(budget int64, par int) *Ctx { return NewCtx(r.fac, budget, par) }
+
+func (r *rig) create(t testing.TB, name string, recSize int) storage.Collection {
+	t.Helper()
+	c, err := r.fac.Create(name, recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loadStar loads the 3-table star schema: two dimension tables over the
+// same key domain and a fact table with nFact/nDim matches per key.
+func (r *rig) loadStar(t testing.TB, nDim, nFact int) (dim1, dim2, fact storage.Collection) {
+	t.Helper()
+	dim1 = r.create(t, "dim1", record.Size)
+	fact = r.create(t, "fact", record.Size)
+	if err := record.GenerateJoin(nDim, nFact, 7, dim1.Append, fact.Append); err != nil {
+		t.Fatal(err)
+	}
+	dim2 = r.create(t, "dim2", record.Size)
+	if err := record.Generate(nDim, 13, dim2.Append); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []storage.Collection{dim1, dim2, fact} {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dim1, dim2, fact
+}
+
+func readBytes(t testing.TB, c storage.Collection) []byte {
+	t.Helper()
+	recs, err := storage.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.Write(r)
+	}
+	return buf.Bytes()
+}
+
+// starPlan is the acceptance-criteria pipeline: a 3-table star join,
+// projected back to the benchmark schema, grouped and ordered. The
+// projection keeps the shared key at a0 and pulls payload attributes
+// from all three sides of the 30-attribute join record
+// (dim2‖dim1‖fact).
+func starPlan(dim1, dim2, fact storage.Collection, sortA sorts.Algorithm, joinA joins.Algorithm) *Plan {
+	inner := Table(dim1).JoinWith(Table(fact), joinA)        // dim1‖fact, 160 B
+	star := Table(dim2).JoinWith(inner, joinA)               // dim2‖dim1‖fact, 240 B
+	slim := star.Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8) // back to 10 attrs, key first
+	return slim.GroupByWith(3, sortA).OrderByWith(sortA).Limit(64)
+}
+
+const (
+	testDim  = 200
+	testFact = 2000
+	// ~5% of the fact table: small enough that every blocking stage
+	// spills, the regime the paper studies.
+	testBudget = int64(testFact * record.Size / 20)
+)
+
+func TestStarPipelineMatchesHandWired(t *testing.T) {
+	fixedSort := sorts.NewExternalMergeSort()
+	fixedJoin := joins.NewGrace()
+
+	// Engine run, fixed algorithms so the hand-wired sequence below is
+	// bit-for-bit comparable.
+	r := newRig(t)
+	dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+	ctx := r.ctx(testBudget, 1)
+	plan := starPlan(dim1, dim2, fact, fixedSort, fixedJoin)
+	root, _, err := Compile(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.create(t, "result", record.Size)
+	if err := Run(ctx, root, got); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-wired sequence: the same star join written the pre-engine
+	// way — explicit temporaries between every algorithm invocation.
+	want := handWiredStar(t, fixedSort, fixedJoin)
+	if !bytes.Equal(readBytes(t, got), want) {
+		t.Fatalf("engine output differs from hand-wired sequence (%d records)", got.Len())
+	}
+
+	// The same plan at P=4 must stay byte-identical.
+	r4 := newRig(t)
+	d1, d2, f := r4.loadStar(t, testDim, testFact)
+	ctx4 := r4.ctx(testBudget, 4)
+	root4, _, err := Compile(ctx4, starPlan(d1, d2, f, fixedSort, fixedJoin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got4 := r4.create(t, "result", record.Size)
+	if err := Run(ctx4, root4, got4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readBytes(t, got4), want) {
+		t.Fatal("P=4 output differs from P=1")
+	}
+}
+
+// handWiredStar runs the star pipeline the way a caller had to before
+// the engine existed: hand-picked algorithms, hand-managed temps, and a
+// full materialization after every step.
+func handWiredStar(t *testing.T, sortA sorts.Algorithm, joinA joins.Algorithm) []byte {
+	t.Helper()
+	r := newRig(t)
+	dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+	// The engine splits the plan budget over its 4 blocking stages
+	// (2 joins, groupby, orderby); the hand-wired version mirrors that
+	// split so the algorithms run with identical memory.
+	stageBudget := testBudget / 4
+
+	inner := r.create(t, "hw.inner", 2*record.Size)
+	if err := joinA.Join(algo.NewParallelEnv(r.fac, stageBudget, 1), dim1, fact, inner); err != nil {
+		t.Fatal(err)
+	}
+	star := r.create(t, "hw.star", 3*record.Size)
+	if err := joinA.Join(algo.NewParallelEnv(r.fac, stageBudget, 1), dim2, inner, star); err != nil {
+		t.Fatal(err)
+	}
+	// Manual projection scan.
+	attrs := []int{0, 1, 12, 13, 23, 24, 5, 16, 27, 8}
+	slim := r.create(t, "hw.slim", record.Size)
+	recs, err := storage.ReadAll(star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, record.Size)
+	for _, rec := range recs {
+		for i, a := range attrs {
+			copy(buf[i*record.AttrSize:(i+1)*record.AttrSize], rec[a*record.AttrSize:(a+1)*record.AttrSize])
+		}
+		if err := slim.Append(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := slim.Close(); err != nil {
+		t.Fatal(err)
+	}
+	grouped := r.create(t, "hw.grouped", record.Size)
+	if err := aggregate.GroupBy(algo.NewParallelEnv(r.fac, stageBudget, 1), sortA, slim, 3, grouped); err != nil {
+		t.Fatal(err)
+	}
+	ordered := r.create(t, "hw.ordered", record.Size)
+	if err := sortA.Sort(algo.NewParallelEnv(r.fac, stageBudget, 1), grouped, ordered); err != nil {
+		t.Fatal(err)
+	}
+	// Manual limit.
+	out, err := storage.ReadAll(ordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) > 64 {
+		out = out[:64]
+	}
+	var b bytes.Buffer
+	for _, rec := range out {
+		b.Write(rec)
+	}
+	return b.Bytes()
+}
+
+func TestPipelineWritesFewerCachelines(t *testing.T) {
+	run := func(materialize bool) uint64 {
+		r := newRig(t)
+		dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+		ctx := r.ctx(testBudget, 1)
+		plan := starPlan(dim1, dim2, fact, sorts.NewExternalMergeSort(), joins.NewGrace())
+		root, _, err := CompileWith(ctx, plan, CompileOptions{MaterializeEveryStep: materialize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := r.create(t, "result", record.Size)
+		r.dev.ResetStats()
+		if err := Run(ctx, root, out); err != nil {
+			t.Fatal(err)
+		}
+		return r.dev.Stats().Writes
+	}
+	pipelined, materialized := run(false), run(true)
+	if pipelined >= materialized {
+		t.Fatalf("pipelined plan wrote %d cachelines, materialize-every-step %d: want strictly fewer",
+			pipelined, materialized)
+	}
+	t.Logf("cacheline writes: pipelined %d vs materialized %d (%.1f%% saved)",
+		pipelined, materialized, 100*(1-float64(pipelined)/float64(materialized)))
+}
+
+func TestStreamingOperators(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	const n = 1000
+	if err := record.Generate(n, 3, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := r.ctx(8<<10, 1)
+	plan := Table(in).
+		Filter(Predicate{Attr: 0, Op: Ge, Value: 500}).
+		Project(0, 2).
+		Limit(100)
+	root, _, err := Compile(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.create(t, "out", 2*record.AttrSize)
+	if err := Run(ctx, root, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 100 {
+		t.Fatalf("limit produced %d records, want 100", out.Len())
+	}
+	recs, err := storage.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if len(rec) != 2*record.AttrSize {
+			t.Fatalf("projected record is %d bytes", len(rec))
+		}
+		k := record.Attr(rec, 0)
+		if k < 500 {
+			t.Fatalf("filter leaked key %d", k)
+		}
+		if want := k / 3; record.Attr(rec, 1) != want {
+			t.Fatalf("projection scrambled a2: got %d want %d", record.Attr(rec, 1), want)
+		}
+	}
+}
+
+func TestHashAggregateMatchesSortGroupBy(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	const n, groups = 3000, 40
+	for i := 0; i < n; i++ {
+		rec := record.New(uint64(i % groups))
+		record.SetAttr(rec, 4, uint64(i))
+		if err := in.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generous budget + hint: the planner must pick the hash path.
+	ctx := r.ctx(1<<20, 1)
+	root, ex, err := Compile(ctx, Table(in).GroupHint(groups).GroupBy(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Choices) != 1 || ex.Choices[0].Algorithm != "HashAgg" {
+		t.Fatalf("planner chose %+v, want HashAgg", ex.Choices)
+	}
+	hashOut := r.create(t, "hash", record.Size)
+	if err := Run(ctx, root, hashOut); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pinned sort-based group-by over the same input.
+	ctx2 := r.ctx(1<<20, 1)
+	root2, _, err := Compile(ctx2, Table(in).GroupByWith(4, sorts.NewExternalMergeSort()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOut := r.create(t, "sorted", record.Size)
+	if err := Run(ctx2, root2, sortOut); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(readBytes(t, hashOut), readBytes(t, sortOut)) {
+		t.Fatal("hash aggregate output differs from sort-based group-by")
+	}
+	if hashOut.Len() != groups {
+		t.Fatalf("got %d groups, want %d", hashOut.Len(), groups)
+	}
+}
+
+// TestFusedFilterWritesNothing pins the fusion property: a filter
+// feeding a blocking sort contributes zero cacheline writes — the
+// order-by over the fused view writes exactly what the same order-by
+// writes over a pre-materialized collection holding the filtered rows.
+func TestFusedFilterWritesNothing(t *testing.T) {
+	const n = 4000
+	pred := Predicate{Attr: 0, Op: Lt, Value: n / 2}
+
+	// Engine: scan → filter → orderby, fused.
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(n, 9, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	ctx := r.ctx(16<<10, 1)
+	root, _, err := Compile(ctx, Table(in).Filter(pred).OrderByWith(sorts.NewExternalMergeSort()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.create(t, "out", record.Size)
+	r.dev.ResetStats()
+	if err := Run(ctx, root, out); err != nil {
+		t.Fatal(err)
+	}
+	fusedWrites := r.dev.Stats().Writes
+
+	// Reference: the same sort over an already-filtered base collection
+	// (its writes are the sort's own floor — the filter must add none).
+	r2 := newRig(t)
+	pre := r2.create(t, "pre", record.Size)
+	if err := record.Generate(n, 9, func(rec []byte) error {
+		if pred.Eval(rec) {
+			return pre.Append(rec)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pre.Close()
+	ctx2 := r2.ctx(16<<10, 1)
+	root2, _, err := Compile(ctx2, Table(pre).OrderByWith(sorts.NewExternalMergeSort()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := r2.create(t, "out", record.Size)
+	r2.dev.ResetStats()
+	if err := Run(ctx2, root2, out2); err != nil {
+		t.Fatal(err)
+	}
+	refWrites := r2.dev.Stats().Writes
+
+	if !bytes.Equal(readBytes(t, out), readBytes(t, out2)) {
+		t.Fatal("fused filter changed the sorted result")
+	}
+	if fusedWrites != refWrites {
+		t.Errorf("fused filter pipeline wrote %d cachelines, sort floor is %d", fusedWrites, refWrites)
+	}
+}
+
+func TestGroupHintSurvivesStreamingStages(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	const groups = 40
+	for i := 0; i < 2000; i++ {
+		if err := in.Append(record.New(uint64(i % groups))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Close()
+	ctx := r.ctx(1<<20, 1)
+	// The hint is set below a filter; the nearest group-by above must
+	// still see it and take the hash path.
+	plan := Table(in).GroupHint(groups).
+		Filter(Predicate{Attr: 1, Op: Ge, Value: 0}).
+		GroupBy(4)
+	_, ex, err := Compile(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Choices) != 1 || ex.Choices[0].Algorithm != "HashAgg" {
+		t.Fatalf("hint below a filter was dropped: planner chose %+v", ex.Choices)
+	}
+	// Across a shape-changing stage (project) it must NOT survive.
+	ctx2 := r.ctx(1<<20, 1)
+	_, ex2, err := Compile(ctx2, Table(in).GroupHint(groups).Project(1, 0, 2, 3, 4, 5, 6, 7, 8, 9).GroupBy(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Choices[0].Algorithm == "HashAgg" {
+		t.Fatal("hint leaked through a projection that rewrites the key")
+	}
+}
+
+func TestHashAggregateBudgetOverflowFailsLoudly(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(5000, 1, in.Append); err != nil { // 5000 distinct groups
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := r.ctx(32<<10, 1)
+	if err := ctx.init(NewHashAggregate(NewScan(in), 1)); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHashAggregate(NewScan(in), 1)
+	if err := ctx.init(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Open(ctx); err == nil {
+		t.Fatal("hash aggregate over budget did not fail")
+	}
+}
+
+func TestDSLPlanMatchesBuilder(t *testing.T) {
+	r := newRig(t)
+	dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+	lookup := func(name string) (storage.Collection, error) {
+		switch name {
+		case "dim1":
+			return dim1, nil
+		case "dim2":
+			return dim2, nil
+		case "fact":
+			return fact, nil
+		}
+		return nil, fmt.Errorf("no table %q", name)
+	}
+
+	src := "scan(dim2) | join(scan(dim1) | join(scan(fact); GJ); GJ) " +
+		"| project(a0,a1,a12,a13,a23,a24,a5,a16,a27,a8) | groupby(a3; ExMS) | orderby(ExMS) | limit(64)"
+	parsed, err := ParsePlan(src, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := r.ctx(testBudget, 1)
+	root, _, err := Compile(ctx, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.create(t, "dsl.out", record.Size)
+	if err := Run(ctx, root, got); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := newRig(t)
+	d1, d2, f := r2.loadStar(t, testDim, testFact)
+	ctx2 := r2.ctx(testBudget, 1)
+	root2, _, err := Compile(ctx2, starPlan(d1, d2, f, sorts.NewExternalMergeSort(), joins.NewGrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r2.create(t, "builder.out", record.Size)
+	if err := Run(ctx2, root2, want); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(readBytes(t, got), readBytes(t, want)) {
+		t.Fatal("DSL plan output differs from builder plan output")
+	}
+}
+
+func TestDSLErrors(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "t", record.Size)
+	lookup := func(string) (storage.Collection, error) { return in, nil }
+	for _, src := range []string{
+		"",
+		"filter(a0 == 1)",                  // must start with scan
+		"scan(t) | scan(t)",                // scan mid-plan
+		"scan(t) | frobnicate(a1)",         // unknown stage
+		"scan(t) | filter(a0 ~ 3)",         // bad operator
+		"scan(t) | join(scan(t); ZJ)",      // unknown join algorithm
+		"scan(t) | orderby(SegS)",          // missing knob
+		"scan(t) | orderby(SegS:2)",        // knob out of range
+		"scan(t) | join(scan(t)",           // unbalanced parens
+		"scan(t) | groupby(a1, groups=-3)", // bad group hint
+		"scan(t) | limit(x)",               // bad limit
+	} {
+		if _, err := ParsePlan(src, lookup); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", src)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(10, 1, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+
+	// Wrong output width.
+	bad := r.create(t, "bad", 16)
+	if err := Run(r.ctx(4<<10, 1), NewScan(in), bad); err == nil {
+		t.Error("record-size mismatch accepted")
+	}
+	// Non-empty output.
+	full := r.create(t, "full", record.Size)
+	full.Append(record.New(1)) //nolint:errcheck
+	if err := Run(r.ctx(4<<10, 1), NewScan(in), full); err == nil {
+		t.Error("non-empty output accepted")
+	}
+	// Bad budget.
+	out := r.create(t, "out", record.Size)
+	if err := Run(r.ctx(0, 1), NewScan(in), out); err == nil {
+		t.Error("zero budget accepted")
+	}
+	// Bad predicate attribute fails at plan time.
+	ctx := r.ctx(4<<10, 1)
+	if _, _, err := Compile(ctx, Table(in).Filter(Predicate{Attr: 99, Op: Eq, Value: 0})); err == nil {
+		t.Error("out-of-record predicate compiled")
+	}
+	// A group-by over an unprojected join fails at plan time too.
+	if _, _, err := Compile(r.ctx(4<<10, 1), Table(in).Join(Table(in)).GroupBy(3)); err == nil {
+		t.Error("group-by over 160-byte join records compiled")
+	}
+}
+
+func TestEmptyInputPipeline(t *testing.T) {
+	r := newRig(t)
+	empty := r.create(t, "empty", record.Size)
+	empty.Close()
+	ctx := r.ctx(8<<10, 1)
+	root, _, err := Compile(ctx, Table(empty).Filter(Predicate{Attr: 1, Op: Gt, Value: 3}).OrderBy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.create(t, "out", record.Size)
+	if err := Run(ctx, root, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty pipeline produced %d records", out.Len())
+	}
+}

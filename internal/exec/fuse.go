@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// Fusion: a Filter/Project chain over an already-materialized input is
+// deterministic and therefore re-scannable, so a blocking consumer can
+// treat it as a read-only collection view instead of draining it into a
+// temporary. Every re-scan recomputes the transformation and re-reads
+// the base — trading cheap reads for expensive writes, which is the
+// paper's trade — and the view writes nothing at all. Limit is not
+// fused (its operator form already streams, and blocking consumers of a
+// limit are rare enough that the pipe temp is fine).
+
+// fuseView converts a streaming chain over a materialized source into a
+// re-scannable view. The chain's operators must already be Open (their
+// blocking leaves hold the materialized collections). Counting a
+// filter's length costs one read-only scan, done eagerly here so Len
+// stays error-free.
+func fuseView(op Operator) (storage.Collection, bool, error) {
+	switch o := op.(type) {
+	case *Filter:
+		base, ok, err := fuseView(o.child)
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		v := &filterView{base: base, pred: o.pred}
+		n, err := v.count()
+		if err != nil {
+			return nil, false, err
+		}
+		v.n = n
+		return v, true, nil
+	case *Project:
+		base, ok, err := fuseView(o.child)
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		return &projectView{base: base, attrs: o.attrs}, true, nil
+	case collectionSource:
+		c, ok := o.source()
+		return c, ok, nil
+	}
+	return nil, false, nil
+}
+
+// readOnly is the error fused views return from mutating methods.
+func readOnly(verb, name string) error {
+	return fmt.Errorf("exec: %s of read-only view %q", verb, name)
+}
+
+// projectView is the fused form of Project: records map 1:1, so length
+// and positional scans delegate straight to the base.
+type projectView struct {
+	base  storage.Collection
+	attrs []int
+}
+
+func (v *projectView) Append([]byte) error { return readOnly("append", v.Name()) }
+func (v *projectView) Truncate() error     { return readOnly("truncate", v.Name()) }
+func (v *projectView) Destroy() error      { return readOnly("destroy", v.Name()) }
+func (v *projectView) Close() error        { return nil }
+
+func (v *projectView) Name() string {
+	return fmt.Sprintf("project%v(%s)", v.attrs, v.base.Name())
+}
+func (v *projectView) RecordSize() int { return len(v.attrs) * record.AttrSize }
+func (v *projectView) Len() int        { return v.base.Len() }
+
+func (v *projectView) Scan() storage.Iterator { return v.ScanFrom(0) }
+
+func (v *projectView) ScanFrom(start int) storage.Iterator {
+	return &projectIterator{it: v.base.ScanFrom(start), attrs: v.attrs, buf: make([]byte, v.RecordSize())}
+}
+
+type projectIterator struct {
+	it    storage.Iterator
+	attrs []int
+	buf   []byte
+}
+
+func (it *projectIterator) Next() ([]byte, error) {
+	rec, err := it.it.Next()
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range it.attrs {
+		copy(it.buf[i*record.AttrSize:(i+1)*record.AttrSize], rec[a*record.AttrSize:(a+1)*record.AttrSize])
+	}
+	return it.buf, nil
+}
+
+func (it *projectIterator) Close() error { return it.it.Close() }
+
+// filterView is the fused form of Filter. Length is counted once at
+// construction; positional scans re-read the base from the start and
+// discard the skipped prefix (reads, never writes).
+type filterView struct {
+	base storage.Collection
+	pred Predicate
+	n    int
+}
+
+func (v *filterView) Append([]byte) error { return readOnly("append", v.Name()) }
+func (v *filterView) Truncate() error     { return readOnly("truncate", v.Name()) }
+func (v *filterView) Destroy() error      { return readOnly("destroy", v.Name()) }
+func (v *filterView) Close() error        { return nil }
+
+func (v *filterView) Name() string {
+	return fmt.Sprintf("filter[%s](%s)", v.pred, v.base.Name())
+}
+func (v *filterView) RecordSize() int { return v.base.RecordSize() }
+func (v *filterView) Len() int        { return v.n }
+
+func (v *filterView) count() (int, error) {
+	it := v.base.Scan()
+	defer it.Close()
+	n := 0
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if v.pred.Eval(rec) {
+			n++
+		}
+	}
+}
+
+func (v *filterView) Scan() storage.Iterator { return v.ScanFrom(0) }
+
+func (v *filterView) ScanFrom(start int) storage.Iterator {
+	return &filterIterator{it: v.base.Scan(), pred: v.pred, skip: start}
+}
+
+type filterIterator struct {
+	it   storage.Iterator
+	pred Predicate
+	skip int
+}
+
+func (it *filterIterator) Next() ([]byte, error) {
+	for {
+		rec, err := it.it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !it.pred.Eval(rec) {
+			continue
+		}
+		if it.skip > 0 {
+			it.skip--
+			continue
+		}
+		return rec, nil
+	}
+}
+
+func (it *filterIterator) Close() error { return it.it.Close() }

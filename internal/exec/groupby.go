@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wlpm/internal/aggregate"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+)
+
+// GroupBy is the sort-based write-limited aggregation: it groups its
+// benchmark-schema input by key and aggregates one attribute
+// (count/sum/min/max in the aggregate package's result slots), emitting
+// one record per group in ascending key order. The write profile is the
+// chosen sort algorithm's — the planner places the same intensity knob
+// it places for order-by. Blocking.
+type GroupBy struct {
+	child   Operator
+	attr    int
+	algo    sorts.Algorithm
+	grouped storage.Collection
+	it      storage.Iterator
+}
+
+// NewGroupBy returns a sort-based group-by over child aggregating attr.
+func NewGroupBy(child Operator, attr int, a sorts.Algorithm) *GroupBy {
+	return &GroupBy{child: child, attr: attr, algo: a}
+}
+
+func (g *GroupBy) Name() string {
+	return fmt.Sprintf("GroupBy[a%d, %s](%s)", g.attr, g.algo.Name(), g.child.Name())
+}
+func (g *GroupBy) RecordSize() int      { return record.Size }
+func (g *GroupBy) Children() []Operator { return []Operator{g.child} }
+func (g *GroupBy) consumesMemory() bool { return true }
+
+func (g *GroupBy) groupInto(ctx *Ctx, dst storage.Collection) error {
+	if g.child.RecordSize() != record.Size {
+		return fmt.Errorf("exec: group-by needs %d-byte benchmark records, child emits %d (project first)",
+			record.Size, g.child.RecordSize())
+	}
+	in, cleanup, err := inputCollection(ctx, g.child)
+	if err != nil {
+		return err
+	}
+	env := ctx.StageEnv()
+	if err := aggregate.GroupBy(env, g.algo, in, g.attr, dst); err != nil {
+		cleanup() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	return cleanup()
+}
+
+func (g *GroupBy) Open(ctx *Ctx) error {
+	tmp, err := ctx.tempEnv().CreateTemp("grouped", record.Size)
+	if err != nil {
+		return err
+	}
+	if err := g.groupInto(ctx, tmp); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	g.grouped = tmp
+	g.it = tmp.Scan()
+	return nil
+}
+
+func (g *GroupBy) emitTo(ctx *Ctx, out storage.Collection) error {
+	return g.groupInto(ctx, out)
+}
+
+func (g *GroupBy) Next() ([]byte, error) {
+	if g.it == nil {
+		return nil, io.EOF
+	}
+	return g.it.Next()
+}
+
+func (g *GroupBy) Close() error {
+	var first error
+	if g.it != nil {
+		first = g.it.Close()
+		g.it = nil
+	}
+	if g.grouped != nil {
+		if err := g.grouped.Destroy(); err != nil && first == nil {
+			first = err
+		}
+		g.grouped = nil
+	}
+	if err := g.child.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (g *GroupBy) source() (storage.Collection, bool) { return g.grouped, g.grouped != nil }
+
+// HashAggregate is the in-memory aggregation fast path: one DRAM hash
+// table over the group keys, no device writes beyond the result. The
+// planner chooses it over the sort-based GroupBy only when the estimated
+// group count fits the stage budget; at runtime the table is
+// budget-checked so an underestimate fails loudly instead of silently
+// blowing M. Output is byte-identical to GroupBy's (ascending key
+// order, same result layout). Blocking, but writes no intermediates.
+type HashAggregate struct {
+	child Operator
+	attr  int
+
+	groups map[uint64]*aggState
+	keys   []uint64
+	pos    int
+	buf    []byte
+}
+
+type aggState struct {
+	count, sum, min, max uint64
+}
+
+// NewHashAggregate returns an in-memory group-by over child aggregating
+// attr.
+func NewHashAggregate(child Operator, attr int) *HashAggregate {
+	return &HashAggregate{child: child, attr: attr}
+}
+
+func (h *HashAggregate) Name() string {
+	return fmt.Sprintf("HashAggregate[a%d](%s)", h.attr, h.child.Name())
+}
+func (h *HashAggregate) RecordSize() int      { return record.Size }
+func (h *HashAggregate) Children() []Operator { return []Operator{h.child} }
+func (h *HashAggregate) consumesMemory() bool { return true }
+
+func (h *HashAggregate) Open(ctx *Ctx) error {
+	if h.child.RecordSize() != record.Size {
+		return fmt.Errorf("exec: hash aggregate needs %d-byte benchmark records, child emits %d (project first)",
+			record.Size, h.child.RecordSize())
+	}
+	if h.attr < 0 || h.attr >= record.NumAttrs {
+		return fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", h.attr, record.NumAttrs-1)
+	}
+	if err := h.child.Open(ctx); err != nil {
+		return err
+	}
+	budget := ctx.StageEnv().BudgetHashRecords(record.Size)
+	h.groups = make(map[uint64]*aggState)
+	err := drain(h.child, func(rec []byte) error {
+		k := record.Key(rec)
+		v := record.Attr(rec, h.attr)
+		st, ok := h.groups[k]
+		if !ok {
+			if len(h.groups) >= budget {
+				return fmt.Errorf("exec: hash aggregate exceeded its %d-group budget share (use the sort-based group-by)", budget)
+			}
+			st = &aggState{min: v, max: v}
+			h.groups[k] = st
+		}
+		st.count++
+		st.sum += v
+		if v < st.min {
+			st.min = v
+		}
+		if v > st.max {
+			st.max = v
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	h.keys = make([]uint64, 0, len(h.groups))
+	for k := range h.groups {
+		h.keys = append(h.keys, k)
+	}
+	sort.Slice(h.keys, func(i, j int) bool { return h.keys[i] < h.keys[j] })
+	h.pos = 0
+	h.buf = make([]byte, record.Size)
+	return nil
+}
+
+func (h *HashAggregate) Next() ([]byte, error) {
+	if h.pos >= len(h.keys) {
+		return nil, io.EOF
+	}
+	k := h.keys[h.pos]
+	st := h.groups[k]
+	h.pos++
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+	record.SetAttr(h.buf, aggregate.AttrGroupKey, k)
+	record.SetAttr(h.buf, aggregate.AttrCount, st.count)
+	record.SetAttr(h.buf, aggregate.AttrSum, st.sum)
+	record.SetAttr(h.buf, aggregate.AttrMin, st.min)
+	record.SetAttr(h.buf, aggregate.AttrMax, st.max)
+	return h.buf, nil
+}
+
+func (h *HashAggregate) Close() error {
+	h.groups, h.keys = nil, nil
+	return h.child.Close()
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/joins"
+	"wlpm/internal/storage"
+)
+
+// Join equi-joins its two inputs on their key attributes (attribute 0 of
+// each side) with one of the paper's join algorithms, emitting
+// left‖right concatenations. The left input is the build side — plans
+// put the smaller input left. Blocking: one stage share of the budget;
+// at the plan root it joins straight into the output collection.
+type Join struct {
+	left, right Operator
+	algo        joins.Algorithm
+	joined      storage.Collection
+	it          storage.Iterator
+}
+
+// NewJoin returns a join of left ⋈ right with the given algorithm (the
+// physical planner chooses one from the cost model).
+func NewJoin(left, right Operator, a joins.Algorithm) *Join {
+	return &Join{left: left, right: right, algo: a}
+}
+
+func (j *Join) Name() string {
+	return fmt.Sprintf("Join[%s](%s, %s)", j.algo.Name(), j.left.Name(), j.right.Name())
+}
+func (j *Join) RecordSize() int      { return j.left.RecordSize() + j.right.RecordSize() }
+func (j *Join) Children() []Operator { return []Operator{j.left, j.right} }
+func (j *Join) consumesMemory() bool { return true }
+
+func (j *Join) joinInto(ctx *Ctx, dst storage.Collection) error {
+	lcoll, lclean, err := inputCollection(ctx, j.left)
+	if err != nil {
+		return err
+	}
+	rcoll, rclean, err := inputCollection(ctx, j.right)
+	if err != nil {
+		lclean() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	env := ctx.StageEnv()
+	if err := j.algo.Join(env, lcoll, rcoll, dst); err != nil {
+		lclean() //nolint:errcheck // best-effort cleanup after failure
+		rclean() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	if err := lclean(); err != nil {
+		return err
+	}
+	return rclean()
+}
+
+func (j *Join) Open(ctx *Ctx) error {
+	tmp, err := ctx.tempEnv().CreateTemp("joined", j.RecordSize())
+	if err != nil {
+		return err
+	}
+	if err := j.joinInto(ctx, tmp); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	j.joined = tmp
+	j.it = tmp.Scan()
+	return nil
+}
+
+func (j *Join) emitTo(ctx *Ctx, out storage.Collection) error {
+	return j.joinInto(ctx, out)
+}
+
+func (j *Join) Next() ([]byte, error) {
+	if j.it == nil {
+		return nil, io.EOF
+	}
+	return j.it.Next()
+}
+
+func (j *Join) Close() error {
+	var first error
+	if j.it != nil {
+		first = j.it.Close()
+		j.it = nil
+	}
+	if j.joined != nil {
+		if err := j.joined.Destroy(); err != nil && first == nil {
+			first = err
+		}
+		j.joined = nil
+	}
+	if err := closeAll(j.left, j.right); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (j *Join) source() (storage.Collection, bool) { return j.joined, j.joined != nil }

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/storage"
+)
+
+// Materialize is an explicit pipeline breaker: it drains its child into
+// a temporary collection at Open and then streams the temporary. It is
+// what the engine's pipelining avoids — the planner's
+// MaterializeEveryStep mode inserts one above every streaming operator
+// (blocking operators already materialize their own output once) to
+// model the naive compose-by-collections execution that the pipelined
+// plan's cacheline-write count is measured against. It claims no memory
+// share (it holds no working state beyond one record).
+type Materialize struct {
+	child Operator
+	tmp   storage.Collection
+	it    storage.Iterator
+}
+
+// NewMaterialize returns a materialization barrier over child.
+func NewMaterialize(child Operator) *Materialize { return &Materialize{child: child} }
+
+func (m *Materialize) Name() string         { return fmt.Sprintf("Materialize(%s)", m.child.Name()) }
+func (m *Materialize) RecordSize() int      { return m.child.RecordSize() }
+func (m *Materialize) Children() []Operator { return []Operator{m.child} }
+func (m *Materialize) consumesMemory() bool { return false }
+
+func (m *Materialize) Open(ctx *Ctx) error {
+	if err := m.child.Open(ctx); err != nil {
+		return err
+	}
+	tmp, err := ctx.tempEnv().CreateTemp("mat", m.child.RecordSize())
+	if err != nil {
+		return err
+	}
+	if err := drain(m.child, tmp.Append); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	m.tmp = tmp
+	m.it = tmp.Scan()
+	return nil
+}
+
+func (m *Materialize) Next() ([]byte, error) {
+	if m.it == nil {
+		return nil, io.EOF
+	}
+	return m.it.Next()
+}
+
+func (m *Materialize) Close() error {
+	var first error
+	if m.it != nil {
+		first = m.it.Close()
+		m.it = nil
+	}
+	if m.tmp != nil {
+		if err := m.tmp.Destroy(); err != nil && first == nil {
+			first = err
+		}
+		m.tmp = nil
+	}
+	if err := m.child.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (m *Materialize) source() (storage.Collection, bool) { return m.tmp, m.tmp != nil }

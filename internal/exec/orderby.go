@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+)
+
+// OrderBy sorts its input by the record total order (key attribute,
+// full-byte tiebreak) with one of the paper's sort algorithms. Blocking:
+// it claims one stage share of the plan budget, materializes its child
+// if the child is not already a collection, and — at the plan root —
+// sorts straight into the output collection.
+type OrderBy struct {
+	child   Operator
+	algo    sorts.Algorithm
+	sorted  storage.Collection
+	it      storage.Iterator
+	cleanup func() error
+}
+
+// NewOrderBy returns an order-by over child using the given sort
+// algorithm (the physical planner chooses one from the cost model).
+func NewOrderBy(child Operator, a sorts.Algorithm) *OrderBy {
+	return &OrderBy{child: child, algo: a}
+}
+
+func (o *OrderBy) Name() string {
+	return fmt.Sprintf("OrderBy[%s](%s)", o.algo.Name(), o.child.Name())
+}
+func (o *OrderBy) RecordSize() int      { return o.child.RecordSize() }
+func (o *OrderBy) Children() []Operator { return []Operator{o.child} }
+func (o *OrderBy) consumesMemory() bool { return true }
+
+// sortInto runs the sort of the child's materialized input into dst.
+func (o *OrderBy) sortInto(ctx *Ctx, dst storage.Collection) error {
+	in, cleanup, err := inputCollection(ctx, o.child)
+	if err != nil {
+		return err
+	}
+	env := ctx.StageEnv()
+	if err := o.algo.Sort(env, in, dst); err != nil {
+		cleanup() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	return cleanup()
+}
+
+func (o *OrderBy) Open(ctx *Ctx) error {
+	tmp, err := ctx.tempEnv().CreateTemp("sorted", o.RecordSize())
+	if err != nil {
+		return err
+	}
+	if err := o.sortInto(ctx, tmp); err != nil {
+		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	o.sorted = tmp
+	o.it = tmp.Scan()
+	return nil
+}
+
+func (o *OrderBy) emitTo(ctx *Ctx, out storage.Collection) error {
+	return o.sortInto(ctx, out)
+}
+
+func (o *OrderBy) Next() ([]byte, error) {
+	if o.it == nil {
+		return nil, io.EOF
+	}
+	return o.it.Next()
+}
+
+func (o *OrderBy) Close() error {
+	var first error
+	if o.it != nil {
+		first = o.it.Close()
+		o.it = nil
+	}
+	if o.sorted != nil {
+		if err := o.sorted.Destroy(); err != nil && first == nil {
+			first = err
+		}
+		o.sorted = nil
+	}
+	if err := o.child.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (o *OrderBy) source() (storage.Collection, bool) { return o.sorted, o.sorted != nil }

@@ -1,0 +1,397 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/cost"
+	"wlpm/internal/joins"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+)
+
+// CompileOptions tunes physical planning.
+type CompileOptions struct {
+	// MaterializeEveryStep inserts a Materialize barrier above every
+	// non-scan operator: the naive compose-by-collections execution the
+	// pipelined plan is benchmarked against.
+	MaterializeEveryStep bool
+}
+
+// Choice records one physical algorithm decision for Explain.
+type Choice struct {
+	Operator  string  // "OrderBy", "GroupBy", "Join"
+	Algorithm string  // chosen algorithm with knobs, e.g. "SegS(0.31)"
+	Pinned    bool    // true when the caller fixed the algorithm
+	InputRows int     // estimated input cardinality (left side for joins)
+	Buffers   float64 // estimated input size in buffers (t; joins also use v)
+	RightBuf  float64 // v for joins, 0 otherwise
+	Cost      float64 // predicted price in buffer-read units (0 when pinned)
+}
+
+// Explain describes the compiled physical plan.
+type Explain struct {
+	Root        string // the physical operator tree, root first
+	RecordSize  int    // byte width of the plan's output records
+	Stages      int    // blocking stages sharing the budget
+	TotalBudget int64  // plan M in bytes
+	StageBudget int64  // per-stage share in bytes
+	Lambda      float64
+	Choices     []Choice
+}
+
+// String renders the explanation for CLIs and examples.
+func (e *Explain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan    %s\n", e.Root)
+	fmt.Fprintf(&b, "memory  %d B across %d blocking stage(s): %d B each (λ=%.1f)\n",
+		e.TotalBudget, e.Stages, e.StageBudget, e.Lambda)
+	for _, c := range e.Choices {
+		origin := "cost model"
+		if c.Pinned {
+			origin = "pinned"
+		}
+		if c.RightBuf > 0 {
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f v=%.0f buffers, est cost %.3g)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, c.RightBuf, c.Cost)
+		} else {
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f buffers, est cost %.3g)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, c.Cost)
+		}
+	}
+	return b.String()
+}
+
+// Compile turns a logical plan into a physical operator tree, consulting
+// the cost model for every sort and join the plan left open: the device
+// λ, the per-stage share of the context's memory budget, and bottom-up
+// cardinality estimates select the algorithm and place its
+// write-intensity knob.
+func Compile(ctx *Ctx, p *Plan) (Operator, *Explain, error) {
+	return CompileWith(ctx, p, CompileOptions{})
+}
+
+// CompileWith is Compile with options.
+func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, nil, err
+	}
+	if p == nil {
+		return nil, nil, fmt.Errorf("exec: nil plan")
+	}
+	if p.err != nil {
+		return nil, nil, p.err
+	}
+	stages := countLogicalStages(p)
+	if stages < 1 {
+		stages = 1
+	}
+	stageBudget := ctx.MemoryBudget / int64(stages)
+	if stageBudget < 1 {
+		stageBudget = 1
+	}
+	c := &compiler{
+		opts:        opts,
+		lambda:      ctx.Factory.Device().Lambda(),
+		blockSize:   ctx.Factory.BlockSize(),
+		stageBudget: stageBudget,
+	}
+	root, _, err := c.build(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &Explain{
+		Root:        root.Name(),
+		RecordSize:  root.RecordSize(),
+		Stages:      stages,
+		TotalBudget: ctx.MemoryBudget,
+		StageBudget: stageBudget,
+		Lambda:      c.lambda,
+		Choices:     c.choices,
+	}
+	return root, ex, nil
+}
+
+// countLogicalStages counts the plan's blocking stages (order-by,
+// group-by, join), mirroring Ctx.init's walk over the physical tree.
+func countLogicalStages(p *Plan) int {
+	if p == nil {
+		return 0
+	}
+	n := countLogicalStages(p.left) + countLogicalStages(p.right)
+	switch p.kind {
+	case planOrderBy, planGroupBy, planJoin:
+		n++
+	}
+	return n
+}
+
+type compiler struct {
+	opts        CompileOptions
+	lambda      float64
+	blockSize   int
+	stageBudget int64
+	choices     []Choice
+}
+
+// memBuffers is the per-stage memory budget in buffer units (m of the
+// cost model), floored at 2 like algo.Env.BudgetBuffers.
+func (c *compiler) memBuffers() float64 {
+	m := float64(c.stageBudget) / float64(c.blockSize)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// buffers converts a (rows, recordSize) estimate to buffer units (t or v
+// of the cost model), floored at 1.
+func (c *compiler) buffers(rows, recSize int) float64 {
+	b := math.Ceil(float64(rows) * float64(recSize) / float64(c.blockSize))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// breaker wraps op in a Materialize barrier in MaterializeEveryStep
+// mode. Blocking operators are left alone — they already materialize
+// their output once, exactly like the hand-wired compose-by-collections
+// caller the mode models; wrapping them too would double-count their
+// writes and flatter the pipelined comparison.
+func (c *compiler) breaker(op Operator) Operator {
+	if !c.opts.MaterializeEveryStep {
+		return op
+	}
+	if m, ok := op.(memoryConsumer); ok && m.consumesMemory() {
+		return op
+	}
+	return NewMaterialize(op)
+}
+
+// build compiles the node and returns the operator plus an output
+// cardinality estimate.
+func (c *compiler) build(p *Plan) (Operator, int, error) {
+	if p.err != nil {
+		return nil, 0, p.err
+	}
+	switch p.kind {
+	case planScan:
+		return NewScan(p.col), p.col.Len(), nil
+
+	case planFilter:
+		child, rows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := p.pred.validate(child.RecordSize()); err != nil {
+			return nil, 0, err
+		}
+		est := int(float64(rows) * p.pred.Selectivity())
+		if est < 1 {
+			est = 1
+		}
+		return c.breaker(NewFilter(child, p.pred)), est, nil
+
+	case planProject:
+		child, rows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(p.attrs) == 0 {
+			return nil, 0, fmt.Errorf("exec: projection with no attributes")
+		}
+		for _, a := range p.attrs {
+			if a < 0 || (a+1)*record.AttrSize > child.RecordSize() {
+				return nil, 0, fmt.Errorf("exec: projected attribute a%d outside %d-byte record", a, child.RecordSize())
+			}
+		}
+		return c.breaker(NewProject(child, p.attrs...)), rows, nil
+
+	case planLimit:
+		child, rows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		if p.n < rows {
+			rows = p.n
+		}
+		return c.breaker(NewLimit(child, p.n)), rows, nil
+
+	case planOrderBy:
+		child, rows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		t, m := c.buffers(rows, child.RecordSize()), c.memBuffers()
+		a := p.sortA
+		ch := Choice{Operator: "OrderBy", InputRows: rows, Buffers: t, Pinned: a != nil}
+		if a == nil {
+			var prof cost.Profile
+			a, prof = ChooseSort(t, m, c.lambda)
+			ch.Cost = prof.Price(1, c.lambda)
+		}
+		ch.Algorithm = a.Name()
+		c.choices = append(c.choices, ch)
+		return c.breaker(NewOrderBy(child, a)), rows, nil
+
+	case planGroupBy:
+		child, rows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Fail width mismatches at plan time so Explain never prices a
+		// group-by that cannot execute.
+		if child.RecordSize() != record.Size {
+			return nil, 0, fmt.Errorf("exec: group-by needs %d-byte benchmark records, input emits %d (project first)",
+				record.Size, child.RecordSize())
+		}
+		if p.attr < 0 || p.attr >= record.NumAttrs {
+			return nil, 0, fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", p.attr, record.NumAttrs-1)
+		}
+		hint := p.left.hint // GroupHint annotates the group-by's input
+		groups := hint
+		if groups <= 0 || groups > rows {
+			groups = rows // no statistics: assume aggregation doesn't shrink
+		}
+		t, m := c.buffers(rows, child.RecordSize()), c.memBuffers()
+		ch := Choice{Operator: "GroupBy", InputRows: rows, Buffers: t, Pinned: p.sortA != nil}
+		if p.sortA != nil {
+			ch.Algorithm = p.sortA.Name()
+			c.choices = append(c.choices, ch)
+			return c.breaker(NewGroupBy(child, p.attr, p.sortA)), groups, nil
+		}
+		// The hash table must fit the stage share with the paper's f
+		// expansion and headroom for estimate error.
+		hashCap := int(float64(c.stageBudget) / (2 * algo.HashTableExpansion * float64(record.Size)))
+		if hint > 0 && groups <= hashCap {
+			ch.Algorithm = "HashAgg"
+			c.choices = append(c.choices, ch)
+			return c.breaker(NewHashAggregate(child, p.attr)), groups, nil
+		}
+		a, prof := ChooseSort(t, m, c.lambda)
+		ch.Algorithm = a.Name()
+		ch.Cost = prof.Price(1, c.lambda)
+		c.choices = append(c.choices, ch)
+		return c.breaker(NewGroupBy(child, p.attr, a)), groups, nil
+
+	case planJoin:
+		left, lrows, err := c.build(p.left)
+		if err != nil {
+			return nil, 0, err
+		}
+		right, rrows, err := c.build(p.right)
+		if err != nil {
+			return nil, 0, err
+		}
+		t := c.buffers(lrows, left.RecordSize())
+		v := c.buffers(rrows, right.RecordSize())
+		m := c.memBuffers()
+		a := p.joinA
+		ch := Choice{Operator: "Join", InputRows: lrows, Buffers: t, RightBuf: v, Pinned: a != nil}
+		if a == nil {
+			var prof cost.Profile
+			a, prof = ChooseJoin(t, v, m, c.lambda)
+			ch.Cost = prof.Price(1, c.lambda)
+		}
+		ch.Algorithm = a.Name()
+		c.choices = append(c.choices, ch)
+		// The paper's microbenchmark estimate: every probe record
+		// matches, so the output has |V| rows.
+		return c.breaker(NewJoin(left, right, a)), rrows, nil
+	}
+	return nil, 0, fmt.Errorf("exec: unknown plan node %d", p.kind)
+}
+
+// ChooseSort returns the cost-model-optimal sort for t input buffers
+// with m buffers of stage memory at write/read ratio λ, along with its
+// predicted I/O profile. Candidates are the shipped implementations'
+// profiles: ExMS, SelS, LaS, and SegS/HybS with their intensity knob
+// placed by solver-seeded grid search.
+func ChooseSort(t, m, lambda float64) (sorts.Algorithm, cost.Profile) {
+	var (
+		best     sorts.Algorithm
+		bestProf cost.Profile
+		bestCost = math.Inf(1)
+	)
+	consider := func(a sorts.Algorithm, p cost.Profile) {
+		if c := p.Price(1, lambda); c < bestCost {
+			best, bestProf, bestCost = a, p, c
+		}
+	}
+	consider(sorts.NewExternalMergeSort(), cost.ExMSProfile(t, m))
+	consider(sorts.NewSelectionSort(), cost.SelSProfile(t, m))
+	consider(sorts.NewLazySort(), cost.LaSProfile(t, m, lambda))
+	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegSProfile(x, t, m) },
+		cost.SegmentSortOptimalX(t, m, lambda))
+	consider(sorts.NewSegmentSort(xSeg), cost.SegSProfile(xSeg, t, m))
+	xHyb := bestKnob(lambda, func(x float64) cost.Profile { return cost.HybSProfile(x, t, m) })
+	consider(sorts.NewHybridSort(xHyb), cost.HybSProfile(xHyb, t, m))
+	return best, bestProf
+}
+
+// ChooseJoin returns the cost-model-optimal equi-join for t build-side
+// and v probe-side buffers with m buffers of stage memory at ratio λ,
+// along with its predicted I/O profile. Candidates: NLJ, GJ, HJ, LaJ,
+// and HybJ/SegJ with knobs placed by saddle-seeded grid search.
+func ChooseJoin(t, v, m, lambda float64) (joins.Algorithm, cost.Profile) {
+	var (
+		best     joins.Algorithm
+		bestProf cost.Profile
+		bestCost = math.Inf(1)
+	)
+	consider := func(a joins.Algorithm, p cost.Profile) {
+		if c := p.Price(1, lambda); c < bestCost {
+			best, bestProf, bestCost = a, p, c
+		}
+	}
+	consider(joins.NewNestedLoops(), cost.NLJProfile(t, v, m))
+	consider(joins.NewGrace(), cost.GJProfile(t, v))
+	consider(joins.NewHash(), cost.HJProfile(t, v, m))
+	consider(joins.NewLazyHash(), cost.LaJProfile(t, v, m, lambda))
+	sx, sy := cost.HybridJoinSaddle(t, v, m, lambda)
+	bx, by, bp := 0.0, 0.0, cost.HybJProfile(0, 0, t, v, m)
+	bc := bp.Price(1, lambda)
+	tryXY := func(x, y float64) {
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			return
+		}
+		p := cost.HybJProfile(x, y, t, v, m)
+		if c := p.Price(1, lambda); c < bc {
+			bx, by, bp, bc = x, y, p, c
+		}
+	}
+	for xi := 0; xi <= 4; xi++ {
+		for yi := 0; yi <= 4; yi++ {
+			tryXY(float64(xi)*0.25, float64(yi)*0.25)
+		}
+	}
+	tryXY(sx, sy)
+	consider(joins.NewHybridGraceNL(bx, by), bp)
+	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegJProfile(x, t, v, m) })
+	consider(joins.NewSegmentedGrace(xSeg), cost.SegJProfile(xSeg, t, v, m))
+	return best, bestProf
+}
+
+// bestKnob grid-searches x ∈ [0, 1] (step 0.05) plus any analytic seeds
+// for the cheapest profile price.
+func bestKnob(lambda float64, f func(x float64) cost.Profile, seeds ...float64) float64 {
+	bestX, bestC := 0.0, math.Inf(1)
+	try := func(x float64) {
+		if x < 0 || x > 1 {
+			return
+		}
+		if c := f(x).Price(1, lambda); c < bestC {
+			bestX, bestC = x, c
+		}
+	}
+	for i := 0; i <= 20; i++ {
+		try(float64(i) * 0.05)
+	}
+	for _, s := range seeds {
+		try(s)
+	}
+	return bestX
+}

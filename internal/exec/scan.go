@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// --- Scan ---
+
+// Scan streams a base collection. It is the only leaf operator; its
+// output "materialization" is the collection itself, so blocking parents
+// consume it without any copying.
+type Scan struct {
+	c  storage.Collection
+	it storage.Iterator
+}
+
+// NewScan returns a scan over c.
+func NewScan(c storage.Collection) *Scan { return &Scan{c: c} }
+
+func (s *Scan) Name() string         { return fmt.Sprintf("Scan(%s)", s.c.Name()) }
+func (s *Scan) RecordSize() int      { return s.c.RecordSize() }
+func (s *Scan) Children() []Operator { return nil }
+
+func (s *Scan) Open(*Ctx) error {
+	s.it = s.c.Scan()
+	return nil
+}
+
+func (s *Scan) Next() ([]byte, error) {
+	if s.it == nil {
+		return nil, io.EOF
+	}
+	return s.it.Next()
+}
+
+func (s *Scan) Close() error {
+	if s.it == nil {
+		return nil
+	}
+	it := s.it
+	s.it = nil
+	return it.Close()
+}
+
+func (s *Scan) source() (storage.Collection, bool) { return s.c, true }
+
+// --- Predicates ---
+
+// CmpOp is a comparison operator of a filter predicate.
+type CmpOp int
+
+// The comparison operators of the plan DSL.
+const (
+	Eq CmpOp = iota // ==
+	Ne              // !=
+	Lt              // <
+	Le              // <=
+	Gt              // >
+	Ge              // >=
+)
+
+var cmpNames = map[CmpOp]string{Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+
+func (o CmpOp) String() string { return cmpNames[o] }
+
+// Predicate compares one fixed-width attribute of a record against a
+// constant: the filter form of the benchmark schema (every attribute is
+// an unsigned 64-bit integer).
+type Predicate struct {
+	Attr  int
+	Op    CmpOp
+	Value uint64
+}
+
+func (p Predicate) String() string { return fmt.Sprintf("a%d %s %d", p.Attr, p.Op, p.Value) }
+
+// Eval reports whether rec satisfies the predicate.
+func (p Predicate) Eval(rec []byte) bool {
+	v := record.Attr(rec, p.Attr)
+	switch p.Op {
+	case Eq:
+		return v == p.Value
+	case Ne:
+		return v != p.Value
+	case Lt:
+		return v < p.Value
+	case Le:
+		return v <= p.Value
+	case Gt:
+		return v > p.Value
+	case Ge:
+		return v >= p.Value
+	}
+	return false
+}
+
+// Selectivity is the planner's fraction-of-rows-surviving estimate. With
+// no value statistics the engine uses the textbook defaults: equality is
+// selective, inequality barely filters, ranges halve.
+func (p Predicate) Selectivity() float64 {
+	switch p.Op {
+	case Eq:
+		return 0.1
+	case Ne:
+		return 0.9
+	default:
+		return 0.5
+	}
+}
+
+func (p Predicate) validate(recSize int) error {
+	if p.Attr < 0 || (p.Attr+1)*record.AttrSize > recSize {
+		return fmt.Errorf("exec: predicate attribute a%d outside %d-byte record", p.Attr, recSize)
+	}
+	return nil
+}
+
+// --- Filter ---
+
+// Filter streams the records of its child that satisfy a predicate.
+// Non-blocking: it touches no device lines of its own.
+type Filter struct {
+	child Operator
+	pred  Predicate
+}
+
+// NewFilter returns a filter over child.
+func NewFilter(child Operator, pred Predicate) *Filter {
+	return &Filter{child: child, pred: pred}
+}
+
+func (f *Filter) Name() string         { return fmt.Sprintf("Filter[%s](%s)", f.pred, f.child.Name()) }
+func (f *Filter) RecordSize() int      { return f.child.RecordSize() }
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
+func (f *Filter) Open(ctx *Ctx) error {
+	if err := f.pred.validate(f.child.RecordSize()); err != nil {
+		return err
+	}
+	return f.child.Open(ctx)
+}
+
+func (f *Filter) Next() ([]byte, error) {
+	for {
+		rec, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.pred.Eval(rec) {
+			return rec, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error { return f.child.Close() }
+
+// --- Project ---
+
+// Project re-arranges each record to the chosen 8-byte attributes, in
+// order (duplicates allowed). Non-blocking; the output record width is
+// 8·len(attrs).
+type Project struct {
+	child Operator
+	attrs []int
+	buf   []byte
+}
+
+// NewProject returns a projection of child to attrs.
+func NewProject(child Operator, attrs ...int) *Project {
+	return &Project{child: child, attrs: append([]int(nil), attrs...)}
+}
+
+func (p *Project) Name() string {
+	return fmt.Sprintf("Project%v(%s)", p.attrs, p.child.Name())
+}
+func (p *Project) RecordSize() int      { return len(p.attrs) * record.AttrSize }
+func (p *Project) Children() []Operator { return []Operator{p.child} }
+
+func (p *Project) Open(ctx *Ctx) error {
+	if len(p.attrs) == 0 {
+		return fmt.Errorf("exec: projection with no attributes")
+	}
+	in := p.child.RecordSize()
+	for _, a := range p.attrs {
+		if a < 0 || (a+1)*record.AttrSize > in {
+			return fmt.Errorf("exec: projected attribute a%d outside %d-byte record", a, in)
+		}
+	}
+	p.buf = make([]byte, p.RecordSize())
+	return p.child.Open(ctx)
+}
+
+func (p *Project) Next() ([]byte, error) {
+	rec, err := p.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range p.attrs {
+		copy(p.buf[i*record.AttrSize:(i+1)*record.AttrSize], rec[a*record.AttrSize:(a+1)*record.AttrSize])
+	}
+	return p.buf, nil
+}
+
+func (p *Project) Close() error { return p.child.Close() }
+
+// --- Limit ---
+
+// Limit passes through the first n records. Non-blocking.
+type Limit struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+// NewLimit returns a limit of n records over child.
+func NewLimit(child Operator, n int) *Limit { return &Limit{child: child, n: n} }
+
+func (l *Limit) Name() string         { return fmt.Sprintf("Limit[%d](%s)", l.n, l.child.Name()) }
+func (l *Limit) RecordSize() int      { return l.child.RecordSize() }
+func (l *Limit) Children() []Operator { return []Operator{l.child} }
+
+func (l *Limit) Open(ctx *Ctx) error {
+	if l.n < 0 {
+		return fmt.Errorf("exec: negative limit %d", l.n)
+	}
+	l.seen = 0
+	return l.child.Open(ctx)
+}
+
+func (l *Limit) Next() ([]byte, error) {
+	if l.seen >= l.n {
+		return nil, io.EOF
+	}
+	rec, err := l.child.Next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return rec, nil
+}
+
+func (l *Limit) Close() error { return l.child.Close() }

@@ -98,6 +98,48 @@ func assertWithin(t *testing.T, what string, serial, parallel uint64, tol float6
 	}
 }
 
+// TestParallelRunFormationCappedByFanIn is the regression test for the
+// run-count-aware worker cap: at a tiny (1%) memory budget, parallel run
+// formation used to multiply the run count past the merge fan-in and pay
+// an extra merge pass — a full read+write of the input — that the serial
+// plan did not. With the cap, the high-P write count stays at the serial
+// level.
+func TestParallelRunFormationCappedByFanIn(t *testing.T) {
+	const n = 20_000
+	const budget = n / 100 // the 1% memory point: 200 records, ~15 buffers
+	for _, a := range []Algorithm{NewExternalMergeSort(), NewSegmentSort(0.8)} {
+		t.Run(a.Name(), func(t *testing.T) {
+			serialOut, serial := sortWith(t, a, n, budget, 1)
+			parallelOut, parallel := sortWith(t, a, n, budget, 8)
+			assertWithin(t, "writes", serial.Writes, parallel.Writes, 0.05)
+			if len(serialOut) != len(parallelOut) {
+				t.Fatalf("P=8 emitted %d records, P=1 emitted %d", len(parallelOut), len(serialOut))
+			}
+			for i := range serialOut {
+				if !bytes.Equal(serialOut[i], parallelOut[i]) {
+					t.Fatalf("record %d differs between P=1 and P=8", i)
+				}
+			}
+		})
+	}
+}
+
+// TestCapRunWorkersNeverBlocksAmplePlans: with room in the merge fan-in
+// the cap must leave the requested parallelism alone.
+func TestCapRunWorkersNeverBlocksAmplePlans(t *testing.T) {
+	env := newEnv(t, "blocked", 4000) // 4000 records ≈ 312 buffers of fan-in
+	env.Parallelism = 8
+	if got := capRunWorkers(env, 20_000, record.Size, 8); got != 8 {
+		t.Errorf("ample fan-in capped workers to %d, want 8", got)
+	}
+	// And at an absurdly tiny budget it degrades gracefully to ≥ 1.
+	tiny := newEnv(t, "blocked", 4)
+	tiny.Parallelism = 8
+	if got := capRunWorkers(tiny, 20_000, record.Size, 8); got < 1 {
+		t.Errorf("cap returned %d workers", got)
+	}
+}
+
 // TestConcurrentSortsSharedDevice runs several sorts at once on one device
 // and factory — the situation the storage-catalog and allocator locking
 // must survive (run with -race).

@@ -19,6 +19,9 @@ import (
 // parallelism ≤ 1 this is exactly the serial algorithm.
 func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Collection, error) {
 	w := env.Workers(in.Len())
+	if w > 1 {
+		w = capRunWorkers(env, in.Len(), recSize, w)
+	}
 	if w <= 1 {
 		it := in.Scan()
 		defer it.Close()
@@ -45,6 +48,46 @@ func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Coll
 		runs = append(runs, r...)
 	}
 	return runs, nil
+}
+
+// capRunWorkers bounds the parallel run-formation fan-out by the merge
+// fan-in: w workers with 1/w budget shares form runs of ≈ 2M/w records,
+// multiplying the expected run count by w, and once the count crosses
+// what the merge phase can absorb, every crossing costs intermediate
+// merge passes — reads and writes of the whole input — that the serial
+// execution does not pay. At tiny memory budgets (the paper's 1% point)
+// that used to turn one merge pass into several. The worker count is
+// reduced until the parallel plan's expected pass count, simulated with
+// mergePass's own worker grouping (whose per-group fan-in also shrinks
+// with P), matches the serial plan's.
+func capRunWorkers(env *algo.Env, records, recSize, w int) int {
+	budget := env.BudgetRecords(recSize)
+	serialRuns := (records + 2*budget - 1) / (2 * budget)
+	if serialRuns < 1 {
+		serialRuns = 1
+	}
+	// Merge fan-in with one buffer reserved for a streaming source
+	// (segment sort's selection segment), the conservative assumption.
+	fanIn := env.BudgetBuffers() - 2
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	serialPasses := mergePassesFor(serialRuns, fanIn)
+	for w > 1 && mergePassesFor(serialRuns*w, fanIn) > serialPasses {
+		w--
+	}
+	return w
+}
+
+// mergePassesFor counts the merge passes beyond the final one needed to
+// bring a run count within the serial merge fan-in.
+func mergePassesFor(runs, fanIn int) int {
+	passes := 0
+	for runs > fanIn {
+		runs = (runs + fanIn - 1) / fanIn
+		passes++
+	}
+	return passes
 }
 
 // formRunsReplacementSelection consumes it and writes sorted runs using
@@ -211,6 +254,26 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 // this reproduces the serial grouping exactly).
 func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) ([]storage.Collection, error) {
 	w := env.Workers((len(runs) + 1) / 2)
+	// Run-count-aware cap, the merge-phase twin of capRunWorkers: w
+	// concurrent merge groups share the buffer budget, so the per-group
+	// fan-in shrinks with w and the pass leaves more runs behind. Never
+	// let that cost a later pass the serial grouping avoids.
+	fullFan := env.BudgetBuffers() - reserved - 1
+	if fullFan < 2 {
+		fullFan = 2
+	}
+	serialNext := (len(runs) + fullFan - 1) / fullFan
+	for w > 1 {
+		fan := (env.BudgetBuffers()-reserved)/w - 1
+		if fan < 2 {
+			fan = 2
+		}
+		next := (len(runs) + fan - 1) / fan
+		if mergePassesFor(next, fullFan) <= mergePassesFor(serialNext, fullFan) {
+			break
+		}
+		w--
+	}
 	var groupFan, nGroups int
 	for {
 		groupFan = (env.BudgetBuffers()-reserved)/w - 1

@@ -1,0 +1,153 @@
+package wlpm
+
+import (
+	"wlpm/internal/exec"
+	"wlpm/internal/storage"
+)
+
+// Query-engine façade: the fluent builder over internal/exec. A Query is
+// a logical plan; Run compiles it with the cost-model physical planner —
+// which picks the write-limited sort and join variants (and places their
+// intensity knobs) from the device λ, the per-stage memory share and the
+// input cardinalities — and executes it as a pipeline. Use the *With
+// variants to pin an algorithm instead.
+//
+//	q := sys.Query(dim).Join(sys.Query(fact)).
+//	        Project(0, 1, 12, 13, 14, 15, 16, 17, 18, 19).
+//	        GroupBy(3).OrderBy().Limit(10)
+//	err := q.Run(out, 4<<20)
+
+// Predicate compares one 8-byte attribute against a constant; see the
+// comparison constants below.
+type Predicate = exec.Predicate
+
+// QueryExplain describes a compiled physical plan: the operator tree,
+// the stage budget split, and each cost-model algorithm choice.
+type QueryExplain = exec.Explain
+
+// Comparison operators for Filter predicates.
+const (
+	CmpEq = exec.Eq
+	CmpNe = exec.Ne
+	CmpLt = exec.Lt
+	CmpLe = exec.Le
+	CmpGt = exec.Gt
+	CmpGe = exec.Ge
+)
+
+// Query is a logical query plan under construction.
+type Query struct {
+	sys  *System
+	plan *exec.Plan
+}
+
+// Query starts a plan with a scan of c.
+func (s *System) Query(c Collection) *Query {
+	return &Query{sys: s, plan: exec.Table(c)}
+}
+
+// ParseQuery parses the plan DSL of cmd/wlquery (see that command's
+// documentation for the grammar), resolving table names via lookup.
+func (s *System) ParseQuery(src string, lookup func(name string) (Collection, error)) (*Query, error) {
+	p, err := exec.ParsePlan(src, func(name string) (storage.Collection, error) { return lookup(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &Query{sys: s, plan: p}, nil
+}
+
+// Filter keeps records satisfying pred.
+func (q *Query) Filter(pred Predicate) *Query {
+	return &Query{sys: q.sys, plan: q.plan.Filter(pred)}
+}
+
+// Project keeps the chosen 8-byte attributes, in order.
+func (q *Query) Project(attrs ...int) *Query {
+	return &Query{sys: q.sys, plan: q.plan.Project(attrs...)}
+}
+
+// Join equi-joins q (the build side — put the smaller input here) with
+// right on the key attributes; the planner picks the algorithm.
+func (q *Query) Join(right *Query) *Query { return q.JoinWith(right, nil) }
+
+// JoinWith is Join with a pinned algorithm. A nil right surfaces as a
+// deferred error from Run/Explain, like every other construction error.
+func (q *Query) JoinWith(right *Query, a JoinAlgorithm) *Query {
+	var rp *exec.Plan
+	if right != nil {
+		rp = right.plan
+	}
+	return &Query{sys: q.sys, plan: q.plan.JoinWith(rp, a)}
+}
+
+// GroupBy groups by the key attribute and aggregates attr into the
+// GroupAttr* result slots; the planner picks hash vs sort-based
+// execution (see GroupHint) and the sort algorithm.
+func (q *Query) GroupBy(attr int) *Query {
+	return &Query{sys: q.sys, plan: q.plan.GroupBy(attr)}
+}
+
+// GroupByWith is GroupBy with a pinned sort algorithm.
+func (q *Query) GroupByWith(attr int, a SortAlgorithm) *Query {
+	return &Query{sys: q.sys, plan: q.plan.GroupByWith(attr, a)}
+}
+
+// GroupHint tells the planner how many distinct groups to expect from
+// the next GroupBy (it has no value statistics); a hinted group count
+// that fits the stage budget selects the in-memory hash aggregation.
+func (q *Query) GroupHint(groups int) *Query {
+	return &Query{sys: q.sys, plan: q.plan.GroupHint(groups)}
+}
+
+// OrderBy sorts by the record total order (key attribute first); the
+// planner picks the algorithm and its write-intensity knob.
+func (q *Query) OrderBy() *Query {
+	return &Query{sys: q.sys, plan: q.plan.OrderBy()}
+}
+
+// OrderByWith is OrderBy with a pinned algorithm.
+func (q *Query) OrderByWith(a SortAlgorithm) *Query {
+	return &Query{sys: q.sys, plan: q.plan.OrderByWith(a)}
+}
+
+// Limit keeps the first n records.
+func (q *Query) Limit(n int) *Query {
+	return &Query{sys: q.sys, plan: q.plan.Limit(n)}
+}
+
+// ctx builds the execution context: the whole-plan memory budget that
+// the engine splits across blocking stages, and the system parallelism.
+func (q *Query) ctx(memoryBudget int64) *exec.Ctx {
+	return exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
+}
+
+// Run compiles the plan (cost model fills the open algorithm choices)
+// and executes it as a pipeline, appending the result to out.
+func (q *Query) Run(out Collection, memoryBudget int64) error {
+	ctx := q.ctx(memoryBudget)
+	root, _, err := exec.Compile(ctx, q.plan)
+	if err != nil {
+		return err
+	}
+	return exec.Run(ctx, root, out)
+}
+
+// RunMaterialized executes the plan with a materialization barrier after
+// every operator — the naive composition the pipeline is measured
+// against. Results are identical to Run; only the device traffic
+// differs.
+func (q *Query) RunMaterialized(out Collection, memoryBudget int64) error {
+	ctx := q.ctx(memoryBudget)
+	root, _, err := exec.CompileWith(ctx, q.plan, exec.CompileOptions{MaterializeEveryStep: true})
+	if err != nil {
+		return err
+	}
+	return exec.Run(ctx, root, out)
+}
+
+// Explain compiles the plan without running it and reports the physical
+// operator tree and the planner's algorithm choices.
+func (q *Query) Explain(memoryBudget int64) (*QueryExplain, error) {
+	_, ex, err := exec.Compile(q.ctx(memoryBudget), q.plan)
+	return ex, err
+}

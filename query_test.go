@@ -1,0 +1,207 @@
+package wlpm_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"wlpm"
+)
+
+// starQuerySetup loads the 3-table star schema (two dimensions over one
+// key domain, one fact table) into a fresh system.
+func starQuerySetup(t *testing.T, nDim, nFact, par int) (*wlpm.System, wlpm.Collection, wlpm.Collection, wlpm.Collection) {
+	t.Helper()
+	sys, err := wlpm.New(wlpm.WithCapacity(512<<20), wlpm.WithParallelism(par))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim1, err := sys.Create("dim1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := sys.Create("fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wlpm.GenerateJoinInputs(nDim, nFact, 7, dim1.Append, fact.Append); err != nil {
+		t.Fatal(err)
+	}
+	dim2, err := sys.Create("dim2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wlpm.GenerateRecords(nDim, 13, dim2.Append); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []wlpm.Collection{dim1, dim2, fact} {
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys, dim1, dim2, fact
+}
+
+func readAllBytes(t *testing.T, c wlpm.Collection) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	it := c.Scan()
+	defer it.Close()
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(rec)
+	}
+	return buf.Bytes()
+}
+
+// TestQueryFacadeStarJoin is the façade face of the acceptance
+// criterion: a 3-table star join + group-by + order-by through
+// wlpm.Query, byte-identical at P=1 and P=4, with the pipelined run
+// writing strictly fewer cachelines than the materialize-every-step run.
+func TestQueryFacadeStarJoin(t *testing.T) {
+	const nDim, nFact = 300, 3000
+	budget := int64(nFact * wlpm.RecordSize / 20)
+
+	run := func(par int, materialized bool) ([]byte, uint64) {
+		sys, dim1, dim2, fact := starQuerySetup(t, nDim, nFact, par)
+		q := sys.Query(dim2).
+			Join(sys.Query(dim1).Join(sys.Query(fact))).
+			Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).
+			GroupBy(3).
+			OrderBy()
+		out, err := sys.Create("result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.ResetStats()
+		if materialized {
+			err = q.RunMaterialized(out, budget)
+		} else {
+			err = q.Run(out, budget)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() == 0 {
+			t.Fatal("star query produced no rows")
+		}
+		return readAllBytes(t, out), sys.Stats().Writes
+	}
+
+	serial, pipelinedWrites := run(1, false)
+	parallel, _ := run(4, false)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("P=4 query output differs from P=1")
+	}
+	materialized, materializedWrites := run(1, true)
+	if !bytes.Equal(serial, materialized) {
+		t.Fatal("materialized query output differs from pipelined")
+	}
+	if pipelinedWrites >= materializedWrites {
+		t.Fatalf("pipelined run wrote %d cachelines, materialized %d: want strictly fewer",
+			pipelinedWrites, materializedWrites)
+	}
+}
+
+func TestQueryExplainSurfacesChoices(t *testing.T) {
+	sys, dim1, _, fact := starQuerySetup(t, 300, 3000, 1)
+	q := sys.Query(dim1).Join(sys.Query(fact)).OrderBy()
+	ex, err := q.Explain(int64(3000 * wlpm.RecordSize / 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Stages != 2 {
+		t.Errorf("explain stages = %d, want 2", ex.Stages)
+	}
+	if len(ex.Choices) != 2 {
+		t.Fatalf("explain has %d choices, want 2", len(ex.Choices))
+	}
+	if ex.Lambda != 15 {
+		t.Errorf("explain λ = %v, want the default device's 15", ex.Lambda)
+	}
+	s := ex.String()
+	for _, want := range []string{"Join[", "OrderBy[", "choice"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain rendering misses %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestParseQueryFacade(t *testing.T) {
+	sys, dim1, _, fact := starQuerySetup(t, 200, 2000, 1)
+	lookup := func(name string) (wlpm.Collection, error) {
+		switch name {
+		case "dim":
+			return dim1, nil
+		case "fact":
+			return fact, nil
+		}
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	q, err := sys.ParseQuery("scan(dim) | join(scan(fact)) | project(a0,a1,a12,a13,a14,a5,a16,a7,a18,a9) | groupby(a3) | orderby", lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Create("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Run(out, int64(2000*wlpm.RecordSize/20)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 200 {
+		t.Fatalf("parsed query produced %d groups, want 200", out.Len())
+	}
+	if _, err := sys.ParseQuery("scan(nope) | orderby", lookup); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// TestQueryFilterPushesNoWrites asserts the streaming property at the
+// façade: a filter+project pipeline only writes the result.
+func TestQueryFilterPushesNoWrites(t *testing.T) {
+	sys, err := wlpm.New(wlpm.WithCapacity(128 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sys.Create("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	if err := wlpm.GenerateRecords(n, 3, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.CreateSized("out", 2*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	q := sys.Query(in).
+		Filter(wlpm.Predicate{Attr: 0, Op: wlpm.CmpLt, Value: n / 2}).
+		Project(0, 3)
+	if err := q.Run(out, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if out.Len() != n/2 {
+		t.Fatalf("filter kept %d records, want %d", out.Len(), n/2)
+	}
+	// The only writes are the result's own cachelines (16 B records):
+	// allow block-flush rounding but nothing near a full materialization.
+	resultLines := uint64(out.Len()*16)/64 + 64
+	if st.Writes > resultLines*2 {
+		t.Errorf("streaming pipeline wrote %d cachelines, result needs ~%d", st.Writes, resultLines)
+	}
+}
