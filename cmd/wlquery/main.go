@@ -74,7 +74,8 @@ func main() {
 		rdLat       = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat       = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		par         = flag.Int("p", 1, "worker parallelism (1 = serial)")
-		explain     = flag.Bool("explain", false, "print the physical plan and algorithm choices")
+		stat        = flag.Bool("stats", true, "collect column statistics (ANALYZE) before planning; -stats=false plans from textbook defaults")
+		explain     = flag.Bool("explain", false, "print the physical plan, algorithm choices and estimated vs actual rows")
 		materialize = flag.Bool("materialize", false, "materialize after every operator (the naive baseline)")
 		show        = flag.Int("show", 5, "result records to print")
 		seed        = flag.Uint64("seed", 42, "workload generator seed")
@@ -122,6 +123,7 @@ func main() {
 		wlpm.WithBlockSize(*block),
 		wlpm.WithLatencies(*rdLat, *wrLat),
 		wlpm.WithParallelism(*par),
+		wlpm.WithAutoCollect(*stat),
 	)
 	if err != nil {
 		cliutil.Fatal(cmd, err)
@@ -147,6 +149,13 @@ func main() {
 		}
 		if err := c.Close(); err != nil {
 			cliutil.Fatal(cmd, err)
+		}
+		// ANALYZE up front so the statistics pass is not part of the
+		// measured run (subsequent plans hit the cache).
+		if *stat {
+			if _, err := sys.Collect(c); err != nil {
+				cliutil.Fatal(cmd, err)
+			}
 		}
 		cols[spec.name] = c
 	}
@@ -184,13 +193,22 @@ func main() {
 	if *materialize {
 		err = q.RunMaterialized(out, budget)
 	} else {
-		err = q.Run(out, budget)
+		ex, err = q.RunExplained(out, budget)
 	}
 	if err != nil {
 		cliutil.Fatal(cmd, err)
 	}
 	wall := time.Since(start)
 	st := sys.Stats()
+
+	// After the run the choices carry the actual input rows observed at
+	// each blocking operator's Open — print them next to the estimates so
+	// planner misestimates are visible.
+	if *explain && !*materialize {
+		fmt.Println("after run (estimated vs actual rows):")
+		fmt.Print(ex.String())
+		fmt.Println()
+	}
 
 	mode := "pipelined"
 	if *materialize {

@@ -21,6 +21,7 @@ import (
 	"io"
 
 	"wlpm/internal/algo"
+	"wlpm/internal/stats"
 	"wlpm/internal/storage"
 )
 
@@ -76,6 +77,10 @@ type Ctx struct {
 	Factory      storage.Factory
 	MemoryBudget int64
 	Parallelism  int
+	// Stats supplies per-table column statistics to the physical planner
+	// (selectivities, group counts, join cardinalities, join ordering).
+	// Nil planning falls back to the textbook defaults.
+	Stats stats.Provider
 
 	stages  int       // blocking stages sharing the budget (≥ 1)
 	scratch *algo.Env // temp-name allocator for non-consuming operators

@@ -414,25 +414,141 @@ func TestGroupHintSurvivesStreamingStages(t *testing.T) {
 	}
 }
 
-func TestHashAggregateBudgetOverflowFailsLoudly(t *testing.T) {
-	r := newRig(t)
-	in := r.create(t, "in", record.Size)
-	if err := record.Generate(5000, 1, in.Append); err != nil { // 5000 distinct groups
-		t.Fatal(err)
+// loadGrouped fills a collection with n rows over the given number of
+// distinct keys, attribute 4 carrying a per-row value so every aggregate
+// slot is exercised.
+func loadGrouped(t testing.TB, r *rig, name string, n, groups int) storage.Collection {
+	t.Helper()
+	in := r.create(t, name, record.Size)
+	for i := 0; i < n; i++ {
+		rec := record.New(uint64(i % groups))
+		record.SetAttr(rec, 4, uint64(i))
+		if err := in.Append(rec); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := in.Close(); err != nil {
 		t.Fatal(err)
 	}
-	ctx := r.ctx(32<<10, 1)
-	if err := ctx.init(NewHashAggregate(NewScan(in), 1)); err != nil {
+	return in
+}
+
+// TestHashAggregateSpillFallback is the regression test of the budget
+// blow-up bug: a GroupHint underestimating the group count 10× used to
+// abort the running query with the budget-share error; now the hash table
+// spills its partial aggregates to sorted runs and merges them, so the
+// query completes with output byte-identical to the pinned sort-based
+// GroupBy plan. An absent hint (and no statistics) keeps choosing the
+// spill-safe sort path, which also completes.
+func TestHashAggregateSpillFallback(t *testing.T) {
+	const (
+		n      = 20000
+		groups = 5000 // actual distinct groups
+		hint   = 500  // 10× underestimate
+		budget = int64(128 << 10)
+	)
+
+	// Ground truth: the pinned sort-based plan.
+	rs := newRig(t)
+	ctxS := rs.ctx(budget, 1)
+	rootS, _, err := Compile(ctxS, Table(loadGrouped(t, rs, "in", n, groups)).GroupByWith(4, sorts.NewExternalMergeSort()))
+	if err != nil {
 		t.Fatal(err)
 	}
-	h := NewHashAggregate(NewScan(in), 1)
-	if err := ctx.init(h); err != nil {
+	sortOut := rs.create(t, "sorted", record.Size)
+	if err := Run(ctxS, rootS, sortOut); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Open(ctx); err == nil {
-		t.Fatal("hash aggregate over budget did not fail")
+	want := readBytes(t, sortOut)
+
+	// The underestimated hint selects the hash path, which must spill.
+	rh := newRig(t)
+	ctxH := rh.ctx(budget, 1)
+	rootH, ex, err := Compile(ctxH, Table(loadGrouped(t, rh, "in", n, groups)).GroupHint(hint).GroupBy(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Choices) != 1 || ex.Choices[0].Algorithm != "HashAgg" {
+		t.Fatalf("hinted plan chose %+v, want HashAgg", ex.Choices)
+	}
+	hashOut := rh.create(t, "hash", record.Size)
+	if err := Run(ctxH, rootH, hashOut); err != nil {
+		t.Fatalf("underestimated hint no longer degrades, it fails: %v", err)
+	}
+	if !ex.Choices[0].Spilled {
+		t.Error("explain choice not marked as spilled")
+	}
+	if got := ex.Choices[0].ActualRows; got != n {
+		t.Errorf("explain actual rows = %d, want %d", got, n)
+	}
+	if hashOut.Len() != groups {
+		t.Fatalf("spill fallback produced %d groups, want %d", hashOut.Len(), groups)
+	}
+	if !bytes.Equal(readBytes(t, hashOut), want) {
+		t.Fatal("spill-fallback output differs from the pinned sort-based GroupBy plan")
+	}
+
+	// Absent hint, no statistics: the planner assumes every record is its
+	// own group, stays on the sort path, and completes.
+	ra := newRig(t)
+	ctxA := ra.ctx(budget, 1)
+	rootA, exA, err := Compile(ctxA, Table(loadGrouped(t, ra, "in", n, groups)).GroupBy(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exA.Choices[0].Algorithm == "HashAgg" {
+		t.Fatalf("hintless, statless plan chose the hash path: %+v", exA.Choices)
+	}
+	outA := ra.create(t, "nohint", record.Size)
+	if err := Run(ctxA, rootA, outA); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readBytes(t, outA), want) {
+		t.Fatal("hintless output differs from the pinned sort-based GroupBy plan")
+	}
+}
+
+// TestHashAggregateSpillMultiPassMerge shrinks the budget until the
+// spill produces far more runs than the merge fan-in (floored at 2),
+// exercising the intermediate merge passes — and stacks an OrderBy above
+// the spilled aggregate so a blocking parent consumes the merged result
+// through its collection source.
+func TestHashAggregateSpillMultiPassMerge(t *testing.T) {
+	const (
+		n      = 2000
+		groups = 1000
+		budget = int64(4 << 10) // two stages: 2 KiB each, fan-in at the floor
+	)
+	rh := newRig(t)
+	ctxH := rh.ctx(budget, 1)
+	rootH, ex, err := Compile(ctxH, Table(loadGrouped(t, rh, "in", n, groups)).GroupHint(10).GroupBy(4).OrderBy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Choices[0].Algorithm != "HashAgg" {
+		t.Fatalf("plan chose %+v, want HashAgg", ex.Choices)
+	}
+	hashOut := rh.create(t, "hash", record.Size)
+	if err := Run(ctxH, rootH, hashOut); err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Choices[0].Spilled {
+		t.Error("explain choice not marked as spilled")
+	}
+
+	rs := newRig(t)
+	ctxS := rs.ctx(budget, 1)
+	rootS, _, err := Compile(ctxS, Table(loadGrouped(t, rs, "in", n, groups)).
+		GroupByWith(4, sorts.NewExternalMergeSort()).OrderByWith(sorts.NewExternalMergeSort()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortOut := rs.create(t, "sorted", record.Size)
+	if err := Run(ctxS, rootS, sortOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readBytes(t, hashOut), readBytes(t, sortOut)) {
+		t.Fatal("multi-pass spill merge output differs from the sort-based plan")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 type Join struct {
 	left, right Operator
 	algo        joins.Algorithm
+	rc          *runtimeChoice // planner handle: Open-time estimate clamping
 	joined      storage.Collection
 	it          storage.Iterator
 }
@@ -43,6 +44,9 @@ func (j *Join) joinInto(ctx *Ctx, dst storage.Collection) error {
 		lclean() //nolint:errcheck // best-effort cleanup after failure
 		return err
 	}
+	// Clamp the compile-time estimates against the materialized inputs: a
+	// planner-owned choice is re-priced at the actual cardinalities.
+	j.algo = j.rc.clampJoin(lcoll.Len(), lcoll.RecordSize(), rcoll.Len(), rcoll.RecordSize(), j.algo)
 	env := ctx.StageEnv()
 	if err := j.algo.Join(env, lcoll, rcoll, dst); err != nil {
 		lclean() //nolint:errcheck // best-effort cleanup after failure

@@ -16,6 +16,7 @@ import (
 type OrderBy struct {
 	child   Operator
 	algo    sorts.Algorithm
+	rc      *runtimeChoice // planner handle: Open-time estimate clamping
 	sorted  storage.Collection
 	it      storage.Iterator
 	cleanup func() error
@@ -40,6 +41,9 @@ func (o *OrderBy) sortInto(ctx *Ctx, dst storage.Collection) error {
 	if err != nil {
 		return err
 	}
+	// Clamp the compile-time estimate against the materialized input: a
+	// planner-owned choice is re-priced at the actual cardinality.
+	o.algo = o.rc.clampSort(in.Len(), in.RecordSize(), o.algo)
 	env := ctx.StageEnv()
 	if err := o.algo.Sort(env, in, dst); err != nil {
 		cleanup() //nolint:errcheck // best-effort cleanup after failure

@@ -10,6 +10,7 @@ import (
 	"wlpm/internal/joins"
 	"wlpm/internal/record"
 	"wlpm/internal/sorts"
+	"wlpm/internal/stats"
 )
 
 // CompileOptions tunes physical planning.
@@ -18,20 +19,32 @@ type CompileOptions struct {
 	// non-scan operator: the naive compose-by-collections execution the
 	// pipelined plan is benchmarked against.
 	MaterializeEveryStep bool
+	// DisableJoinReorder keeps multi-join plans in their written order
+	// instead of letting the planner rebuild them smallest-build-first
+	// from the cardinality estimates.
+	DisableJoinReorder bool
 }
 
-// Choice records one physical algorithm decision for Explain.
+// Choice records one physical algorithm decision for Explain. The planner
+// fills the estimates at compile time; the blocking operator updates
+// ActualRows (and, for non-pinned choices, Algorithm/Replanned) when its
+// Open observes the materialized input.
 type Choice struct {
-	Operator  string  // "OrderBy", "GroupBy", "Join"
-	Algorithm string  // chosen algorithm with knobs, e.g. "SegS(0.31)"
-	Pinned    bool    // true when the caller fixed the algorithm
-	InputRows int     // estimated input cardinality (left side for joins)
-	Buffers   float64 // estimated input size in buffers (t; joins also use v)
-	RightBuf  float64 // v for joins, 0 otherwise
-	Cost      float64 // predicted price in buffer-read units (0 when pinned)
+	Operator   string  // "OrderBy", "GroupBy", "Join"
+	Algorithm  string  // chosen algorithm with knobs, e.g. "SegS(0.31)"
+	Pinned     bool    // true when the caller fixed the algorithm
+	InputRows  int     // estimated input cardinality (left side for joins)
+	ActualRows int     // input rows observed at Open; -1 before a run
+	Buffers    float64 // estimated input size in buffers (t; joins also use v)
+	RightBuf   float64 // v for joins, 0 otherwise
+	Cost       float64 // predicted price in buffer-read units
+	Replanned  bool    // Open-time actuals changed the planner's algorithm
+	Spilled    bool    // hash aggregation degraded to its sort-merge fallback
 }
 
-// Explain describes the compiled physical plan.
+// Explain describes the compiled physical plan. Choices are shared with
+// the operator tree, so after a Run they also carry the actuals observed
+// at Open time.
 type Explain struct {
 	Root        string // the physical operator tree, root first
 	RecordSize  int    // byte width of the plan's output records
@@ -39,7 +52,8 @@ type Explain struct {
 	TotalBudget int64  // plan M in bytes
 	StageBudget int64  // per-stage share in bytes
 	Lambda      float64
-	Choices     []Choice
+	Reordered   bool // the planner rebuilt a join chain smallest-build-first
+	Choices     []*Choice
 }
 
 // String renders the explanation for CLIs and examples.
@@ -48,17 +62,31 @@ func (e *Explain) String() string {
 	fmt.Fprintf(&b, "plan    %s\n", e.Root)
 	fmt.Fprintf(&b, "memory  %d B across %d blocking stage(s): %d B each (λ=%.1f)\n",
 		e.TotalBudget, e.Stages, e.StageBudget, e.Lambda)
+	if e.Reordered {
+		fmt.Fprintf(&b, "joins   reordered smallest-build-first from the cardinality estimates (compensating projection restores the written column order)\n")
+	}
 	for _, c := range e.Choices {
 		origin := "cost model"
 		if c.Pinned {
 			origin = "pinned"
 		}
+		rows := fmt.Sprintf("est %d rows", c.InputRows)
+		if c.ActualRows >= 0 {
+			rows += fmt.Sprintf(", act %d", c.ActualRows)
+		}
+		var notes string
+		if c.Replanned {
+			notes += "; replanned at open"
+		}
+		if c.Spilled {
+			notes += "; spilled to sort-merge"
+		}
 		if c.RightBuf > 0 {
-			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f v=%.0f buffers, est cost %.3g)\n",
-				c.Operator, c.Algorithm, origin, c.Buffers, c.RightBuf, c.Cost)
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f v=%.0f buffers, %s, est cost %.3g%s)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, c.RightBuf, rows, c.Cost, notes)
 		} else {
-			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f buffers, est cost %.3g)\n",
-				c.Operator, c.Algorithm, origin, c.Buffers, c.Cost)
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f buffers, %s, est cost %.3g%s)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, rows, c.Cost, notes)
 		}
 	}
 	return b.String()
@@ -67,8 +95,9 @@ func (e *Explain) String() string {
 // Compile turns a logical plan into a physical operator tree, consulting
 // the cost model for every sort and join the plan left open: the device
 // λ, the per-stage share of the context's memory budget, and bottom-up
-// cardinality estimates select the algorithm and place its
-// write-intensity knob.
+// cardinality estimates — from the context's statistics provider when one
+// is set, textbook defaults otherwise — select the algorithm and place
+// its write-intensity knob.
 func Compile(ctx *Ctx, p *Plan) (Operator, *Explain, error) {
 	return CompileWith(ctx, p, CompileOptions{})
 }
@@ -97,6 +126,10 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 		lambda:      ctx.Factory.Device().Lambda(),
 		blockSize:   ctx.Factory.BlockSize(),
 		stageBudget: stageBudget,
+		stats:       ctx.Stats,
+	}
+	if !opts.DisableJoinReorder {
+		p = c.reorderJoins(p)
 	}
 	root, _, err := c.build(p)
 	if err != nil {
@@ -109,6 +142,7 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 		TotalBudget: ctx.MemoryBudget,
 		StageBudget: stageBudget,
 		Lambda:      c.lambda,
+		Reordered:   c.reordered,
 		Choices:     c.choices,
 	}
 	return root, ex, nil
@@ -133,7 +167,9 @@ type compiler struct {
 	lambda      float64
 	blockSize   int
 	stageBudget int64
-	choices     []Choice
+	stats       stats.Provider
+	reordered   bool
+	choices     []*Choice
 }
 
 // memBuffers is the per-stage memory budget in buffer units (m of the
@@ -171,138 +207,435 @@ func (c *compiler) breaker(op Operator) Operator {
 	return NewMaterialize(op)
 }
 
-// build compiles the node and returns the operator plus an output
-// cardinality estimate.
-func (c *compiler) build(p *Plan) (Operator, int, error) {
+// newChoice registers an Explain entry and returns it together with the
+// runtime-clamp handle handed to the blocking operator.
+func (c *compiler) newChoice(ch Choice) (*Choice, *runtimeChoice) {
+	ch.ActualRows = -1
+	p := &ch
+	c.choices = append(c.choices, p)
+	return p, &runtimeChoice{choice: p, m: c.memBuffers(), lambda: c.lambda, blockSize: c.blockSize}
+}
+
+// build compiles the node and returns the operator plus its output
+// estimate.
+func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 	if p.err != nil {
-		return nil, 0, p.err
+		return nil, planEstimate{}, p.err
 	}
 	switch p.kind {
 	case planScan:
-		return NewScan(p.col), p.col.Len(), nil
+		return NewScan(p.col), c.estimateNode(p), nil
 
 	case planFilter:
-		child, rows, err := c.build(p.left)
+		child, in, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
 		if err := p.pred.validate(child.RecordSize()); err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
-		est := int(float64(rows) * p.pred.Selectivity())
-		if est < 1 {
-			est = 1
-		}
-		return c.breaker(NewFilter(child, p.pred)), est, nil
+		return c.breaker(NewFilter(child, p.pred)), c.filterEstimate(in, p.pred), nil
 
 	case planProject:
-		child, rows, err := c.build(p.left)
+		child, in, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
 		if len(p.attrs) == 0 {
-			return nil, 0, fmt.Errorf("exec: projection with no attributes")
+			return nil, planEstimate{}, fmt.Errorf("exec: projection with no attributes")
 		}
 		for _, a := range p.attrs {
 			if a < 0 || (a+1)*record.AttrSize > child.RecordSize() {
-				return nil, 0, fmt.Errorf("exec: projected attribute a%d outside %d-byte record", a, child.RecordSize())
+				return nil, planEstimate{}, fmt.Errorf("exec: projected attribute a%d outside %d-byte record", a, child.RecordSize())
 			}
 		}
-		return c.breaker(NewProject(child, p.attrs...)), rows, nil
+		return c.breaker(NewProject(child, p.attrs...)), projectEstimate(in, p.attrs), nil
 
 	case planLimit:
-		child, rows, err := c.build(p.left)
+		child, in, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
-		if p.n < rows {
-			rows = p.n
-		}
-		return c.breaker(NewLimit(child, p.n)), rows, nil
+		return c.breaker(NewLimit(child, p.n)), limitEstimate(in, p.n), nil
 
 	case planOrderBy:
-		child, rows, err := c.build(p.left)
+		child, in, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
-		t, m := c.buffers(rows, child.RecordSize()), c.memBuffers()
+		t, m := c.buffers(in.rows, child.RecordSize()), c.memBuffers()
 		a := p.sortA
-		ch := Choice{Operator: "OrderBy", InputRows: rows, Buffers: t, Pinned: a != nil}
+		ch := Choice{Operator: "OrderBy", InputRows: in.rows, Buffers: t, Pinned: a != nil}
 		if a == nil {
 			var prof cost.Profile
 			a, prof = ChooseSort(t, m, c.lambda)
 			ch.Cost = prof.Price(1, c.lambda)
+		} else if prof, ok := pinnedSortProfile(a, t, m, c.lambda); ok {
+			ch.Cost = prof.Price(1, c.lambda)
 		}
 		ch.Algorithm = a.Name()
-		c.choices = append(c.choices, ch)
-		return c.breaker(NewOrderBy(child, a)), rows, nil
+		_, rc := c.newChoice(ch)
+		op := NewOrderBy(child, a)
+		op.rc = rc
+		return c.breaker(op), in, nil
 
 	case planGroupBy:
-		child, rows, err := c.build(p.left)
+		child, in, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
 		// Fail width mismatches at plan time so Explain never prices a
 		// group-by that cannot execute.
 		if child.RecordSize() != record.Size {
-			return nil, 0, fmt.Errorf("exec: group-by needs %d-byte benchmark records, input emits %d (project first)",
+			return nil, planEstimate{}, fmt.Errorf("exec: group-by needs %d-byte benchmark records, input emits %d (project first)",
 				record.Size, child.RecordSize())
 		}
 		if p.attr < 0 || p.attr >= record.NumAttrs {
-			return nil, 0, fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", p.attr, record.NumAttrs-1)
+			return nil, planEstimate{}, fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", p.attr, record.NumAttrs-1)
 		}
-		hint := p.left.hint // GroupHint annotates the group-by's input
-		groups := hint
-		if groups <= 0 || groups > rows {
-			groups = rows // no statistics: assume aggregation doesn't shrink
-		}
-		t, m := c.buffers(rows, child.RecordSize()), c.memBuffers()
-		ch := Choice{Operator: "GroupBy", InputRows: rows, Buffers: t, Pinned: p.sortA != nil}
+		est, groups := c.groupEstimate(p, in)
+		t, m := c.buffers(in.rows, child.RecordSize()), c.memBuffers()
+		out := planEstimate{rows: groups}
+		ch := Choice{Operator: "GroupBy", InputRows: in.rows, Buffers: t, Pinned: p.sortA != nil}
 		if p.sortA != nil {
 			ch.Algorithm = p.sortA.Name()
-			c.choices = append(c.choices, ch)
-			return c.breaker(NewGroupBy(child, p.attr, p.sortA)), groups, nil
+			if prof, ok := pinnedSortProfile(p.sortA, t, m, c.lambda); ok {
+				ch.Cost = prof.Price(1, c.lambda)
+			}
+			_, rc := c.newChoice(ch)
+			op := NewGroupBy(child, p.attr, p.sortA)
+			op.rc = rc
+			return c.breaker(op), out, nil
 		}
 		// The hash table must fit the stage share with the paper's f
-		// expansion and headroom for estimate error.
+		// expansion and headroom for estimate error. An estimate (hint or
+		// statistics) is required: without one the planner assumes every
+		// record is its own group and stays on the spill-safe sort path.
 		hashCap := int(float64(c.stageBudget) / (2 * algo.HashTableExpansion * float64(record.Size)))
-		if hint > 0 && groups <= hashCap {
+		if est > 0 && est <= hashCap {
 			ch.Algorithm = "HashAgg"
-			c.choices = append(c.choices, ch)
-			return c.breaker(NewHashAggregate(child, p.attr)), groups, nil
+			// The hash path reads the input once and writes only the
+			// result; an underestimate degrades to the sort-merge spill
+			// fallback rather than failing.
+			ch.Cost = cost.Profile{Reads: t, Writes: c.buffers(groups, record.Size)}.Price(1, c.lambda)
+			_, rc := c.newChoice(ch)
+			op := NewHashAggregate(child, p.attr)
+			op.rc = rc
+			return c.breaker(op), out, nil
 		}
 		a, prof := ChooseSort(t, m, c.lambda)
 		ch.Algorithm = a.Name()
 		ch.Cost = prof.Price(1, c.lambda)
-		c.choices = append(c.choices, ch)
-		return c.breaker(NewGroupBy(child, p.attr, a)), groups, nil
+		_, rc := c.newChoice(ch)
+		op := NewGroupBy(child, p.attr, a)
+		op.rc = rc
+		return c.breaker(op), out, nil
 
 	case planJoin:
-		left, lrows, err := c.build(p.left)
+		left, lest, err := c.build(p.left)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
-		right, rrows, err := c.build(p.right)
+		right, rest, err := c.build(p.right)
 		if err != nil {
-			return nil, 0, err
+			return nil, planEstimate{}, err
 		}
-		t := c.buffers(lrows, left.RecordSize())
-		v := c.buffers(rrows, right.RecordSize())
+		t := c.buffers(lest.rows, left.RecordSize())
+		v := c.buffers(rest.rows, right.RecordSize())
 		m := c.memBuffers()
+		out := c.joinEstimate(lest, rest)
+		// The cost profiles charge the paper's microbenchmark output
+		// (joinOutput: |V| single-record results), but the engine
+		// materializes full left‖right concatenations of the estimated
+		// output cardinality. Re-pricing that term is a constant shift
+		// across the algorithm candidates — the argmin is unchanged — yet
+		// it matters when comparing join orders, where v flips sides while
+		// the real output stays put.
+		outBuf := c.buffers(out.rows, left.RecordSize()+right.RecordSize())
+		adjust := func(price float64) float64 { return price + c.lambda*(outBuf-v) }
 		a := p.joinA
-		ch := Choice{Operator: "Join", InputRows: lrows, Buffers: t, RightBuf: v, Pinned: a != nil}
+		ch := Choice{Operator: "Join", InputRows: lest.rows, Buffers: t, RightBuf: v, Pinned: a != nil}
 		if a == nil {
 			var prof cost.Profile
 			a, prof = ChooseJoin(t, v, m, c.lambda)
-			ch.Cost = prof.Price(1, c.lambda)
+			ch.Cost = adjust(prof.Price(1, c.lambda))
+		} else if prof, ok := pinnedJoinProfile(a, t, v, m, c.lambda); ok {
+			ch.Cost = adjust(prof.Price(1, c.lambda))
 		}
 		ch.Algorithm = a.Name()
-		c.choices = append(c.choices, ch)
-		// The paper's microbenchmark estimate: every probe record
-		// matches, so the output has |V| rows.
-		return c.breaker(NewJoin(left, right, a)), rrows, nil
+		_, rc := c.newChoice(ch)
+		rc.outBuf = outBuf
+		op := NewJoin(left, right, a)
+		op.rc = rc
+		return c.breaker(op), out, nil
 	}
-	return nil, 0, fmt.Errorf("exec: unknown plan node %d", p.kind)
+	return nil, planEstimate{}, fmt.Errorf("exec: unknown plan node %d", p.kind)
+}
+
+// --- Cardinality estimates ---
+
+// planEstimate is the planner's view of one intermediate result: a row
+// count plus, when statistics reached this node, the column statistics of
+// its output schema.
+type planEstimate struct {
+	rows int
+	tbl  *stats.Table
+}
+
+// statsFor consults the context's statistics provider for a base table.
+func (c *compiler) statsFor(p *Plan) *stats.Table {
+	if c.stats == nil || p.col == nil {
+		return nil
+	}
+	return c.stats.TableStats(p.col)
+}
+
+// estimateNode derives the node's output estimate bottom-up, without
+// building operators — used by the join-order rewrite (build applies the
+// same per-node transforms incrementally to its children's estimates).
+func (c *compiler) estimateNode(p *Plan) planEstimate {
+	if p == nil || p.err != nil {
+		return planEstimate{}
+	}
+	switch p.kind {
+	case planScan:
+		return planEstimate{rows: p.col.Len(), tbl: c.statsFor(p)}
+	case planFilter:
+		return c.filterEstimate(c.estimateNode(p.left), p.pred)
+	case planProject:
+		return projectEstimate(c.estimateNode(p.left), p.attrs)
+	case planLimit:
+		return limitEstimate(c.estimateNode(p.left), p.n)
+	case planOrderBy:
+		return c.estimateNode(p.left)
+	case planGroupBy:
+		_, groups := c.groupEstimate(p, c.estimateNode(p.left))
+		return planEstimate{rows: groups}
+	case planJoin:
+		return c.joinEstimate(c.estimateNode(p.left), c.estimateNode(p.right))
+	}
+	return planEstimate{}
+}
+
+// filterEstimate applies a predicate's selectivity to the input estimate.
+func (c *compiler) filterEstimate(in planEstimate, pred Predicate) planEstimate {
+	rows := int(float64(in.rows) * c.selectivity(pred, in.tbl))
+	if rows < 1 {
+		rows = 1
+	}
+	return planEstimate{rows: rows, tbl: in.tbl.WithRows(rows)}
+}
+
+// projectEstimate remaps the input estimate to the projected schema.
+func projectEstimate(in planEstimate, attrs []int) planEstimate {
+	return planEstimate{rows: in.rows, tbl: in.tbl.Project(attrs)}
+}
+
+// limitEstimate caps the input estimate at n rows.
+func limitEstimate(in planEstimate, n int) planEstimate {
+	rows := in.rows
+	if n < rows {
+		rows = n
+	}
+	return planEstimate{rows: rows, tbl: in.tbl.WithRows(rows)}
+}
+
+// selectivity estimates the surviving fraction of a predicate: from the
+// input's column statistics when they reached this node, else the
+// textbook defaults.
+func (c *compiler) selectivity(pred Predicate, tbl *stats.Table) float64 {
+	col := tbl.Col(pred.Attr)
+	if col == nil || tbl.Rows == 0 {
+		return pred.Selectivity()
+	}
+	var f float64
+	switch pred.Op {
+	case Eq:
+		f = col.FracEq(pred.Value)
+	case Ne:
+		f = 1 - col.FracEq(pred.Value)
+	case Lt:
+		f = col.FracLT(pred.Value)
+	case Le:
+		f = col.FracLE(pred.Value)
+	case Gt:
+		f = 1 - col.FracLE(pred.Value)
+	case Ge:
+		f = 1 - col.FracLT(pred.Value)
+	default:
+		return pred.Selectivity()
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// groupEstimate returns (est, groups): est is the best available
+// distinct-group estimate (the caller's hint first, then the key column's
+// distinct count from statistics; 0 when neither exists), and groups is
+// the output cardinality — est clamped to the input rows, or the rows
+// themselves when no estimate exists (aggregation assumed not to shrink).
+func (c *compiler) groupEstimate(p *Plan, in planEstimate) (est, groups int) {
+	est = p.left.hint // GroupHint annotates the group-by's input
+	if est <= 0 {
+		if col := in.tbl.Col(0); col != nil {
+			est = col.Distinct
+		}
+	}
+	groups = est
+	if groups <= 0 || groups > in.rows {
+		groups = in.rows
+	}
+	return est, groups
+}
+
+// joinEstimate prices the equi-join of the two inputs on their key
+// attributes: |L|·|R| / max(d_L, d_R) when both key columns carry
+// distinct counts, the paper's microbenchmark default of "every probe
+// record matches" (|R| rows) otherwise.
+func (c *compiler) joinEstimate(l, r planEstimate) planEstimate {
+	rows := r.rows
+	lc, rc := l.tbl.Col(0), r.tbl.Col(0)
+	if lc != nil && rc != nil && lc.Distinct > 0 && rc.Distinct > 0 {
+		denom := lc.Distinct
+		if rc.Distinct > denom {
+			denom = rc.Distinct
+		}
+		rows = int(float64(l.rows) * float64(r.rows) / float64(denom))
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return planEstimate{rows: rows, tbl: stats.Concat(l.tbl, r.tbl, rows)}
+}
+
+// --- Pinned-choice pricing ---
+
+// pinnedSortProfile prices a caller-pinned sort algorithm with the same
+// implementation profiles the planner ranks, so Explain reports a cost
+// for pinned choices too. Unknown implementations report ok=false.
+func pinnedSortProfile(a sorts.Algorithm, t, m, lambda float64) (cost.Profile, bool) {
+	switch s := a.(type) {
+	case *sorts.ExternalMergeSort:
+		return cost.ExMSProfile(t, m), true
+	case *sorts.SelectionSort:
+		return cost.SelSProfile(t, m), true
+	case *sorts.LazySort:
+		return cost.LaSProfile(t, m, lambda), true
+	case *sorts.SegmentSort:
+		x := s.Intensity
+		if s.Auto {
+			x = cost.SegmentSortOptimalX(t, m, lambda)
+		}
+		return cost.SegSProfile(x, t, m), true
+	case *sorts.HybridSort:
+		return cost.HybSProfile(s.Intensity, t, m), true
+	}
+	return cost.Profile{}, false
+}
+
+// pinnedJoinProfile is pinnedSortProfile's join twin.
+func pinnedJoinProfile(a joins.Algorithm, t, v, m, lambda float64) (cost.Profile, bool) {
+	switch j := a.(type) {
+	case *joins.NestedLoops:
+		return cost.NLJProfile(t, v, m), true
+	case *joins.Grace:
+		return cost.GJProfile(t, v), true
+	case *joins.Hash:
+		return cost.HJProfile(t, v, m), true
+	case *joins.LazyHash:
+		return cost.LaJProfile(t, v, m, lambda), true
+	case *joins.HybridGraceNL:
+		x, y := j.X, j.Y
+		if j.Auto {
+			// The saddle solver already clamps to [0, 1].
+			x, y = cost.HybridJoinSaddle(t, v, m, lambda)
+		}
+		return cost.HybJProfile(x, y, t, v, m), true
+	case *joins.SegmentedGrace:
+		return cost.SegJProfile(j.Intensity, t, v, m), true
+	}
+	return cost.Profile{}, false
+}
+
+// --- Open-time clamping ---
+
+// runtimeChoice carries the planner's pricing inputs into a blocking
+// operator so its Open can clamp the compile-time estimates against the
+// actual input cardinalities: actuals are recorded on the shared Explain
+// choice, and a non-pinned algorithm is re-chosen from the actual sizes —
+// the misestimate repair the fixed selectivities and hints cannot make at
+// compile time.
+type runtimeChoice struct {
+	choice    *Choice
+	m         float64
+	lambda    float64
+	blockSize int
+	outBuf    float64 // joins: estimated output buffers for cost adjustment
+}
+
+func (rc *runtimeChoice) buffers(rows, recSize int) float64 {
+	b := math.Ceil(float64(rows) * float64(recSize) / float64(rc.blockSize))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// clampSort records the actual input size, re-prices the choice at the
+// actual cardinality (pinned choices via their own profile, so cost and
+// algorithm always describe each other), and re-runs the planner's
+// choice when it owns the decision.
+func (rc *runtimeChoice) clampSort(rows, recSize int, cur sorts.Algorithm) sorts.Algorithm {
+	if rc == nil {
+		return cur
+	}
+	rc.choice.ActualRows = rows
+	t := rc.buffers(rows, recSize)
+	if rc.choice.Pinned {
+		if prof, ok := pinnedSortProfile(cur, t, rc.m, rc.lambda); ok {
+			rc.choice.Cost = prof.Price(1, rc.lambda)
+		}
+		return cur
+	}
+	a, prof := ChooseSort(t, rc.m, rc.lambda)
+	rc.choice.Cost = prof.Price(1, rc.lambda)
+	if a.Name() != cur.Name() {
+		rc.choice.Replanned = true
+		rc.choice.Algorithm = a.Name()
+		return a
+	}
+	return cur
+}
+
+// clampJoin is clampSort's join twin (actuals are the build side's
+// rows); the re-priced cost keeps the compile-time output adjustment —
+// the output hasn't been produced yet, so its estimate stands.
+func (rc *runtimeChoice) clampJoin(lrows, lrec, rrows, rrec int, cur joins.Algorithm) joins.Algorithm {
+	if rc == nil {
+		return cur
+	}
+	rc.choice.ActualRows = lrows
+	t, v := rc.buffers(lrows, lrec), rc.buffers(rrows, rrec)
+	adjust := func(price float64) float64 { return price + rc.lambda*(rc.outBuf-v) }
+	if rc.choice.Pinned {
+		if prof, ok := pinnedJoinProfile(cur, t, v, rc.m, rc.lambda); ok {
+			rc.choice.Cost = adjust(prof.Price(1, rc.lambda))
+		}
+		return cur
+	}
+	a, prof := ChooseJoin(t, v, rc.m, rc.lambda)
+	rc.choice.Cost = adjust(prof.Price(1, rc.lambda))
+	if a.Name() != cur.Name() {
+		rc.choice.Replanned = true
+		rc.choice.Algorithm = a.Name()
+		return a
+	}
+	return cur
 }
 
 // ChooseSort returns the cost-model-optimal sort for t input buffers

@@ -107,7 +107,10 @@ func assertWithinTol(t *testing.T, what string, serial, parallel uint64, tol flo
 // one device and factory (run with -race).
 func TestConcurrentJoinsSharedDevice(t *testing.T) {
 	dev := pmem.MustOpen(pmem.Config{Capacity: 256 << 20})
-	fac := all.MustNew("blocked", dev, 0)
+	fac, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const nLeft, nRight, budget = 2_000, 8_000, 300
 
 	var wg sync.WaitGroup

@@ -145,7 +145,10 @@ func TestCapRunWorkersNeverBlocksAmplePlans(t *testing.T) {
 // must survive (run with -race).
 func TestConcurrentSortsSharedDevice(t *testing.T) {
 	dev := pmem.MustOpen(pmem.Config{Capacity: 256 << 20})
-	fac := all.MustNew("blocked", dev, 0)
+	fac, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const n, budget = 8_000, 300
 
 	var wg sync.WaitGroup

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"sync"
+
+	"wlpm/internal/storage"
+)
+
+// Provider supplies per-table statistics to the physical planner. A nil
+// result means "unknown"; the planner falls back to its textbook
+// defaults.
+type Provider interface {
+	TableStats(c storage.Collection) *Table
+}
+
+// Cache holds collected statistics keyed by collection name, invalidated
+// by row count. With AutoCollect set, a lookup miss (or a stale entry)
+// triggers a fresh collection pass — the ANALYZE-on-first-query behaviour
+// of the façade. Safe for concurrent use.
+type Cache struct {
+	autoCollect bool
+
+	mu sync.Mutex
+	m  map[string]*Table
+}
+
+// NewCache returns an empty cache. With autoCollect, TableStats collects
+// missing or stale statistics on demand instead of returning nil.
+func NewCache(autoCollect bool) *Cache {
+	return &Cache{autoCollect: autoCollect, m: make(map[string]*Table)}
+}
+
+// Collect gathers fresh statistics for c (one read-only streaming pass)
+// and caches them, replacing any previous entry — the explicit ANALYZE.
+func (s *Cache) Collect(c storage.Collection) (*Table, error) {
+	t, err := Collect(c)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.m[t.Name] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// Lookup returns the cached statistics of the named collection, or nil.
+func (s *Cache) Lookup(name string) *Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
+}
+
+// Invalidate drops the cached statistics of the named collection.
+func (s *Cache) Invalidate(name string) {
+	s.mu.Lock()
+	delete(s.m, name)
+	s.mu.Unlock()
+}
+
+// TableStats implements Provider: the cached entry when it still matches
+// the collection's row count; otherwise a fresh collection when
+// AutoCollect is on (collection errors degrade to "unknown"), else nil.
+//
+// Freshness is judged by (name, row count) only — the cache cannot
+// observe Destroy. A caller that destroys a collection and recreates the
+// name with different data of the same length must Invalidate (or
+// re-Collect) the name, or the planner sees the old distribution; the
+// estimates degrade, never the results.
+func (s *Cache) TableStats(c storage.Collection) *Table {
+	if c == nil {
+		return nil
+	}
+	s.mu.Lock()
+	t := s.m[c.Name()]
+	s.mu.Unlock()
+	if t != nil && t.Rows == c.Len() {
+		return t
+	}
+	if !s.autoCollect {
+		return t // possibly stale: an estimate beats no estimate
+	}
+	t, err := s.Collect(c)
+	if err != nil {
+		return nil
+	}
+	return t
+}

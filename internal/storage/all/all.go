@@ -14,7 +14,9 @@ import (
 )
 
 // New creates a factory for the named backend ("blocked", "dynarray",
-// "ramdisk", "pmfs") on dev.
+// "ramdisk", "pmfs") on dev. Backend initialization failures are
+// returned wrapped with the backend name — never panicked — so the
+// façade and the CLIs can fail cleanly.
 func New(name string, dev *pmem.Device, blockSize int) (storage.Factory, error) {
 	switch name {
 	case "blocked":
@@ -22,19 +24,18 @@ func New(name string, dev *pmem.Device, blockSize int) (storage.Factory, error) 
 	case "dynarray":
 		return dynarray.New(dev, blockSize), nil
 	case "ramdisk":
-		return ramdisk.New(dev, blockSize)
+		f, err := ramdisk.New(dev, blockSize)
+		if err != nil {
+			return nil, fmt.Errorf("storage: backend %q: %w", name, err)
+		}
+		return f, nil
 	case "pmfs":
-		return pmfs.New(dev, blockSize)
+		f, err := pmfs.New(dev, blockSize)
+		if err != nil {
+			return nil, fmt.Errorf("storage: backend %q: %w", name, err)
+		}
+		return f, nil
 	default:
 		return nil, fmt.Errorf("storage: unknown backend %q (want one of %v)", name, storage.Backends)
 	}
-}
-
-// MustNew is New for known-good arguments.
-func MustNew(name string, dev *pmem.Device, blockSize int) storage.Factory {
-	f, err := New(name, dev, blockSize)
-	if err != nil {
-		panic(err)
-	}
-	return f
 }

@@ -20,13 +20,10 @@ func TestNewCoversEveryBackend(t *testing.T) {
 	}
 }
 
-func TestMustNewPanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustNew(unknown) did not panic")
-		}
-	}()
-	MustNew("tape", pmem.MustOpen(pmem.Config{Capacity: 1 << 20}), 0)
+func TestNewRejectsUnknownBackend(t *testing.T) {
+	if _, err := New("tape", pmem.MustOpen(pmem.Config{Capacity: 1 << 20}), 0); err == nil {
+		t.Error("New(unknown backend) succeeded")
+	}
 }
 
 func TestNewPropagatesFormatErrors(t *testing.T) {

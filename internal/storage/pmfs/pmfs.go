@@ -32,6 +32,8 @@ type Factory struct {
 }
 
 // New formats dev as a PMFS volume and returns its factory.
+// Initialization failures (an undersized or exhausted device) return a
+// wrapped error so callers can fail cleanly instead of panicking.
 func New(dev *pmem.Device, blockSize int) (*Factory, error) {
 	if blockSize <= 0 {
 		blockSize = storage.DefaultBlockSize
@@ -43,18 +45,9 @@ func New(dev *pmem.Device, blockSize int) (*Factory, error) {
 		SizeUpdateEveryAppend: true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("pmfs: format: %w", err)
 	}
 	return &Factory{fs: fs, blockSize: blockSize, names: make(map[string]bool)}, nil
-}
-
-// MustNew is New for known-good configurations.
-func MustNew(dev *pmem.Device, blockSize int) *Factory {
-	f, err := New(dev, blockSize)
-	if err != nil {
-		panic(err)
-	}
-	return f
 }
 
 // Name implements storage.Factory.

@@ -36,7 +36,9 @@ type Factory struct {
 	names map[string]bool
 }
 
-// New formats dev as a RAM disk and returns its factory.
+// New formats dev as a RAM disk and returns its factory. Initialization
+// failures (an undersized or exhausted device) return a wrapped error so
+// callers can fail cleanly instead of panicking.
 func New(dev *pmem.Device, blockSize int) (*Factory, error) {
 	if blockSize <= 0 {
 		blockSize = storage.DefaultBlockSize
@@ -48,18 +50,9 @@ func New(dev *pmem.Device, blockSize int) (*Factory, error) {
 		InodeWriteWhole: true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ramdisk: format: %w", err)
 	}
 	return &Factory{fs: fs, blockSize: blockSize, names: make(map[string]bool)}, nil
-}
-
-// MustNew is New for known-good configurations.
-func MustNew(dev *pmem.Device, blockSize int) *Factory {
-	f, err := New(dev, blockSize)
-	if err != nil {
-		panic(err)
-	}
-	return f
 }
 
 // Name implements storage.Factory.

@@ -49,7 +49,13 @@ func TestSectorOverheadExceedsPMFS(t *testing.T) {
 		}
 		return dev.Stats()
 	}
-	rd := run(func(dev *pmem.Device) storage.Factory { return MustNew(dev, 0) })
+	rd := run(func(dev *pmem.Device) storage.Factory {
+		f, err := New(dev, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	})
 	if rd.Writes == 0 || rd.SoftTime == 0 {
 		t.Fatalf("ramdisk stats implausible: %+v", rd)
 	}

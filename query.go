@@ -9,8 +9,11 @@ import (
 // a logical plan; Run compiles it with the cost-model physical planner —
 // which picks the write-limited sort and join variants (and places their
 // intensity knobs) from the device λ, the per-stage memory share and the
-// input cardinalities — and executes it as a pipeline. Use the *With
-// variants to pin an algorithm instead.
+// cardinality estimates of the internal/stats catalog (filter
+// selectivities, group counts, join sizes and join order; collected
+// automatically on first use, or explicitly with System.Collect) — and
+// executes it as a pipeline. Use the *With variants to pin an algorithm
+// instead.
 //
 //	q := sys.Query(dim).Join(sys.Query(fact)).
 //	        Project(0, 1, 12, 13, 14, 15, 16, 17, 18, 19).
@@ -93,8 +96,12 @@ func (q *Query) GroupByWith(attr int, a SortAlgorithm) *Query {
 }
 
 // GroupHint tells the planner how many distinct groups to expect from
-// the next GroupBy (it has no value statistics); a hinted group count
-// that fits the stage budget selects the in-memory hash aggregation.
+// the next GroupBy, overriding the collected column statistics; a group
+// count that fits the stage budget selects the in-memory hash
+// aggregation. With statistics available (see System.Collect and
+// auto-collection) the hint is optional, and an underestimated hint no
+// longer fails the query — the hash aggregation spills to sorted runs
+// and merges them, degrading to the sort-based plan's I/O profile.
 func (q *Query) GroupHint(groups int) *Query {
 	return &Query{sys: q.sys, plan: q.plan.GroupHint(groups)}
 }
@@ -116,20 +123,35 @@ func (q *Query) Limit(n int) *Query {
 }
 
 // ctx builds the execution context: the whole-plan memory budget that
-// the engine splits across blocking stages, and the system parallelism.
+// the engine splits across blocking stages, the system parallelism, and
+// the statistics catalog the planner estimates cardinalities from.
 func (q *Query) ctx(memoryBudget int64) *exec.Ctx {
-	return exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
+	ctx := exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
+	ctx.Stats = q.sys.stats
+	return ctx
 }
 
 // Run compiles the plan (cost model fills the open algorithm choices)
 // and executes it as a pipeline, appending the result to out.
 func (q *Query) Run(out Collection, memoryBudget int64) error {
+	_, err := q.RunExplained(out, memoryBudget)
+	return err
+}
+
+// RunExplained is Run returning the compiled plan's explanation, whose
+// choices carry both the planner's estimates and the actual input rows
+// observed while the plan ran — the estimate-vs-actual view that makes
+// planner misestimates visible.
+func (q *Query) RunExplained(out Collection, memoryBudget int64) (*QueryExplain, error) {
 	ctx := q.ctx(memoryBudget)
-	root, _, err := exec.Compile(ctx, q.plan)
+	root, ex, err := exec.Compile(ctx, q.plan)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return exec.Run(ctx, root, out)
+	if err := exec.Run(ctx, root, out); err != nil {
+		return ex, err
+	}
+	return ex, nil
 }
 
 // RunMaterialized executes the plan with a materialization barrier after

@@ -165,6 +165,113 @@ func TestParseQueryFacade(t *testing.T) {
 	}
 }
 
+// TestQueryStatsAndSpillFacade exercises the statistics subsystem at the
+// façade: auto-collected column statistics make GroupHint optional (the
+// planner picks the hash aggregation from the key column's distinct
+// count), a 10×-underestimated hint completes via the spill fallback
+// instead of erroring, and RunExplained reports estimated next to actual
+// rows.
+func TestQueryStatsAndSpillFacade(t *testing.T) {
+	const n, groups = 4000, 50
+	setup := func(opts ...wlpm.Option) (*wlpm.System, wlpm.Collection) {
+		sys, err := wlpm.New(append([]wlpm.Option{wlpm.WithCapacity(256 << 20)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := sys.Create("in")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			rec := wlpm.NewRecord(uint64(i % groups))
+			wlpm.SetAttr(rec, 4, uint64(i))
+			if err := in.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := in.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return sys, in
+	}
+
+	run := func(sys *wlpm.System, q *wlpm.Query) ([]byte, *wlpm.QueryExplain) {
+		out, err := sys.Create(fmt.Sprintf("out%d", sys.Stats().Reads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := q.RunExplained(out, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readAllBytes(t, out), ex
+	}
+
+	// Ground truth: pinned sort-based group-by, statistics disabled.
+	sysRef, inRef := setup(wlpm.WithAutoCollect(false))
+	want, _ := run(sysRef, sysRef.Query(inRef).GroupByWith(4, wlpm.ExternalMergeSort()))
+
+	// No hint: auto-collected statistics select the hash path.
+	sys, in := setup()
+	got, ex := run(sys, sys.Query(in).GroupBy(4))
+	if len(ex.Choices) != 1 || ex.Choices[0].Algorithm != "HashAgg" {
+		t.Fatalf("hintless query chose %+v, want HashAgg from statistics", ex.Choices)
+	}
+	if ex.Choices[0].ActualRows != n {
+		t.Errorf("explain actual rows = %d, want %d", ex.Choices[0].ActualRows, n)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("statistics-planned output differs from the pinned sort-based plan")
+	}
+	if ts := sys.TableStats("in"); ts == nil || ts.Col(0).Distinct != groups {
+		t.Errorf("auto-collected statistics missing or wrong: %+v", ts)
+	}
+
+	// A 10×-underestimated hint on a high-cardinality input: hash path,
+	// must spill and still match the sort-based output byte for byte.
+	const bigGroups = 2000
+	sysSp, err := wlpm.New(wlpm.WithCapacity(256 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSp, err := sysSp.Create("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := wlpm.NewRecord(uint64(i % bigGroups))
+		wlpm.SetAttr(rec, 4, uint64(i))
+		if err := inSp.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := inSp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(64 << 10)
+	outSp, err := sysSp.Create("spill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exSp, err := sysSp.Query(inSp).GroupHint(bigGroups/10).GroupBy(4).RunExplained(outSp, budget)
+	if err != nil {
+		t.Fatalf("underestimated hint failed instead of spilling: %v", err)
+	}
+	if exSp.Choices[0].Algorithm != "HashAgg" || !exSp.Choices[0].Spilled {
+		t.Fatalf("expected a spilled HashAgg, got %+v", exSp.Choices[0])
+	}
+	refSp, err := sysSp.Create("spill.ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sysSp.Query(inSp).GroupByWith(4, wlpm.ExternalMergeSort()).Run(refSp, budget); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readAllBytes(t, outSp), readAllBytes(t, refSp)) {
+		t.Fatal("spilled façade output differs from the sort-based plan")
+	}
+}
+
 // TestQueryFilterPushesNoWrites asserts the streaming property at the
 // façade: a filter+project pipeline only writes the result.
 func TestQueryFilterPushesNoWrites(t *testing.T) {

@@ -47,6 +47,7 @@ import (
 	"wlpm/internal/pmem"
 	"wlpm/internal/record"
 	"wlpm/internal/sorts"
+	"wlpm/internal/stats"
 	"wlpm/internal/storage"
 	"wlpm/internal/storage/all"
 )
@@ -86,6 +87,12 @@ type (
 	ExperimentConfig = bench.Config
 	// Report is one regenerated table or figure.
 	Report = bench.Report
+	// TableStats is the collected column statistics of one collection:
+	// per-attribute distinct-count estimates and equi-depth histograms
+	// feeding the physical planner.
+	TableStats = stats.Table
+	// ColumnStats is the statistics of one 8-byte attribute.
+	ColumnStats = stats.Column
 )
 
 // RecordSize is the benchmark schema's record size: ten 8-byte integer
@@ -114,14 +121,15 @@ var Backends = storage.Backends
 type Option func(*sysConfig)
 
 type sysConfig struct {
-	capacity     int64
-	backend      string
-	blockSize    int
-	readLatency  time.Duration
-	writeLatency time.Duration
-	trackWear    bool
-	spin         bool
-	parallelism  int
+	capacity      int64
+	backend       string
+	blockSize     int
+	readLatency   time.Duration
+	writeLatency  time.Duration
+	trackWear     bool
+	spin          bool
+	parallelism   int
+	noAutoCollect bool
 }
 
 // WithCapacity sets the device size in bytes (default 256 MiB).
@@ -153,11 +161,20 @@ func WithSpin() Option { return func(c *sysConfig) { c.spin = true } }
 // output is byte-identical to the serial run at any P.
 func WithParallelism(n int) Option { return func(c *sysConfig) { c.parallelism = n } }
 
-// System bundles a device and a persistence layer.
+// WithAutoCollect controls whether queries collect missing table
+// statistics on first use (default true). With it disabled the planner
+// only sees statistics gathered explicitly through System.Collect.
+func WithAutoCollect(enabled bool) Option {
+	return func(c *sysConfig) { c.noAutoCollect = !enabled }
+}
+
+// System bundles a device, a persistence layer and the statistics
+// catalog feeding the query planner.
 type System struct {
-	dev *pmem.Device
-	fac storage.Factory
-	par int
+	dev   *pmem.Device
+	fac   storage.Factory
+	par   int
+	stats *stats.Cache
 }
 
 // New opens a fresh system.
@@ -184,7 +201,7 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dev: dev, fac: fac, par: cfg.parallelism}, nil
+	return &System{dev: dev, fac: fac, par: cfg.parallelism, stats: stats.NewCache(!cfg.noAutoCollect)}, nil
 }
 
 // Device exposes the underlying simulated device.
@@ -235,6 +252,28 @@ func (s *System) NewEnv(memoryBudget int64) *Env {
 func (s *System) GroupBy(a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
 	return aggregate.GroupBy(s.NewEnv(memoryBudget), a, in, attr, out)
 }
+
+// Collect gathers column statistics for c in one read-only streaming
+// pass — the ANALYZE of this engine — and caches them for the query
+// planner: distinct-count sketches drive group-count and join-cardinality
+// estimates (making GroupHint optional), equi-depth histograms drive
+// filter selectivities, and multi-join plans are reordered
+// smallest-build-first from the resulting estimates. Queries auto-collect
+// missing statistics on first use unless WithAutoCollect(false) was set.
+func (s *System) Collect(c Collection) (*TableStats, error) {
+	return s.stats.Collect(c)
+}
+
+// TableStats returns the cached statistics of the named collection, or
+// nil when none were collected.
+func (s *System) TableStats(name string) *TableStats { return s.stats.Lookup(name) }
+
+// InvalidateStats drops the cached statistics of the named collection.
+// Call it (or Collect afresh) after destroying a collection and reusing
+// its name: the cache validates entries by name and row count only, so a
+// recreated table of the same length would otherwise keep serving the
+// old distribution to the planner.
+func (s *System) InvalidateStats(name string) { s.stats.Invalidate(name) }
 
 // NewOpCtx builds a deferred-materialization runtime context (§3.1).
 func (s *System) NewOpCtx(memoryBudget int64) *OpCtx {
