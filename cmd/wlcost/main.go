@@ -37,6 +37,7 @@ func main() {
 		ratio   = flag.Float64("ratio", 1, "|V|/|T| ratio for -heatmap")
 		ledger  = flag.Bool("ledger", false, "print the Table 1 lazy-join ledger")
 		k       = flag.Int("k", 8, "iterations for -ledger")
+		grants  = flag.Int("sessions", 1, "price estimates at the broker grant m/K of K concurrent sessions instead of all of m")
 	)
 	flag.Parse()
 
@@ -46,6 +47,15 @@ func main() {
 	cliutil.CheckPositiveFloat(cmd, "lambda", *lambda)
 	cliutil.CheckPositiveFloat(cmd, "ratio", *ratio)
 	cliutil.CheckPositiveInt(cmd, "k", *k)
+	cliutil.CheckPositiveInt(cmd, "sessions", *grants)
+	if *grants > 1 {
+		// The memory broker hands each of K concurrent sessions a 1/K
+		// grant of the system budget; estimates below describe one such
+		// query, which is how the engine's planner actually prices plans
+		// under concurrency.
+		*m = *m / float64(*grants)
+		fmt.Printf("pricing at the per-session grant m=%.0f buffers (system budget split %d ways)\n\n", *m, *grants)
+	}
 
 	switch {
 	case *heatmap:

@@ -25,17 +25,18 @@ const cmd = "wlexp"
 
 func main() {
 	var (
-		runIDs  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale   = flag.Float64("scale", 0.02, "fraction of the paper's cardinalities (1.0 = 10M-row sort, 1M⋈10M join)")
-		backend = flag.String("backend", "blocked", "persistence layer for single-backend experiments (blocked|pmfs|ramdisk|dynarray)")
-		block   = flag.Int("block", 1024, "persistence-layer block size in bytes")
-		rdLat   = flag.Duration("read-latency", 10*time.Nanosecond, "device read latency per cacheline")
-		wrLat   = flag.Duration("write-latency", 150*time.Nanosecond, "device write latency per cacheline")
-		memList = flag.String("mem", "", "comma-separated memory fractions overriding each experiment's sweep (e.g. 0.05,0.10)")
-		par     = flag.Int("p", 0, "operator worker parallelism (0/1 = serial; the scaling experiment sweeps its own)")
-		spin    = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		verbose = flag.Bool("v", false, "progress output on stderr")
+		runIDs   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 0.02, "fraction of the paper's cardinalities (1.0 = 10M-row sort, 1M⋈10M join)")
+		backend  = flag.String("backend", "blocked", "persistence layer for single-backend experiments (blocked|pmfs|ramdisk|dynarray)")
+		block    = flag.Int("block", 1024, "persistence-layer block size in bytes")
+		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "device read latency per cacheline")
+		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "device write latency per cacheline")
+		memList  = flag.String("mem", "", "comma-separated memory fractions overriding each experiment's sweep (e.g. 0.05,0.10)")
+		par      = flag.Int("p", 0, "operator worker parallelism (0/1 = serial; the scaling experiment sweeps its own)")
+		sessions = flag.Int("sessions", 0, "K concurrent sessions for the concurrency experiment (0 = its default of 4)")
+		spin     = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		verbose  = flag.Bool("v", false, "progress output on stderr")
 	)
 	flag.Parse()
 
@@ -49,6 +50,9 @@ func main() {
 	cliutil.CheckPositiveFloat(cmd, "scale", *scale)
 	cliutil.CheckPositiveInt(cmd, "block", *block)
 	cliutil.CheckParallelism(cmd, *par)
+	if *sessions < 0 {
+		cliutil.Usage(cmd, "-sessions must be non-negative, got %d", *sessions)
+	}
 
 	cfg := bench.Config{
 		Scale:        *scale,
@@ -57,6 +61,7 @@ func main() {
 		ReadLatency:  *rdLat,
 		WriteLatency: *wrLat,
 		Parallelism:  *par,
+		Sessions:     *sessions,
 		Spin:         *spin,
 		Verbose:      *verbose,
 		Log:          os.Stderr,

@@ -8,8 +8,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"time"
 
 	"wlpm/internal/algo"
@@ -36,6 +40,7 @@ func main() {
 		rdLat    = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
+		timeout  = flag.Duration("timeout", 0, "abort the join after this long (0 = no limit); Ctrl-C cancels either way")
 	)
 	flag.Parse()
 
@@ -104,10 +109,24 @@ func main() {
 		fatal(err)
 	}
 
-	env := algo.NewParallelEnv(fac, int64(*mem*float64(*nLeft)*record.Size), *par)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	env := algo.NewParallelEnv(fac, int64(*mem*float64(*nLeft)*record.Size), *par).WithContext(ctx)
 	dev.ResetStats()
 	start := time.Now()
 	if err := a.Join(env, left, right, out); err != nil {
+		env.SweepTemps() //nolint:errcheck // best-effort cleanup before exit
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fatal(fmt.Errorf("join aborted: -timeout %v exceeded (temporary partitions destroyed)", *timeout))
+		case errors.Is(err, context.Canceled):
+			fatal(fmt.Errorf("join canceled (temporary partitions destroyed)"))
+		}
 		fatal(err)
 	}
 	wall := time.Since(start)

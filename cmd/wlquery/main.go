@@ -26,8 +26,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -74,6 +78,7 @@ func main() {
 		rdLat       = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat       = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		par         = flag.Int("p", 1, "worker parallelism (1 = serial)")
+		timeout     = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit); Ctrl-C cancels either way")
 		stat        = flag.Bool("stats", true, "collect column statistics (ANALYZE) before planning; -stats=false plans from textbook defaults")
 		explain     = flag.Bool("explain", false, "print the physical plan, algorithm choices and estimated vs actual rows")
 		materialize = flag.Bool("materialize", false, "materialize after every operator (the naive baseline)")
@@ -94,6 +99,18 @@ func main() {
 	cliutil.CheckParallelism(cmd, *par)
 	if *show < 0 {
 		cliutil.Usage(cmd, "-show must be non-negative, got %d", *show)
+	}
+	if *timeout < 0 {
+		cliutil.Usage(cmd, "-timeout must be non-negative, got %v", *timeout)
+	}
+
+	// The run's cancellation context: Ctrl-C cancels, -timeout deadlines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	maxRows := 0
@@ -117,6 +134,10 @@ func main() {
 	for _, spec := range tables {
 		payload += int64(spec.rows) * record.Size
 	}
+	budget := int64(*mem * float64(maxRows) * record.Size)
+	if budget < record.Size {
+		budget = record.Size
+	}
 	sys, err := wlpm.New(
 		wlpm.WithCapacity(payload*16+(64<<20)),
 		wlpm.WithBackend(*backend),
@@ -124,10 +145,12 @@ func main() {
 		wlpm.WithLatencies(*rdLat, *wrLat),
 		wlpm.WithParallelism(*par),
 		wlpm.WithAutoCollect(*stat),
+		wlpm.WithMemoryBudget(2*budget),
 	)
 	if err != nil {
 		cliutil.Fatal(cmd, err)
 	}
+	sess := sys.Session(wlpm.WithSessionBudget(budget))
 
 	// Generate the tables in declaration order so parents exist first.
 	cols := map[string]wlpm.Collection{}
@@ -160,10 +183,11 @@ func main() {
 		cols[spec.name] = c
 	}
 
-	q, err := sys.ParseQuery(*planSrc, func(name string) (wlpm.Collection, error) {
-		c, ok := cols[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown table %q (declare it with -table)", name)
+	lookup := wlpm.CollectionLookup(cols)
+	q, err := sess.ParseQuery(*planSrc, func(name string) (wlpm.Collection, error) {
+		c, err := lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w (declare it with -table)", err)
 		}
 		return c, nil
 	})
@@ -171,12 +195,7 @@ func main() {
 		cliutil.Usage(cmd, "%v", err)
 	}
 
-	budget := int64(*mem * float64(maxRows) * record.Size)
-	if budget < record.Size {
-		budget = record.Size
-	}
-
-	ex, err := q.Explain(budget)
+	ex, err := q.ExplainGranted()
 	if err != nil {
 		cliutil.Fatal(cmd, err)
 	}
@@ -191,11 +210,17 @@ func main() {
 	sys.ResetStats()
 	start := time.Now()
 	if *materialize {
-		err = q.RunMaterialized(out, budget)
+		err = q.RunMaterializedCtx(ctx, out)
 	} else {
-		ex, err = q.RunExplained(out, budget)
+		ex, err = q.RunCtx(ctx, out)
 	}
 	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			cliutil.Fatal(cmd, fmt.Errorf("query aborted: -timeout %v exceeded (partial work discarded, memory grant released)", *timeout))
+		case errors.Is(err, context.Canceled):
+			cliutil.Fatal(cmd, fmt.Errorf("query canceled (partial work discarded, memory grant released)"))
+		}
 		cliutil.Fatal(cmd, err)
 	}
 	wall := time.Since(start)

@@ -8,8 +8,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"time"
 
 	"wlpm/internal/algo"
@@ -35,6 +39,7 @@ func main() {
 		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		wear     = flag.Bool("wear", false, "track and report device wear")
 		par      = flag.Int("p", 1, "worker parallelism (1 = the paper's serial execution)")
+		timeout  = flag.Duration("timeout", 0, "abort the sort after this long (0 = no limit); Ctrl-C cancels either way")
 	)
 	flag.Parse()
 
@@ -93,10 +98,24 @@ func main() {
 		fatal(err)
 	}
 
-	env := algo.NewParallelEnv(fac, int64(*mem*float64(payload)), *par)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	env := algo.NewParallelEnv(fac, int64(*mem*float64(payload)), *par).WithContext(ctx)
 	dev.ResetStats()
 	start := time.Now()
 	if err := a.Sort(env, in, out); err != nil {
+		env.SweepTemps() //nolint:errcheck // best-effort cleanup before exit
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			fatal(fmt.Errorf("sort aborted: -timeout %v exceeded (temporary runs destroyed)", *timeout))
+		case errors.Is(err, context.Canceled):
+			fatal(fmt.Errorf("sort canceled (temporary runs destroyed)"))
+		}
 		fatal(err)
 	}
 	wall := time.Since(start)

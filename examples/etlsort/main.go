@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -39,9 +40,11 @@ func run(a wlpm.SortAlgorithm) error {
 		return err
 	}
 
+	// SortCtx: an operational ETL job would pass a deadline or SIGINT
+	// context here; cancellation destroys the partial runs.
 	sys.ResetStats()
 	start := time.Now()
-	if err := sys.Sort(a, ingest, ordered, budget); err != nil {
+	if err := sys.SortCtx(context.Background(), a, ingest, ordered, budget); err != nil {
 		return err
 	}
 	wall := time.Since(start)

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,7 +24,7 @@ const (
 )
 
 func load() (*wlpm.System, wlpm.Collection) {
-	sys, err := wlpm.New(wlpm.WithCapacity(1 << 30))
+	sys, err := wlpm.New(wlpm.WithCapacity(1<<30), wlpm.WithMemoryBudget(2*budget))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,29 +52,32 @@ func main() {
 
 	for _, row := range []struct {
 		name  string
-		build func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query
+		build func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query
 	}{
-		{"groupby (pinned ExMS)", func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query {
-			return sys.Query(in).GroupByWith(3, wlpm.ExternalMergeSort())
+		{"groupby (pinned ExMS)", func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query {
+			return sess.Query(in).GroupByWith(3, wlpm.ExternalMergeSort())
 		}},
-		{"groupby (pinned SegS 0.2)", func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query {
-			return sys.Query(in).GroupByWith(3, wlpm.SegmentSort(0.2))
+		{"groupby (pinned SegS 0.2)", func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query {
+			return sess.Query(in).GroupByWith(3, wlpm.SegmentSort(0.2))
 		}},
-		{"groupby (planner, no hint)", func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query {
-			return sys.Query(in).GroupBy(3)
+		{"groupby (planner, no hint)", func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query {
+			return sess.Query(in).GroupBy(3)
 		}},
-		{"groupby (planner + hint)", func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query {
-			return sys.Query(in).GroupHint(sensors).GroupBy(3)
+		{"groupby (planner + hint)", func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query {
+			return sess.Query(in).GroupHint(sensors).GroupBy(3)
 		}},
-		{"filter → groupby (hint)", func(sys *wlpm.System, in wlpm.Collection) *wlpm.Query {
-			return sys.Query(in).
+		{"filter → groupby (hint)", func(sess *wlpm.Session, in wlpm.Collection) *wlpm.Query {
+			return sess.Query(in).
 				Filter(wlpm.Predicate{Attr: 3, Op: wlpm.CmpGe, Value: 5_000}).
 				GroupHint(sensors).GroupBy(3)
 		}},
 	} {
 		sys, in := load()
-		q := row.build(sys, in)
-		ex, err := q.Explain(budget)
+		// A session per run: the broker accounts the plan's memory and
+		// the planner prices the plan at the session's grant.
+		sess := sys.Session(wlpm.WithSessionBudget(budget))
+		q := row.build(sess, in)
+		ex, err := q.ExplainGranted()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -87,7 +91,7 @@ func main() {
 		}
 		sys.ResetStats()
 		start := time.Now()
-		if err := q.Run(out, budget); err != nil {
+		if _, err := q.RunCtx(context.Background(), out); err != nil {
 			log.Fatal(err)
 		}
 		wall := time.Since(start)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -41,9 +42,11 @@ func main() {
 			log.Fatal(err)
 		}
 
+		// SortCtx is the cancellable form: deadline or Ctrl-C contexts
+		// abort mid-sort and destroy the temporary runs.
 		sys.ResetStats()
 		start := time.Now()
-		if err := sys.Sort(a, in, out, budget); err != nil {
+		if err := sys.SortCtx(context.Background(), a, in, out, budget); err != nil {
 			log.Fatal(err)
 		}
 		wall := time.Since(start)

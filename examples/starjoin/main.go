@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,9 +24,11 @@ const (
 	budget   = int64(factRows * wlpm.RecordSize / 20) // 5% of the fact table
 )
 
-// setup loads a fresh system with the three tables.
+// setup loads a fresh system with the three tables. The memory budget is
+// administered by the System's broker: each query session requests a
+// grant of `budget` bytes, and the planner prices the plan at the grant.
 func setup() (*wlpm.System, wlpm.Collection, wlpm.Collection, wlpm.Collection) {
-	sys, err := wlpm.New(wlpm.WithCapacity(1 << 30))
+	sys, err := wlpm.New(wlpm.WithCapacity(1<<30), wlpm.WithMemoryBudget(2*budget))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,11 +58,11 @@ func setup() (*wlpm.System, wlpm.Collection, wlpm.Collection, wlpm.Collection) {
 	return sys, dim1, dim2, fact
 }
 
-// plan builds the star query; pinning sortA/joinA overrides the planner
-// (nil leaves the choice to the cost model).
-func plan(sys *wlpm.System, dim1, dim2, fact wlpm.Collection, sortA wlpm.SortAlgorithm, joinA wlpm.JoinAlgorithm) *wlpm.Query {
-	inner := sys.Query(dim1).JoinWith(sys.Query(fact), joinA)
-	star := sys.Query(dim2).JoinWith(inner, joinA)
+// plan builds the star query on a session; pinning sortA/joinA overrides
+// the planner (nil leaves the choice to the cost model).
+func plan(sess *wlpm.Session, dim1, dim2, fact wlpm.Collection, sortA wlpm.SortAlgorithm, joinA wlpm.JoinAlgorithm) *wlpm.Query {
+	inner := sess.Query(dim1).JoinWith(sess.Query(fact), joinA)
+	star := sess.Query(dim2).JoinWith(inner, joinA)
 	return star.Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).
 		GroupByWith(3, sortA).
 		OrderByWith(sortA)
@@ -70,9 +73,9 @@ func main() {
 		dimRows, dimRows, factRows)
 	fmt.Printf("memory %d B for the whole plan, λ = 15\n\n", budget)
 
-	// Show what the planner does with the open plan.
+	// Show what the planner does with the open plan at the session grant.
 	sys, d1, d2, f := setup()
-	ex, err := plan(sys, d1, d2, f, nil, nil).Explain(budget)
+	ex, err := plan(sys.Session(wlpm.WithSessionBudget(budget)), d1, d2, f, nil, nil).ExplainGranted()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,17 +96,19 @@ func main() {
 		{"pipelined, planner", nil, nil, false},
 	} {
 		sys, dim1, dim2, fact := setup()
-		q := plan(sys, dim1, dim2, fact, row.sortA, row.joinA)
+		sess := sys.Session(wlpm.WithSessionBudget(budget))
+		q := plan(sess, dim1, dim2, fact, row.sortA, row.joinA)
 		out, err := sys.Create("result")
 		if err != nil {
 			log.Fatal(err)
 		}
+		ctx := context.Background()
 		sys.ResetStats()
 		start := time.Now()
 		if row.materialize {
-			err = q.RunMaterialized(out, budget)
+			err = q.RunMaterializedCtx(ctx, out)
 		} else {
-			err = q.Run(out, budget)
+			_, err = q.RunCtx(ctx, out)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -74,7 +74,11 @@ func GroupBy(env *algo.Env, a sorts.Algorithm, in storage.Collection, attr int, 
 		record.SetAttr(result, AttrMax, maxVal)
 		return out.Append(result)
 	}
+	poll := env.Poll()
 	for {
+		if err := poll(); err != nil {
+			return err
+		}
 		rec, err := it.Next()
 		if err == io.EOF {
 			break

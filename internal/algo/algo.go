@@ -5,7 +5,9 @@
 package algo
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"wlpm/internal/storage"
@@ -35,6 +37,46 @@ type Env struct {
 
 	ns     string // temp-name namespace ("" for the root environment)
 	tmpSeq int
+
+	// ctx carries the invocation's cancellation signal. Algorithms poll
+	// it between batches via Poll/Canceled; nil means "never cancelled".
+	ctx context.Context
+	// temps registers every live temporary created through this
+	// environment (shared across Split children and Derive siblings), so
+	// an aborted or cancelled operator can sweep its spill/partition
+	// collections instead of leaking them.
+	temps *tempTracker
+}
+
+// tempTracker records live temporary collections by name. Shared by the
+// worker environments of one operator invocation, hence the mutex.
+type tempTracker struct {
+	mu   sync.Mutex
+	live map[string]storage.Collection
+}
+
+func (t *tempTracker) add(c storage.Collection) {
+	t.mu.Lock()
+	t.live[c.Name()] = c
+	t.mu.Unlock()
+}
+
+func (t *tempTracker) remove(name string) {
+	t.mu.Lock()
+	delete(t.live, name)
+	t.mu.Unlock()
+}
+
+// trackedCollection deregisters itself from the tracker on Destroy, so
+// the sweep only ever sees genuinely live temporaries.
+type trackedCollection struct {
+	storage.Collection
+	t *tempTracker
+}
+
+func (c *trackedCollection) Destroy() error {
+	c.t.remove(c.Name())
+	return c.Collection.Destroy()
 }
 
 // envSeq numbers root environments so that concurrent operator
@@ -44,7 +86,12 @@ var envSeq atomic.Int64
 
 // NewEnv builds an environment with the given factory and budget.
 func NewEnv(f storage.Factory, memoryBudget int64) *Env {
-	return &Env{Factory: f, MemoryBudget: memoryBudget, ns: fmt.Sprintf("e%d.", envSeq.Add(1))}
+	return &Env{
+		Factory:      f,
+		MemoryBudget: memoryBudget,
+		ns:           fmt.Sprintf("e%d.", envSeq.Add(1)),
+		temps:        &tempTracker{live: make(map[string]storage.Collection)},
+	}
 }
 
 // NewParallelEnv builds an environment that fans independent work out to
@@ -53,6 +100,108 @@ func NewParallelEnv(f storage.Factory, memoryBudget int64, parallelism int) *Env
 	e := NewEnv(f, memoryBudget)
 	e.Parallelism = parallelism
 	return e
+}
+
+// WithContext attaches a cancellation context to the environment and
+// returns it. Split children and Derive siblings inherit the context.
+func (e *Env) WithContext(ctx context.Context) *Env {
+	e.ctx = ctx
+	return e
+}
+
+// Context returns the environment's cancellation context (Background
+// when none was attached).
+func (e *Env) Context() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
+}
+
+// Canceled reports the environment's cancellation error, nil while the
+// invocation may keep running. It is cheap enough to call between
+// batches; record loops should amortize it through Poll.
+func (e *Env) Canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// PollInterval is the record granularity at which the operators' tight
+// loops check cancellation: fine enough that a cancelled query stops
+// mid-run/mid-merge/mid-probe even when parallel workers hold small
+// per-chunk record counts, coarse enough that the check never shows up
+// in a profile.
+const PollInterval = 256
+
+// Poll returns a per-record cancellation check that consults the
+// context only every PollInterval calls. The returned closure is not
+// safe for concurrent use; create one per worker.
+func (e *Env) Poll() func() error {
+	if e.ctx == nil {
+		return func() error { return nil }
+	}
+	n := 0
+	return func() error {
+		n++
+		if n < PollInterval {
+			return nil
+		}
+		n = 0
+		return e.ctx.Err()
+	}
+}
+
+// Derive returns an environment with the given budget that shares e's
+// factory, parallelism, context and temp tracker — the per-stage
+// environment of a plan whose blocking stages split one budget.
+func (e *Env) Derive(memoryBudget int64) *Env {
+	e.tmpSeq++
+	return &Env{
+		Factory:      e.Factory,
+		MemoryBudget: memoryBudget,
+		Parallelism:  e.Parallelism,
+		ns:           fmt.Sprintf("%sd%d.", e.ns, e.tmpSeq),
+		ctx:          e.ctx,
+		temps:        e.temps,
+	}
+}
+
+// LiveTemps reports the number of live temporaries created through this
+// environment (including Split children and Derive siblings) — zero
+// after a clean run or a complete sweep; leak tests assert on it.
+func (e *Env) LiveTemps() int {
+	if e.temps == nil {
+		return 0
+	}
+	e.temps.mu.Lock()
+	defer e.temps.mu.Unlock()
+	return len(e.temps.live)
+}
+
+// SweepTemps destroys every live temporary created through this
+// environment, returning the first destroy error. It is the
+// error-and-cancellation janitor: operators that abort mid-phase leave
+// their runs and partitions behind, and the owner of the environment
+// sweeps them instead of leaking device space.
+func (e *Env) SweepTemps() error {
+	if e.temps == nil {
+		return nil
+	}
+	e.temps.mu.Lock()
+	live := make([]storage.Collection, 0, len(e.temps.live))
+	for _, c := range e.temps.live {
+		live = append(live, c)
+	}
+	e.temps.mu.Unlock()
+	var first error
+	for _, c := range live {
+		if err := c.Destroy(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Validate reports configuration errors.
@@ -76,8 +225,19 @@ func (e *Env) TempName(prefix string) string {
 }
 
 // CreateTemp creates a temporary collection for intermediate results.
+// The temporary is tracked until destroyed, so SweepTemps can clean up
+// after an aborted or cancelled invocation.
 func (e *Env) CreateTemp(prefix string, recSize int) (storage.Collection, error) {
-	return e.Factory.Create(e.TempName(prefix), recSize)
+	c, err := e.Factory.Create(e.TempName(prefix), recSize)
+	if err != nil {
+		return nil, err
+	}
+	if e.temps == nil {
+		return c, nil
+	}
+	tc := &trackedCollection{Collection: c, t: e.temps}
+	e.temps.add(tc)
+	return tc, nil
 }
 
 // Lambda is the device's current write/read cost ratio λ.

@@ -45,6 +45,8 @@ func (e *Env) Split(w int) []*Env {
 			MemoryBudget: share,
 			Parallelism:  1,
 			ns:           fmt.Sprintf("%sg%d.w%d.", e.ns, gen, i),
+			ctx:          e.ctx,
+			temps:        e.temps,
 		}
 	}
 	return children

@@ -47,6 +47,9 @@ type Config struct {
 	// Parallelism is the operator worker count (0 and 1 both mean the
 	// paper's serial execution). The scaling experiment sweeps it.
 	Parallelism int
+	// Sessions is K, the number of concurrent sessions of the concurrency
+	// experiment (default 4).
+	Sessions int
 	// Spin injects device latencies as real (overlappable) delays instead
 	// of only accounting them, like the paper's idle-loop
 	// instrumentation. The scaling experiment forces it on: overlapping
@@ -151,19 +154,20 @@ type Runner func(cfg Config) ([]*Report, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Runner{
-	"fig2":     Fig2,
-	"fig5":     Fig5,
-	"fig6":     Fig6,
-	"fig7":     Fig7,
-	"fig8":     Fig8,
-	"fig9":     Fig9,
-	"fig10":    Fig10,
-	"fig11":    Fig11,
-	"fig12":    Fig12,
-	"table1":   Table1,
-	"table2":   Table2,
-	"scaling":  Scaling,
-	"pipeline": Pipeline,
+	"fig2":        Fig2,
+	"fig5":        Fig5,
+	"fig6":        Fig6,
+	"fig7":        Fig7,
+	"fig8":        Fig8,
+	"fig9":        Fig9,
+	"fig10":       Fig10,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"table1":      Table1,
+	"table2":      Table2,
+	"scaling":     Scaling,
+	"pipeline":    Pipeline,
+	"concurrency": Concurrency,
 }
 
 // Experiments lists the registered experiment ids in presentation order.

@@ -1,0 +1,185 @@
+package bench
+
+// The concurrency experiment is not a paper artifact: it measures the
+// session/broker subsystem this repository adds on top of Viglas'14 — K
+// concurrent sessions running the pipeline workload on one device under
+// one System-wide memory budget, against the same K queries run
+// serially. The broker admits two grants at a time, so the device sees
+// genuinely overlapping queries while the working-memory total never
+// exceeds what a single administrator budgeted; per-query cacheline
+// writes must not drift versus the serial run (the write-limited
+// invariant extended from parallel operators to concurrent queries).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"wlpm/internal/broker"
+	"wlpm/internal/exec"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// concurrencyAdmit is the number of grants the broker hands out at once:
+// the system budget of each sweep point is admit·perQuery, so with K >
+// admit sessions the admission queue is actually exercised.
+const concurrencyAdmit = 2
+
+// Concurrency measures K sessions running the star pipeline concurrently
+// under one broker-rationed memory budget, per memory point, against the
+// serial execution of the same K queries (admitting one grant at a time).
+//
+// The device runs in spin mode, like the scaling experiment: charged
+// latencies are real delays, so concurrent queries overlap their device
+// waits and wall-clock throughput reflects what concurrency buys on
+// asymmetric-memory hardware. Writes are per query; the Δ column is the
+// drift against the serial run.
+func Concurrency(cfg Config) ([]*Report, error) {
+	cfg.Spin = true
+	k := cfg.Sessions
+	if k <= 0 {
+		k = 4
+	}
+	nDim, nFact := cfg.JoinRows()
+	rep := &Report{
+		ID: "concurrency",
+		Title: fmt.Sprintf("K=%d sessions, star pipeline (%d ⋈ %d ⋈ %d, backend=%s, admit %d grants)",
+			k, nDim, nFact, nDim, cfg.Backend, concurrencyAdmit),
+		Columns: []string{"memory", "mode", "wall (ms)", "queries/s", "speedup",
+			"writes/query (M)", "Δwrites vs serial", "peak grant use"},
+	}
+	for _, frac := range cfg.memFracs(pipelineMemPoints) {
+		perQuery := int64(frac * float64(nFact) * record.Size)
+		if perQuery < int64(record.Size) {
+			perQuery = record.Size
+		}
+		cfg.logf("concurrency: mem=%.1f%% serial", frac*100)
+		serial, err := runSessions(cfg, nDim, nFact, perQuery, k, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("concurrency: mem=%.1f%% K=%d concurrent", frac*100, k)
+		conc, err := runSessions(cfg, nDim, nFact, perQuery, k, concurrencyAdmit)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range []struct {
+			name string
+			m    sessionsMetrics
+		}{{"serial", serial}, {fmt.Sprintf("K=%d concurrent", k), conc}} {
+			rep.Rows = append(rep.Rows, []string{
+				fmtPct(frac), row.name,
+				fmtDur(row.m.wall),
+				fmt.Sprintf("%.1f", float64(k)/row.m.wall.Seconds()),
+				fmt.Sprintf("%.2fx", speedup(serial.wall, row.m.wall)),
+				fmtMillions(row.m.writesPerQuery),
+				fmtDrift(serial.writesPerQuery, row.m.writesPerQuery),
+				fmt.Sprintf("%d/%d B", row.m.highWater, row.m.total),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"Every query requests its working-memory grant from one broker before planning; the peak "+
+			"grant column shows the high-water mark against the System budget — it never exceeds it.",
+		"Writes per query must not drift between serial and concurrent execution: admission control "+
+			"shares the device, not the operators' budgets.")
+	return []*Report{rep}, nil
+}
+
+// sessionsMetrics is one runSessions measurement.
+type sessionsMetrics struct {
+	wall             time.Duration
+	writesPerQuery   uint64
+	highWater, total int64
+}
+
+// runSessions runs k star-pipeline queries on one freshly loaded rig,
+// admitting at most `admit` broker grants of perQuery bytes at a time
+// (admit=1 is the serial baseline). Each query compiles at its granted
+// budget and writes its own result collection; result cardinalities are
+// verified.
+func runSessions(cfg Config, nDim, nFact int, perQuery int64, k, admit int) (sessionsMetrics, error) {
+	payload := int64(nDim*2+nFact) * record.Size
+	r, err := newRig(cfg, cfg.Backend, payload*2*int64(k))
+	if err != nil {
+		return sessionsMetrics{}, err
+	}
+	dim1, fact, err := r.loadJoinInputs(nDim, nFact)
+	if err != nil {
+		return sessionsMetrics{}, err
+	}
+	dim2, err := r.fac.Create("dim2", record.Size)
+	if err != nil {
+		return sessionsMetrics{}, err
+	}
+	if err := record.Generate(nDim, 43, dim2.Append); err != nil {
+		return sessionsMetrics{}, err
+	}
+	if err := dim2.Close(); err != nil {
+		return sessionsMetrics{}, err
+	}
+
+	b, err := broker.New(perQuery * int64(admit))
+	if err != nil {
+		return sessionsMetrics{}, err
+	}
+	outs := make([]storage.Collection, k)
+	for i := range outs {
+		if outs[i], err = r.fac.Create(fmt.Sprintf("result%d", i), record.Size); err != nil {
+			return sessionsMetrics{}, err
+		}
+	}
+
+	runOne := func(out storage.Collection) error {
+		g, err := b.Acquire(context.Background(), perQuery, broker.Block)
+		if err != nil {
+			return err
+		}
+		defer g.Release()
+		plan := exec.Table(dim1).Join(exec.Table(fact))
+		plan = exec.Table(dim2).Join(plan)
+		plan = plan.Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).GroupBy(3).OrderBy()
+		ec := exec.NewCtx(r.fac, g.Bytes(), cfg.Parallelism)
+		root, _, err := exec.Compile(ec, plan)
+		if err != nil {
+			return err
+		}
+		return exec.RunCtx(context.Background(), ec, root, out)
+	}
+
+	r.dev.ResetStats()
+	start := time.Now()
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runOne(outs[i])
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return sessionsMetrics{}, fmt.Errorf("session %d (mem %d B, admit %d): %w", i, perQuery, admit, err)
+		}
+	}
+	for i, out := range outs {
+		if out.Len() != nDim {
+			return sessionsMetrics{}, fmt.Errorf("session %d: %d result groups, want %d", i, out.Len(), nDim)
+		}
+	}
+	if hw := b.HighWater(); hw > b.Total() {
+		return sessionsMetrics{}, fmt.Errorf("broker high water %d B exceeds budget %d B", hw, b.Total())
+	}
+	st := r.dev.Stats()
+	return sessionsMetrics{
+		wall:           wall,
+		writesPerQuery: st.Writes / uint64(k),
+		highWater:      b.HighWater(),
+		total:          b.Total(),
+	}, nil
+}

@@ -1,0 +1,207 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wlpm/internal/joins"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+)
+
+// The cancellation tests steer the cancel point deterministically: the
+// engine and the algorithms only observe cancellation through ctx.Err()
+// polls, so a context whose Err flips to Canceled after a fixed number
+// of calls cancels the run at a reproducible depth — early polls land in
+// run formation/partitioning, later ones in merging and probing. Each
+// cancelled run must (a) surface context.Canceled, (b) leave zero live
+// temporaries after RunCtx's sweep, and (c) leak no goroutines.
+
+// countingCtx counts Err calls without ever cancelling (calibration).
+type countingCtx struct {
+	context.Context
+	calls atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	c.calls.Add(1)
+	return c.Context.Err()
+}
+
+// countdownCtx reports Canceled from the n-th Err call onwards.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// waitGoroutines waits for the goroutine count to drop back to base.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d live, baseline %d", n, base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// cancelPlanCase builds one cancellable plan over fresh inputs.
+type cancelPlanCase struct {
+	name string
+	plan func(t *testing.T, r *rig) *Plan
+}
+
+var cancelPlans = []cancelPlanCase{
+	{
+		// OrderBy over a filter: cancellation lands in replacement-
+		// selection run formation or in the merge passes.
+		name: "sort",
+		plan: func(t *testing.T, r *rig) *Plan {
+			in := r.create(t, "in", record.Size)
+			if err := record.Generate(8000, 42, in.Append); err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return Table(in).Filter(Predicate{Attr: 1, Op: Gt, Value: 1}).OrderByWith(sorts.NewExternalMergeSort())
+		},
+	},
+	{
+		// Grace join: cancellation lands in partitioning, the hash-table
+		// builds or the probes.
+		name: "join",
+		plan: func(t *testing.T, r *rig) *Plan {
+			dim := r.create(t, "dim", record.Size)
+			fact := r.create(t, "fact", record.Size)
+			if err := record.GenerateJoin(800, 8000, 42, dim.Append, fact.Append); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range []storage.Collection{dim, fact} {
+				if err := c.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return Table(dim).JoinWith(Table(fact), joins.NewGrace())
+		},
+	},
+	{
+		// Underestimated hash aggregation: cancellation lands in the drain
+		// or in the spill-merge fallback.
+		name: "groupby-spill",
+		plan: func(t *testing.T, r *rig) *Plan {
+			in := r.create(t, "in", record.Size)
+			if err := record.Generate(8000, 42, in.Append); err != nil {
+				t.Fatal(err)
+			}
+			if err := in.Close(); err != nil {
+				t.Fatal(err)
+			}
+			return Table(in).GroupHint(8).GroupBy(3)
+		},
+	},
+}
+
+// runCancelPlan executes the case's plan once under ctx on a fresh rig.
+func runCancelPlan(t *testing.T, pc cancelPlanCase, par int, ctx context.Context) (*Ctx, error) {
+	t.Helper()
+	r := newRig(t)
+	p := pc.plan(t, r)
+	ec := r.ctx(8000*record.Size/50, par) // 2% of the biggest input
+	root, _, err := Compile(ec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.create(t, "out", root.RecordSize())
+	return ec, RunCtx(ctx, ec, root, out)
+}
+
+func TestCancelMidPhaseLeaksNothing(t *testing.T) {
+	for _, par := range []int{1, 8} {
+		for _, pc := range cancelPlans {
+			t.Run(fmt.Sprintf("%s/p%d", pc.name, par), func(t *testing.T) {
+				// Calibrate: how many cancellation polls does a clean run of
+				// this plan make at this parallelism?
+				calib := &countingCtx{Context: context.Background()}
+				ec, err := runCancelPlan(t, pc, par, calib)
+				if err != nil {
+					t.Fatalf("calibration run: %v", err)
+				}
+				if n := ec.LiveTemps(); n != 0 {
+					t.Fatalf("clean run left %d live temps", n)
+				}
+				total := calib.calls.Load()
+				if total < 4 {
+					t.Fatalf("plan polls cancellation only %d times; inputs too small to steer", total)
+				}
+
+				base := runtime.NumGoroutine()
+				// Cancel at increasing depths: the first poll (formation or
+				// partitioning), mid-run, and late (merging/probing).
+				for _, frac := range []float64{0, 0.25, 0.5, 0.85} {
+					n := int64(float64(total) * frac)
+					ec, err := runCancelPlan(t, pc, par, newCountdownCtx(n))
+					if !errors.Is(err, context.Canceled) {
+						t.Fatalf("cancel at poll %d/%d: err = %v, want context.Canceled", n, total, err)
+					}
+					if live := ec.LiveTemps(); live != 0 {
+						t.Fatalf("cancel at poll %d/%d leaked %d temp collections", n, total, live)
+					}
+					waitGoroutines(t, base)
+				}
+			})
+		}
+	}
+}
+
+// TestCancelBeforeOpen: a context cancelled before execution fails fast
+// and creates nothing.
+func TestCancelBeforeOpen(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec, err := runCancelPlan(t, cancelPlans[0], 1, ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if live := ec.LiveTemps(); live != 0 {
+		t.Fatalf("pre-cancelled run leaked %d temps", live)
+	}
+}
+
+// TestDeadlineExceededSurfaces: deadline expiry is reported as
+// context.DeadlineExceeded, the error cmd/wlquery's -timeout maps to a
+// clean exit.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := runCancelPlan(t, cancelPlans[1], 1, ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

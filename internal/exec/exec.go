@@ -17,6 +17,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,6 +31,12 @@ import (
 // following call; callers must copy to retain. Operators are
 // single-owner and not safe for concurrent use — parallelism lives
 // inside the blocking operators' algorithms, not between operators.
+//
+// Both Open and Next take the run's cancellation context: blocking
+// operators hand it (through their stage environments) to the sort and
+// join algorithms, which poll it between batches, and streaming
+// operators forward it down the pull chain, so a cancelled query stops
+// mid-sort, mid-merge or mid-probe instead of running to completion.
 type Operator interface {
 	// Name renders the operator (with its physical algorithm choice, if
 	// any) for plan display.
@@ -38,10 +45,12 @@ type Operator interface {
 	RecordSize() int
 	// Children returns the input operators, left to right.
 	Children() []Operator
-	// Open prepares the stream. Blocking operators do their work here.
-	Open(ctx *Ctx) error
-	// Next returns the next record, or io.EOF when exhausted.
-	Next() ([]byte, error)
+	// Open prepares the stream. Blocking operators do their work here,
+	// honouring ctx cancellation.
+	Open(ctx context.Context, ec *Ctx) error
+	// Next returns the next record, or io.EOF when exhausted, or the
+	// context's error once ctx is cancelled.
+	Next(ctx context.Context) ([]byte, error)
 	// Close releases resources (temporaries, iterators) and closes the
 	// children. Close is idempotent.
 	Close() error
@@ -67,7 +76,7 @@ type collectionSource interface {
 // their result straight into the caller's output collection, saving the
 // temp-then-copy writes when they sit at the plan root.
 type directEmitter interface {
-	emitTo(ctx *Ctx, out storage.Collection) error
+	emitTo(ctx context.Context, ec *Ctx, out storage.Collection) error
 }
 
 // Ctx is the execution context of one plan run: the persistence layer,
@@ -83,7 +92,7 @@ type Ctx struct {
 	Stats stats.Provider
 
 	stages  int       // blocking stages sharing the budget (≥ 1)
-	scratch *algo.Env // temp-name allocator for non-consuming operators
+	scratch *algo.Env // root environment: temp tracking + cancellation ctx
 }
 
 // NewCtx builds a context. The budget is the whole plan's M; Run divides
@@ -106,8 +115,10 @@ func (c *Ctx) validate() error {
 }
 
 // init counts the blocking stages of the tree rooted at op so StageEnv
-// can split the budget. Idempotent per run.
-func (c *Ctx) init(root Operator) error {
+// can split the budget, and binds the run's cancellation context to the
+// root environment every stage environment derives from. Idempotent per
+// run.
+func (c *Ctx) init(ctx context.Context, root Operator) error {
 	if err := c.validate(); err != nil {
 		return err
 	}
@@ -115,7 +126,7 @@ func (c *Ctx) init(root Operator) error {
 	if c.stages < 1 {
 		c.stages = 1
 	}
-	c.scratch = algo.NewParallelEnv(c.Factory, c.MemoryBudget, c.Parallelism)
+	c.scratch = algo.NewParallelEnv(c.Factory, c.MemoryBudget, c.Parallelism).WithContext(ctx)
 	return nil
 }
 
@@ -148,9 +159,10 @@ func (c *Ctx) StageBudget() int64 {
 }
 
 // StageEnv builds the execution environment of one blocking stage: an
-// equal share of the plan budget, carrying the plan parallelism.
+// equal share of the plan budget, carrying the plan parallelism, the
+// run's cancellation context and the shared temp tracker.
 func (c *Ctx) StageEnv() *algo.Env {
-	return algo.NewParallelEnv(c.Factory, c.StageBudget(), c.Parallelism)
+	return c.tempEnv().Derive(c.StageBudget())
 }
 
 // tempEnv is the environment non-consuming operators (Materialize,
@@ -162,12 +174,50 @@ func (c *Ctx) tempEnv() *algo.Env {
 	return c.scratch
 }
 
+// LiveTemps reports the temporary collections of the last run that are
+// still alive — zero after a clean run or sweep (leak tests assert it).
+func (c *Ctx) LiveTemps() int {
+	if c.scratch == nil {
+		return 0
+	}
+	return c.scratch.LiveTemps()
+}
+
+// SweepTemps destroys every temporary the last run left behind. Run and
+// the Rows cursor call it on error and cancellation paths; an aborted
+// plan therefore leaks no spill, partition or pipe collections even when
+// the failure struck mid-phase inside an algorithm.
+func (c *Ctx) SweepTemps() error {
+	if c.scratch == nil {
+		return nil
+	}
+	return c.scratch.SweepTemps()
+}
+
+// Bind prepares the context for an incremental (cursor-driven) run of
+// the plan rooted at root: it validates the configuration, counts the
+// blocking stages that will share the budget and attaches ctx to the
+// root environment. Callers then Open the root themselves and pull it
+// record by record — the streaming shape of the façade's Rows cursor.
+func (c *Ctx) Bind(ctx context.Context, root Operator) error {
+	return c.init(ctx, root)
+}
+
 // Run executes the plan rooted at root, appending its stream to out (in
-// stream order) and closing both the tree and out. out must be empty and
-// match the root's record size. When the root is a blocking operator it
-// emits directly into out, avoiding a final temp-and-copy.
-func Run(ctx *Ctx, root Operator, out storage.Collection) error {
-	if err := ctx.init(root); err != nil {
+// stream order) and closing both the tree and out. It is RunCtx without
+// cancellation.
+func Run(ec *Ctx, root Operator, out storage.Collection) error {
+	return RunCtx(context.Background(), ec, root, out)
+}
+
+// RunCtx executes the plan rooted at root under ctx, appending its
+// stream to out (in stream order) and closing both the tree and out. out
+// must be empty and match the root's record size. When the root is a
+// blocking operator it emits directly into out, avoiding a final
+// temp-and-copy. On error — including cancellation — the operator tree
+// is closed and every temporary the run created is destroyed.
+func RunCtx(ctx context.Context, ec *Ctx, root Operator, out storage.Collection) error {
+	if err := ec.init(ctx, root); err != nil {
 		return err
 	}
 	if out == nil {
@@ -179,23 +229,25 @@ func Run(ctx *Ctx, root Operator, out storage.Collection) error {
 	if out.Len() != 0 {
 		return fmt.Errorf("exec: output collection %q not empty", out.Name())
 	}
+	fail := func(err error) error {
+		root.Close()    //nolint:errcheck // best-effort cleanup after failure
+		ec.SweepTemps() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
 	if e, ok := root.(directEmitter); ok {
-		if err := e.emitTo(ctx, out); err != nil {
-			root.Close() //nolint:errcheck // best-effort cleanup after failure
-			return err
+		if err := e.emitTo(ctx, ec, out); err != nil {
+			return fail(err)
 		}
 		if err := root.Close(); err != nil {
 			return err
 		}
 		return out.Close()
 	}
-	if err := root.Open(ctx); err != nil {
-		root.Close() //nolint:errcheck // best-effort cleanup after failure
-		return err
+	if err := root.Open(ctx, ec); err != nil {
+		return fail(err)
 	}
-	if err := drain(root, out.Append); err != nil {
-		root.Close() //nolint:errcheck // best-effort cleanup after failure
-		return err
+	if err := drain(ctx, root, out.Append); err != nil {
+		return fail(err)
 	}
 	if err := root.Close(); err != nil {
 		return err
@@ -203,10 +255,19 @@ func Run(ctx *Ctx, root Operator, out storage.Collection) error {
 	return out.Close()
 }
 
-// drain pulls op until EOF, feeding each record to emit.
-func drain(op Operator, emit func(rec []byte) error) error {
+// drain pulls op until EOF, feeding each record to emit and polling ctx
+// between batches of records.
+func drain(ctx context.Context, op Operator, emit func(rec []byte) error) error {
+	n := 0
 	for {
-		rec, err := op.Next()
+		n++
+		if n >= algo.PollInterval {
+			n = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rec, err := op.Next(ctx)
 		if err == io.EOF {
 			return nil
 		}
@@ -227,8 +288,8 @@ func drain(op Operator, emit func(rec []byte) error) error {
 // cleanup destroys the temporary (it is a no-op for direct collections
 // and views) and must be called once the collection has been consumed;
 // the child itself is closed by the caller's Close.
-func inputCollection(ctx *Ctx, child Operator) (storage.Collection, func() error, error) {
-	if err := child.Open(ctx); err != nil {
+func inputCollection(ctx context.Context, ec *Ctx, child Operator) (storage.Collection, func() error, error) {
+	if err := child.Open(ctx, ec); err != nil {
 		return nil, nil, err
 	}
 	if c, ok, err := fuseView(child); err != nil {
@@ -236,11 +297,11 @@ func inputCollection(ctx *Ctx, child Operator) (storage.Collection, func() error
 	} else if ok {
 		return c, func() error { return nil }, nil
 	}
-	tmp, err := ctx.tempEnv().CreateTemp("pipe", child.RecordSize())
+	tmp, err := ec.tempEnv().CreateTemp("pipe", child.RecordSize())
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := drain(child, tmp.Append); err != nil {
+	if err := drain(ctx, child, tmp.Append); err != nil {
 		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -40,19 +41,19 @@ func (g *GroupBy) RecordSize() int      { return record.Size }
 func (g *GroupBy) Children() []Operator { return []Operator{g.child} }
 func (g *GroupBy) consumesMemory() bool { return true }
 
-func (g *GroupBy) groupInto(ctx *Ctx, dst storage.Collection) error {
+func (g *GroupBy) groupInto(ctx context.Context, ec *Ctx, dst storage.Collection) error {
 	if g.child.RecordSize() != record.Size {
 		return fmt.Errorf("exec: group-by needs %d-byte benchmark records, child emits %d (project first)",
 			record.Size, g.child.RecordSize())
 	}
-	in, cleanup, err := inputCollection(ctx, g.child)
+	in, cleanup, err := inputCollection(ctx, ec, g.child)
 	if err != nil {
 		return err
 	}
 	// Clamp the compile-time estimate against the materialized input: a
 	// planner-owned sort choice is re-priced at the actual cardinality.
 	g.algo = g.rc.clampSort(in.Len(), in.RecordSize(), g.algo)
-	env := ctx.StageEnv()
+	env := ec.StageEnv()
 	if err := aggregate.GroupBy(env, g.algo, in, g.attr, dst); err != nil {
 		cleanup() //nolint:errcheck // best-effort cleanup after failure
 		return err
@@ -60,12 +61,12 @@ func (g *GroupBy) groupInto(ctx *Ctx, dst storage.Collection) error {
 	return cleanup()
 }
 
-func (g *GroupBy) Open(ctx *Ctx) error {
-	tmp, err := ctx.tempEnv().CreateTemp("grouped", record.Size)
+func (g *GroupBy) Open(ctx context.Context, ec *Ctx) error {
+	tmp, err := ec.tempEnv().CreateTemp("grouped", record.Size)
 	if err != nil {
 		return err
 	}
-	if err := g.groupInto(ctx, tmp); err != nil {
+	if err := g.groupInto(ctx, ec, tmp); err != nil {
 		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
 		return err
 	}
@@ -74,11 +75,11 @@ func (g *GroupBy) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (g *GroupBy) emitTo(ctx *Ctx, out storage.Collection) error {
-	return g.groupInto(ctx, out)
+func (g *GroupBy) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) error {
+	return g.groupInto(ctx, ec, out)
 }
 
-func (g *GroupBy) Next() ([]byte, error) {
+func (g *GroupBy) Next(context.Context) ([]byte, error) {
 	if g.it == nil {
 		return nil, io.EOF
 	}
@@ -150,7 +151,7 @@ func (h *HashAggregate) consumesMemory() bool { return true }
 
 // aggregate drains the child into the partial table, spilling sorted
 // runs on budget overflow; shared by Open and emitTo.
-func (h *HashAggregate) aggregate(ctx *Ctx) error {
+func (h *HashAggregate) aggregate(ctx context.Context, ec *Ctx) error {
 	if h.child.RecordSize() != record.Size {
 		return fmt.Errorf("exec: hash aggregate needs %d-byte benchmark records, child emits %d (project first)",
 			record.Size, h.child.RecordSize())
@@ -158,14 +159,14 @@ func (h *HashAggregate) aggregate(ctx *Ctx) error {
 	if h.attr < 0 || h.attr >= record.NumAttrs {
 		return fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", h.attr, record.NumAttrs-1)
 	}
-	if err := h.child.Open(ctx); err != nil {
+	if err := h.child.Open(ctx, ec); err != nil {
 		return err
 	}
-	h.env = ctx.StageEnv()
+	h.env = ec.StageEnv()
 	budget := h.env.BudgetHashRecords(record.Size)
 	h.groups = make(map[uint64]*aggState)
 	rows := 0
-	err := drain(h.child, func(rec []byte) error {
+	err := drain(ctx, h.child, func(rec []byte) error {
 		rows++
 		k := record.Key(rec)
 		v := record.Attr(rec, h.attr)
@@ -219,8 +220,8 @@ func (h *HashAggregate) finishSpill(dst storage.Collection) error {
 	return h.mergeSpills(dst)
 }
 
-func (h *HashAggregate) Open(ctx *Ctx) error {
-	if err := h.aggregate(ctx); err != nil {
+func (h *HashAggregate) Open(ctx context.Context, ec *Ctx) error {
+	if err := h.aggregate(ctx, ec); err != nil {
 		return err
 	}
 	if len(h.spills) == 0 {
@@ -229,7 +230,7 @@ func (h *HashAggregate) Open(ctx *Ctx) error {
 		h.buf = make([]byte, record.Size)
 		return nil
 	}
-	merged, err := ctx.tempEnv().CreateTemp("hashagg.merged", record.Size)
+	merged, err := ec.tempEnv().CreateTemp("hashagg.merged", record.Size)
 	if err != nil {
 		return err
 	}
@@ -245,8 +246,8 @@ func (h *HashAggregate) Open(ctx *Ctx) error {
 // emitTo writes the aggregates straight into the plan output when the
 // operator sits at the root, saving the temp-then-copy of the generic
 // drain — on the spill path the run merge lands directly in out.
-func (h *HashAggregate) emitTo(ctx *Ctx, out storage.Collection) error {
-	if err := h.aggregate(ctx); err != nil {
+func (h *HashAggregate) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) error {
+	if err := h.aggregate(ctx, ec); err != nil {
 		return err
 	}
 	if len(h.spills) == 0 {
@@ -289,6 +290,20 @@ func (h *HashAggregate) spill() error {
 	return nil
 }
 
+// pollEmit wraps emit with the stage environment's amortized
+// cancellation check, so the spill-merge passes stop mid-stream when the
+// run's context is cancelled (the drain path polls through drain; this
+// is its merge-phase twin, matching the sorts' pollEmit).
+func (h *HashAggregate) pollEmit(emit func(rec []byte) error) func(rec []byte) error {
+	poll := h.env.Poll()
+	return func(rec []byte) error {
+		if err := poll(); err != nil {
+			return err
+		}
+		return emit(rec)
+	}
+}
+
 // mergeSpills combines the sorted runs into dst, merging equal keys.
 // Fan-in is capped at the stage's buffer budget less one output buffer
 // (the same headroom the sorts' merges reserve); larger run counts go
@@ -304,7 +319,7 @@ func (h *HashAggregate) mergeSpills(dst storage.Collection) error {
 		if err != nil {
 			return err
 		}
-		if err := mergeAggRuns(batch, out.Append); err != nil {
+		if err := mergeAggRuns(batch, h.pollEmit(out.Append)); err != nil {
 			out.Destroy() //nolint:errcheck // best-effort cleanup after failure
 			return err
 		}
@@ -317,7 +332,7 @@ func (h *HashAggregate) mergeSpills(dst storage.Collection) error {
 		}
 		h.spills = append(append([]storage.Collection(nil), h.spills[fanIn:]...), out)
 	}
-	if err := mergeAggRuns(h.spills, dst.Append); err != nil {
+	if err := mergeAggRuns(h.spills, h.pollEmit(dst.Append)); err != nil {
 		return err
 	}
 	for _, r := range h.spills {
@@ -421,7 +436,7 @@ func fillAggRecord(buf []byte, key uint64, st *aggState) {
 	record.SetAttr(buf, aggregate.AttrMax, st.max)
 }
 
-func (h *HashAggregate) Next() ([]byte, error) {
+func (h *HashAggregate) Next(context.Context) ([]byte, error) {
 	if h.it != nil {
 		return h.it.Next()
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,12 +35,12 @@ func (j *Join) RecordSize() int      { return j.left.RecordSize() + j.right.Reco
 func (j *Join) Children() []Operator { return []Operator{j.left, j.right} }
 func (j *Join) consumesMemory() bool { return true }
 
-func (j *Join) joinInto(ctx *Ctx, dst storage.Collection) error {
-	lcoll, lclean, err := inputCollection(ctx, j.left)
+func (j *Join) joinInto(ctx context.Context, ec *Ctx, dst storage.Collection) error {
+	lcoll, lclean, err := inputCollection(ctx, ec, j.left)
 	if err != nil {
 		return err
 	}
-	rcoll, rclean, err := inputCollection(ctx, j.right)
+	rcoll, rclean, err := inputCollection(ctx, ec, j.right)
 	if err != nil {
 		lclean() //nolint:errcheck // best-effort cleanup after failure
 		return err
@@ -47,7 +48,7 @@ func (j *Join) joinInto(ctx *Ctx, dst storage.Collection) error {
 	// Clamp the compile-time estimates against the materialized inputs: a
 	// planner-owned choice is re-priced at the actual cardinalities.
 	j.algo = j.rc.clampJoin(lcoll.Len(), lcoll.RecordSize(), rcoll.Len(), rcoll.RecordSize(), j.algo)
-	env := ctx.StageEnv()
+	env := ec.StageEnv()
 	if err := j.algo.Join(env, lcoll, rcoll, dst); err != nil {
 		lclean() //nolint:errcheck // best-effort cleanup after failure
 		rclean() //nolint:errcheck // best-effort cleanup after failure
@@ -59,12 +60,12 @@ func (j *Join) joinInto(ctx *Ctx, dst storage.Collection) error {
 	return rclean()
 }
 
-func (j *Join) Open(ctx *Ctx) error {
-	tmp, err := ctx.tempEnv().CreateTemp("joined", j.RecordSize())
+func (j *Join) Open(ctx context.Context, ec *Ctx) error {
+	tmp, err := ec.tempEnv().CreateTemp("joined", j.RecordSize())
 	if err != nil {
 		return err
 	}
-	if err := j.joinInto(ctx, tmp); err != nil {
+	if err := j.joinInto(ctx, ec, tmp); err != nil {
 		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
 		return err
 	}
@@ -77,11 +78,11 @@ func (j *Join) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (j *Join) emitTo(ctx *Ctx, out storage.Collection) error {
-	return j.joinInto(ctx, out)
+func (j *Join) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) error {
+	return j.joinInto(ctx, ec, out)
 }
 
-func (j *Join) Next() ([]byte, error) {
+func (j *Join) Next(context.Context) ([]byte, error) {
 	if j.it == nil {
 		return nil, io.EOF
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -29,15 +30,15 @@ func (m *Materialize) RecordSize() int      { return m.child.RecordSize() }
 func (m *Materialize) Children() []Operator { return []Operator{m.child} }
 func (m *Materialize) consumesMemory() bool { return false }
 
-func (m *Materialize) Open(ctx *Ctx) error {
-	if err := m.child.Open(ctx); err != nil {
+func (m *Materialize) Open(ctx context.Context, ec *Ctx) error {
+	if err := m.child.Open(ctx, ec); err != nil {
 		return err
 	}
-	tmp, err := ctx.tempEnv().CreateTemp("mat", m.child.RecordSize())
+	tmp, err := ec.tempEnv().CreateTemp("mat", m.child.RecordSize())
 	if err != nil {
 		return err
 	}
-	if err := drain(m.child, tmp.Append); err != nil {
+	if err := drain(ctx, m.child, tmp.Append); err != nil {
 		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
 		return err
 	}
@@ -50,7 +51,7 @@ func (m *Materialize) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (m *Materialize) Next() ([]byte, error) {
+func (m *Materialize) Next(context.Context) ([]byte, error) {
 	if m.it == nil {
 		return nil, io.EOF
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,15 +37,15 @@ func (o *OrderBy) Children() []Operator { return []Operator{o.child} }
 func (o *OrderBy) consumesMemory() bool { return true }
 
 // sortInto runs the sort of the child's materialized input into dst.
-func (o *OrderBy) sortInto(ctx *Ctx, dst storage.Collection) error {
-	in, cleanup, err := inputCollection(ctx, o.child)
+func (o *OrderBy) sortInto(ctx context.Context, ec *Ctx, dst storage.Collection) error {
+	in, cleanup, err := inputCollection(ctx, ec, o.child)
 	if err != nil {
 		return err
 	}
 	// Clamp the compile-time estimate against the materialized input: a
 	// planner-owned choice is re-priced at the actual cardinality.
 	o.algo = o.rc.clampSort(in.Len(), in.RecordSize(), o.algo)
-	env := ctx.StageEnv()
+	env := ec.StageEnv()
 	if err := o.algo.Sort(env, in, dst); err != nil {
 		cleanup() //nolint:errcheck // best-effort cleanup after failure
 		return err
@@ -52,12 +53,12 @@ func (o *OrderBy) sortInto(ctx *Ctx, dst storage.Collection) error {
 	return cleanup()
 }
 
-func (o *OrderBy) Open(ctx *Ctx) error {
-	tmp, err := ctx.tempEnv().CreateTemp("sorted", o.RecordSize())
+func (o *OrderBy) Open(ctx context.Context, ec *Ctx) error {
+	tmp, err := ec.tempEnv().CreateTemp("sorted", o.RecordSize())
 	if err != nil {
 		return err
 	}
-	if err := o.sortInto(ctx, tmp); err != nil {
+	if err := o.sortInto(ctx, ec, tmp); err != nil {
 		tmp.Destroy() //nolint:errcheck // best-effort cleanup after failure
 		return err
 	}
@@ -66,11 +67,11 @@ func (o *OrderBy) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (o *OrderBy) emitTo(ctx *Ctx, out storage.Collection) error {
-	return o.sortInto(ctx, out)
+func (o *OrderBy) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) error {
+	return o.sortInto(ctx, ec, out)
 }
 
-func (o *OrderBy) Next() ([]byte, error) {
+func (o *OrderBy) Next(context.Context) ([]byte, error) {
 	if o.it == nil {
 		return nil, io.EOF
 	}

@@ -417,13 +417,47 @@ func (c *compiler) estimateNode(p *Plan) planEstimate {
 	return planEstimate{}
 }
 
-// filterEstimate applies a predicate's selectivity to the input estimate.
+// filterEstimate applies a predicate's selectivity to the input estimate
+// and propagates the predicate's value bounds into the surviving
+// statistics: a range or equality filter tightens the filtered column's
+// histogram and distinct count (stats.Restrict), so a later predicate on
+// the same column is estimated against the conditional distribution
+// instead of the base table's.
 func (c *compiler) filterEstimate(in planEstimate, pred Predicate) planEstimate {
 	rows := int(float64(in.rows) * c.selectivity(pred, in.tbl))
 	if rows < 1 {
 		rows = 1
 	}
-	return planEstimate{rows: rows, tbl: in.tbl.WithRows(rows)}
+	lo, hi, bounded := predBounds(pred)
+	if !bounded {
+		return planEstimate{rows: rows, tbl: in.tbl.WithRows(rows)}
+	}
+	return planEstimate{rows: rows, tbl: in.tbl.Restrict(pred.Attr, lo, hi, rows)}
+}
+
+// predBounds converts a predicate to the half-open value range it
+// confines its attribute to. Ne confines nothing; Lt 0 and Gt MaxUint64
+// confine everything away (lo > hi, the empty range).
+func predBounds(pred Predicate) (lo, hi uint64, ok bool) {
+	switch pred.Op {
+	case Eq:
+		return pred.Value, pred.Value, true
+	case Lt:
+		if pred.Value == 0 {
+			return 1, 0, true // empty
+		}
+		return 0, pred.Value - 1, true
+	case Le:
+		return 0, pred.Value, true
+	case Gt:
+		if pred.Value == math.MaxUint64 {
+			return 1, 0, true // empty
+		}
+		return pred.Value + 1, math.MaxUint64, true
+	case Ge:
+		return pred.Value, math.MaxUint64, true
+	}
+	return 0, 0, false
 }
 
 // projectEstimate remaps the input estimate to the projected schema.

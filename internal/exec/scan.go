@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,12 +26,12 @@ func (s *Scan) Name() string         { return fmt.Sprintf("Scan(%s)", s.c.Name()
 func (s *Scan) RecordSize() int      { return s.c.RecordSize() }
 func (s *Scan) Children() []Operator { return nil }
 
-func (s *Scan) Open(*Ctx) error {
+func (s *Scan) Open(context.Context, *Ctx) error {
 	s.it = s.c.Scan()
 	return nil
 }
 
-func (s *Scan) Next() ([]byte, error) {
+func (s *Scan) Next(context.Context) ([]byte, error) {
 	if s.it == nil {
 		return nil, io.EOF
 	}
@@ -137,16 +138,16 @@ func (f *Filter) Name() string         { return fmt.Sprintf("Filter[%s](%s)", f.
 func (f *Filter) RecordSize() int      { return f.child.RecordSize() }
 func (f *Filter) Children() []Operator { return []Operator{f.child} }
 
-func (f *Filter) Open(ctx *Ctx) error {
+func (f *Filter) Open(ctx context.Context, ec *Ctx) error {
 	if err := f.pred.validate(f.child.RecordSize()); err != nil {
 		return err
 	}
-	return f.child.Open(ctx)
+	return f.child.Open(ctx, ec)
 }
 
-func (f *Filter) Next() ([]byte, error) {
+func (f *Filter) Next(ctx context.Context) ([]byte, error) {
 	for {
-		rec, err := f.child.Next()
+		rec, err := f.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +181,7 @@ func (p *Project) Name() string {
 func (p *Project) RecordSize() int      { return len(p.attrs) * record.AttrSize }
 func (p *Project) Children() []Operator { return []Operator{p.child} }
 
-func (p *Project) Open(ctx *Ctx) error {
+func (p *Project) Open(ctx context.Context, ec *Ctx) error {
 	if len(p.attrs) == 0 {
 		return fmt.Errorf("exec: projection with no attributes")
 	}
@@ -191,11 +192,11 @@ func (p *Project) Open(ctx *Ctx) error {
 		}
 	}
 	p.buf = make([]byte, p.RecordSize())
-	return p.child.Open(ctx)
+	return p.child.Open(ctx, ec)
 }
 
-func (p *Project) Next() ([]byte, error) {
-	rec, err := p.child.Next()
+func (p *Project) Next(ctx context.Context) ([]byte, error) {
+	rec, err := p.child.Next(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -223,19 +224,19 @@ func (l *Limit) Name() string         { return fmt.Sprintf("Limit[%d](%s)", l.n,
 func (l *Limit) RecordSize() int      { return l.child.RecordSize() }
 func (l *Limit) Children() []Operator { return []Operator{l.child} }
 
-func (l *Limit) Open(ctx *Ctx) error {
+func (l *Limit) Open(ctx context.Context, ec *Ctx) error {
 	if l.n < 0 {
 		return fmt.Errorf("exec: negative limit %d", l.n)
 	}
 	l.seen = 0
-	return l.child.Open(ctx)
+	return l.child.Open(ctx, ec)
 }
 
-func (l *Limit) Next() ([]byte, error) {
+func (l *Limit) Next(ctx context.Context) ([]byte, error) {
 	if l.seen >= l.n {
 		return nil, io.EOF
 	}
-	rec, err := l.child.Next()
+	rec, err := l.child.Next(ctx)
 	if err != nil {
 		return nil, err
 	}

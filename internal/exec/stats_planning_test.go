@@ -50,6 +50,92 @@ func TestStatsReplaceTextbookSelectivities(t *testing.T) {
 	}
 }
 
+// TestRangeBoundsPropagateThroughFilters pins the histogram-restriction
+// upgrade: after a range filter the surviving statistics describe the
+// conditional distribution, so a second range predicate on the same
+// column is estimated against the filtered domain. With uniform keys
+// 0..n-1, `a0 < n/2` then `a0 < n/4` keeps n/4 rows; the old
+// distinct-clamp-only propagation kept the base histogram and estimated
+// (n/2)·FracLE(n/4) = n/8 — off by 2×.
+func TestRangeBoundsPropagateThroughFilters(t *testing.T) {
+	const n = 8000
+	cases := []struct {
+		name  string
+		preds []Predicate
+		want  float64
+	}{
+		{"lt-then-lt", []Predicate{
+			{Attr: 0, Op: Lt, Value: n / 2},
+			{Attr: 0, Op: Lt, Value: n / 4},
+		}, n / 4},
+		{"ge-then-lt", []Predicate{
+			{Attr: 0, Op: Ge, Value: n / 2},
+			{Attr: 0, Op: Lt, Value: 3 * n / 4},
+		}, n / 4},
+		{"le-then-ge", []Predicate{
+			{Attr: 0, Op: Le, Value: n / 2},
+			{Attr: 0, Op: Ge, Value: n / 4},
+		}, n / 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRig(t)
+			in := r.create(t, "in", record.Size)
+			if err := record.Generate(n, 3, in.Append); err != nil {
+				t.Fatal(err)
+			}
+			in.Close()
+			plan := Table(in)
+			for _, p := range tc.preds {
+				plan = plan.Filter(p)
+			}
+			ctx := r.statsCtx(64<<10, 1)
+			root, ex, err := Compile(ctx, plan.OrderBy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := float64(ex.Choices[0].InputRows)
+			if math.Abs(est-tc.want) > 0.15*tc.want {
+				t.Errorf("chained-filter estimate = %.0f rows, want ~%.0f (±15%%)", est, tc.want)
+			}
+			// Accuracy against the actual surviving rows, the satellite's
+			// acceptance check: estimate within 15% of what the filters keep.
+			out := r.create(t, "out", record.Size)
+			if err := Run(ctx, root, out); err != nil {
+				t.Fatal(err)
+			}
+			act := float64(out.Len())
+			if math.Abs(est-act) > 0.15*act {
+				t.Errorf("estimate %.0f vs actual %.0f rows (>15%% off)", est, act)
+			}
+			t.Logf("est %.0f vs actual %.0f", est, act)
+		})
+	}
+}
+
+// TestImpossibleRangeEstimatesToFloor: contradictory range predicates
+// drive the estimate to the 1-row floor instead of a histogram artifact.
+func TestImpossibleRangeEstimatesToFloor(t *testing.T) {
+	const n = 4000
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(n, 5, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	in.Close()
+	plan := Table(in).
+		Filter(Predicate{Attr: 0, Op: Lt, Value: n / 4}).
+		Filter(Predicate{Attr: 0, Op: Ge, Value: n / 2}).
+		OrderBy()
+	_, ex, err := Compile(r.statsCtx(64<<10, 1), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.Choices[0].InputRows; got != 1 {
+		t.Errorf("impossible-range estimate = %d rows, want the 1-row floor", got)
+	}
+}
+
 // TestStatsMakeGroupHintOptional: the key column's distinct count from
 // the statistics selects the hash aggregation with no GroupHint at all,
 // and the result stays byte-identical to the sort-based plan.

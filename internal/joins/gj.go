@@ -41,7 +41,7 @@ func (j *Grace) Join(env *algo.Env, left, right, out storage.Collection) error {
 	}
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 	for p := 0; p < k; p++ {
-		if err := joinPartition(lp[p], rp[p], em); err != nil {
+		if err := joinPartition(env, lp[p], rp[p], em); err != nil {
 			return err
 		}
 		if err := destroyAll(lp[p]); err != nil {
@@ -86,12 +86,12 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 		}
 		subs[i] = mine
 		lo, hi := algo.SplitRange(src.Len(), w, i)
-		if err := scanInto(storage.Slice(src, lo, hi), func(rec []byte) error {
+		if err := scanInto(storage.Slice(src, lo, hi), pollRecords(envs[i], func(rec []byte) error {
 			if p := partitionOf(rec, k); p < x {
 				return mine[p].Append(rec)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 		return closeAll(mine)
@@ -113,10 +113,10 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 // partition rp, one probe worker per sub-collection (the partitioning
 // phase's worker count, itself bounded by env.Parallelism, fixes the
 // probe fan-out).
-func joinPartition(lp, rp []storage.Collection, em *emitter) error {
-	table, err := buildTable(lp)
+func joinPartition(env *algo.Env, lp, rp []storage.Collection, em *emitter) error {
+	table, err := buildTable(env, lp)
 	if err != nil {
 		return err
 	}
-	return parallelProbe(rp, table, nil, em)
+	return parallelProbe(env, rp, table, nil, em)
 }

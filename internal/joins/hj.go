@@ -50,7 +50,7 @@ func (j *Hash) Join(env *algo.Env, left, right, out storage.Collection) error {
 
 		// Build side: partition-p records enter the table, the rest are
 		// offloaded to the next intermediate input.
-		if err := scanInto(curT, func(rec []byte) error {
+		if err := scanInto(curT, pollRecords(env, func(rec []byte) error {
 			if partitionOf(rec, k) == p {
 				table.insert(rec)
 				return nil
@@ -59,11 +59,11 @@ func (j *Hash) Join(env *algo.Env, left, right, out storage.Collection) error {
 				return nextT.Append(rec)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 		// Probe side.
-		if err := scanInto(curV, func(r []byte) error {
+		if err := scanInto(curV, pollRecords(env, func(r []byte) error {
 			if partitionOf(r, k) == p {
 				return table.probe(record.Key(r), func(l []byte) error {
 					return em.emit(l, r)
@@ -73,7 +73,7 @@ func (j *Hash) Join(env *algo.Env, left, right, out storage.Collection) error {
 				return nextV.Append(r)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 

@@ -86,11 +86,11 @@ func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection)
 	// builds stay serial; both probe streams fan out to workers.
 	vSuffix := storage.Slice(right, splitV, right.Len())
 	for p := 0; p < len(lp); p++ {
-		table, err := buildTable(lp[p])
+		table, err := buildTable(env, lp[p])
 		if err != nil {
 			return err
 		}
-		if err := parallelProbe(rp[p], table, nil, em); err != nil {
+		if err := parallelProbe(env, rp[p], table, nil, em); err != nil {
 			return err
 		}
 		if vSuffix.Len() > 0 {

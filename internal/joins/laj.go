@@ -54,7 +54,7 @@ func (j *LazyHash) Join(env *algo.Env, left, right, out storage.Collection) erro
 		}
 
 		table.reset()
-		if err := scanInto(curT, func(rec []byte) error {
+		if err := scanInto(curT, pollRecords(env, func(rec []byte) error {
 			part := partitionOf(rec, k)
 			if part == p {
 				table.insert(rec)
@@ -64,10 +64,10 @@ func (j *LazyHash) Join(env *algo.Env, left, right, out storage.Collection) erro
 				return nextT.Append(rec)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
-		if err := scanInto(curV, func(r []byte) error {
+		if err := scanInto(curV, pollRecords(env, func(r []byte) error {
 			part := partitionOf(r, k)
 			if part == p {
 				return table.probe(record.Key(r), func(l []byte) error {
@@ -78,7 +78,7 @@ func (j *LazyHash) Join(env *algo.Env, left, right, out storage.Collection) erro
 				return nextV.Append(r)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 

@@ -28,6 +28,7 @@ func (j *NestedLoops) Join(env *algo.Env, left, right, out storage.Collection) e
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 	cap := buildCap(env, left.RecordSize())
 	table := newHashTable(left.RecordSize(), cap)
+	poll := env.Poll()
 
 	done := 0
 	for done < left.Len() {
@@ -48,6 +49,9 @@ func (j *NestedLoops) Join(env *algo.Env, left, right, out storage.Collection) e
 		done += table.len()
 
 		if err := scanInto(right, func(r []byte) error {
+			if err := poll(); err != nil {
+				return err
+			}
 			return table.probe(record.Key(r), func(l []byte) error {
 				return em.emit(l, r)
 			})

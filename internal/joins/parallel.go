@@ -128,17 +128,18 @@ func (o *orderedEmit) release() {
 // table, emitting matches through em exactly as the serial algorithm
 // would: stream-major, then probe-record-major, then build-insertion
 // order. Stream i is handled by worker i; records failing filter (when
-// non-nil) are skipped.
-func parallelProbe(srcs []storage.Collection, table *hashTable, filter func(rec []byte) bool, em *emitter) error {
+// non-nil) are skipped. Each worker polls env's cancellation between
+// probe records, so a cancelled join stops mid-probe.
+func parallelProbe(env *algo.Env, srcs []storage.Collection, table *hashTable, filter func(rec []byte) bool, em *emitter) error {
 	probeOne := func(src storage.Collection, emit func(l, r []byte) error) error {
-		return scanInto(src, func(r []byte) error {
+		return scanInto(src, pollRecords(env, func(r []byte) error {
 			if filter != nil && !filter(r) {
 				return nil
 			}
 			return table.probe(record.Key(r), func(l []byte) error {
 				return emit(l, r)
 			})
-		})
+		}))
 	}
 	if len(srcs) == 0 {
 		return nil
@@ -162,25 +163,26 @@ func parallelProbe(srcs []storage.Collection, table *hashTable, filter func(rec 
 func probeRange(env *algo.Env, src storage.Collection, table *hashTable, filter func(rec []byte) bool, em *emitter) error {
 	w := env.Workers(src.Len())
 	if w <= 1 {
-		return parallelProbe([]storage.Collection{src}, table, filter, em)
+		return parallelProbe(env, []storage.Collection{src}, table, filter, em)
 	}
 	srcs := make([]storage.Collection, w)
 	for i := range srcs {
 		lo, hi := algo.SplitRange(src.Len(), w, i)
 		srcs[i] = storage.Slice(src, lo, hi)
 	}
-	return parallelProbe(srcs, table, filter, em)
+	return parallelProbe(env, srcs, table, filter, em)
 }
 
 // buildTable builds the in-memory hash table over a partition's
-// sub-collections in worker order, preserving the serial insertion order.
-func buildTable(subs []storage.Collection) (*hashTable, error) {
+// sub-collections in worker order, preserving the serial insertion order
+// and polling env's cancellation between inserted records.
+func buildTable(env *algo.Env, subs []storage.Collection) (*hashTable, error) {
 	table := newHashTable(subs[0].RecordSize(), lenAll(subs))
 	for _, c := range subs {
-		if err := scanInto(c, func(rec []byte) error {
+		if err := scanInto(c, pollRecords(env, func(rec []byte) error {
 			table.insert(rec)
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return nil, err
 		}
 	}

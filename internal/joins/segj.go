@@ -58,7 +58,7 @@ func (j *SegmentedGrace) Join(env *algo.Env, left, right, out storage.Collection
 
 	// Grace-style join of the materialized partitions.
 	for p := 0; p < x; p++ {
-		if err := joinPartition(lp[p], rp[p], em); err != nil {
+		if err := joinPartition(env, lp[p], rp[p], em); err != nil {
 			return err
 		}
 		if err := destroyAll(lp[p]); err != nil {
@@ -75,12 +75,12 @@ func (j *SegmentedGrace) Join(env *algo.Env, left, right, out storage.Collection
 	table := newHashTable(left.RecordSize(), buildCap(env, left.RecordSize()))
 	for p := x; p < k; p++ {
 		table.reset()
-		if err := scanInto(left, func(rec []byte) error {
+		if err := scanInto(left, pollRecords(env, func(rec []byte) error {
 			if partitionOf(rec, k) == p {
 				table.insert(rec)
 			}
 			return nil
-		}); err != nil {
+		})); err != nil {
 			return err
 		}
 		part := p

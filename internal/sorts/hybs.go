@@ -121,7 +121,11 @@ func (s *HybridSort) Sort(env *algo.Env, in, out storage.Collection) error {
 
 	it := in.Scan()
 	defer it.Close()
+	poll := env.Poll()
 	for {
+		if err := poll(); err != nil {
+			return err
+		}
 		rec, err := it.Next()
 		if err == io.EOF {
 			break

@@ -39,6 +39,7 @@ func (s *LazySort) Sort(env *algo.Env, in, out storage.Collection) error {
 	cur := in                      // current input (in, or the latest materialized Ti)
 	var curTemp storage.Collection // owned temp backing cur, nil when cur == in
 	var bound *ranked
+	poll := env.Poll()
 	n := 1 // iteration number on the current input (Algorithm 2's n)
 	emitted := 0
 
@@ -55,7 +56,7 @@ func (s *LazySort) Sort(env *algo.Env, in, out storage.Collection) error {
 			ti = t
 			onSurvivor = func(rec []byte) error { return ti.Append(rec) }
 		}
-		batch, err := selectionPass(cur, budget, bound, onSurvivor)
+		batch, err := selectionPass(cur, budget, bound, onSurvivor, poll)
 		if err != nil {
 			return err
 		}

@@ -41,6 +41,11 @@ func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Coll
 		return nil
 	})
 	if err != nil {
+		// A failed or cancelled worker leaves the successful workers' runs
+		// orphaned: destroy them here so mid-formation aborts leak nothing.
+		for _, rs := range perWorker {
+			destroyRuns(rs)
+		}
 		return nil, err
 	}
 	var runs []storage.Collection
@@ -48,6 +53,16 @@ func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Coll
 		runs = append(runs, r...)
 	}
 	return runs, nil
+}
+
+// destroyRuns best-effort-destroys a batch of temporary runs on an error
+// path (Destroy is idempotent; the first error has already been chosen).
+func destroyRuns(runs []storage.Collection) {
+	for _, r := range runs {
+		if r != nil {
+			r.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		}
+	}
 }
 
 // capRunWorkers bounds the parallel run-formation fan-out by the merge
@@ -94,16 +109,24 @@ func mergePassesFor(runs, fanIn int) int {
 // the classic two-heap replacement-selection scheme with budget records of
 // working memory. Runs average twice the memory size on random input,
 // which is the 2M assumption of the segment-sort cost model (Eq. 1).
-// Returned runs are closed.
+// Returned runs are closed. On error (including cancellation) every run
+// created so far is destroyed before returning.
 func formRunsReplacementSelection(env *algo.Env, it storage.Iterator, recSize, budget int) ([]storage.Collection, error) {
+	var runs []storage.Collection
+	done := false
+	defer func() {
+		if !done {
+			destroyRuns(runs)
+		}
+	}()
 	if budget < 1 {
 		budget = 1
 	}
+	poll := env.Poll()
 	cur := xheap.New(less, budget) // current run's heap
 	var next *record.Vec           // records destined for the next run
 	next = record.NewVec(recSize, budget)
 
-	var runs []storage.Collection
 	newRun := func() (storage.Collection, error) {
 		return env.CreateTemp("run", recSize)
 	}
@@ -137,6 +160,9 @@ func formRunsReplacementSelection(env *algo.Env, it storage.Iterator, recSize, b
 	}
 
 	for {
+		if err := poll(); err != nil {
+			return nil, err
+		}
 		rec, err := it.Next()
 		if err == io.EOF {
 			break
@@ -203,6 +229,7 @@ func formRunsReplacementSelection(env *algo.Env, it storage.Iterator, recSize, b
 			return nil, err
 		}
 	}
+	done = true
 	return out, nil
 }
 
@@ -225,6 +252,7 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 	}
 	for len(runs) > fanIn {
 		var err error
+		// A failed pass destroys both generations inside mergePass.
 		if runs, err = mergePass(env, runs, recSize, len(streams)); err != nil {
 			return err
 		}
@@ -234,7 +262,8 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 		iters = append(iters, r.Scan())
 	}
 	iters = append(iters, streams...)
-	if err := mergeIters(iters, out.Append); err != nil {
+	if err := mergeIters(iters, pollEmit(env, out.Append)); err != nil {
+		destroyRuns(runs)
 		return err
 	}
 	for _, r := range runs {
@@ -295,7 +324,7 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 		children = []*algo.Env{env}
 	}
 	nextGen := make([]storage.Collection, nGroups)
-	err := algo.RunWorkers(w, func(wi int) error {
+	workErr := algo.RunWorkers(w, func(wi int) error {
 		child := children[wi]
 		for g := wi; g < nGroups; g += w {
 			lo := g * groupFan
@@ -312,7 +341,7 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 			if err != nil {
 				return err
 			}
-			if err := mergeInto(group, merged); err != nil {
+			if err := mergeInto(child, group, merged); err != nil {
 				return err
 			}
 			if err := merged.Close(); err != nil {
@@ -327,19 +356,25 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if workErr != nil {
+		// Destroy both generations: already-merged groups, the failed
+		// worker's leftovers and the untouched input runs (Destroy is
+		// idempotent for the runs that were consumed before the error).
+		destroyRuns(nextGen)
+		destroyRuns(runs)
+		return nil, workErr
 	}
 	return nextGen, nil
 }
 
-// mergeInto k-way merges the sorted runs into a collection.
-func mergeInto(runs []storage.Collection, out storage.Collection) error {
+// mergeInto k-way merges the sorted runs into a collection, polling
+// env's cancellation between emissions.
+func mergeInto(env *algo.Env, runs []storage.Collection, out storage.Collection) error {
 	iters := make([]storage.Iterator, len(runs))
 	for i, r := range runs {
 		iters[i] = r.Scan()
 	}
-	return mergeIters(iters, out.Append)
+	return mergeIters(iters, pollEmit(env, out.Append))
 }
 
 // mergeIters k-way merges sorted iterators into emit, closing them.

@@ -75,7 +75,7 @@ func (s *SegmentSort) Sort(env *algo.Env, in, out storage.Collection) error {
 	var streams []storage.Iterator
 	if split < in.Len() {
 		seg := storage.Slice(in, split, in.Len())
-		streams = append(streams, newSelectionStream(seg, env.BudgetRecords(recSize)))
+		streams = append(streams, newSelectionStream(env, seg, env.BudgetRecords(recSize)))
 	}
 
 	if err := mergeRunsWith(env, runs, streams, out, recSize); err != nil {

@@ -36,13 +36,20 @@ func rankedGreater(a, b ranked) bool { return rankedLess(b, a) }
 // It returns them in ascending order. A nil bound means no lower bound.
 // onSurvivor, when non-nil, receives every element that is beyond the
 // selected set (still unsorted business for later passes); this is the
-// hook lazy sort uses to materialize its intermediate inputs.
-func selectionPass(src storage.Collection, budget int, bound *ranked, onSurvivor func(rec []byte) error) ([]ranked, error) {
+// hook lazy sort uses to materialize its intermediate inputs. poll, when
+// non-nil, is consulted per record so a cancelled invocation stops
+// mid-pass.
+func selectionPass(src storage.Collection, budget int, bound *ranked, onSurvivor func(rec []byte) error, poll func() error) ([]ranked, error) {
 	h := xheap.New(rankedGreater, budget) // max-heap of the current minima
 	it := src.Scan()
 	defer it.Close()
 	pos := 0
 	for {
+		if poll != nil {
+			if err := poll(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := it.Next()
 		if err == io.EOF {
 			break
@@ -93,6 +100,7 @@ func selectionPass(src storage.Collection, budget int, bound *ranked, onSurvivor
 type selectionStream struct {
 	src     storage.Collection
 	budget  int
+	poll    func() error
 	bound   *ranked
 	batch   []ranked
 	pos     int
@@ -101,12 +109,12 @@ type selectionStream struct {
 }
 
 // newSelectionStream builds a stream over src extracting budget records
-// per pass.
-func newSelectionStream(src storage.Collection, budget int) *selectionStream {
+// per pass, polling the environment's cancellation during each pass.
+func newSelectionStream(env *algo.Env, src storage.Collection, budget int) *selectionStream {
 	if budget < 1 {
 		budget = 1
 	}
-	return &selectionStream{src: src, budget: budget}
+	return &selectionStream{src: src, budget: budget, poll: env.Poll()}
 }
 
 // Next implements storage.Iterator.
@@ -116,7 +124,7 @@ func (s *selectionStream) Next() ([]byte, error) {
 			s.done = true
 			return nil, io.EOF
 		}
-		batch, err := selectionPass(s.src, s.budget, s.bound, nil)
+		batch, err := selectionPass(s.src, s.budget, s.bound, nil, s.poll)
 		if err != nil {
 			return nil, err
 		}
@@ -170,10 +178,11 @@ func (s *SelectionSort) Sort(env *algo.Env, in, out storage.Collection) error {
 // write-limited segment.
 func selectionSortInto(env *algo.Env, in storage.Collection, dst storage.Collection) error {
 	budget := env.BudgetRecords(in.RecordSize())
+	poll := env.Poll()
 	var bound *ranked
 	emitted := 0
 	for emitted < in.Len() {
-		batch, err := selectionPass(in, budget, bound, nil)
+		batch, err := selectionPass(in, budget, bound, nil, poll)
 		if err != nil {
 			return err
 		}

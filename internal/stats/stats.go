@@ -344,6 +344,91 @@ func (t *Table) WithRows(rows int) *Table {
 	return d
 }
 
+// Restrict returns a copy of t describing rows rows where column attr is
+// additionally known to lie in [lo, hi] — the shape of the table that
+// survives a range (or equality) filter. Unlike WithRows, which only
+// clamps distinct counts, Restrict propagates the predicate's bounds
+// into the surviving column: Min/Max tighten to the intersection, the
+// equi-depth histogram is clipped to the surviving buckets (interior
+// bounds keep their quantile positions, so depths stay approximately
+// equal up to the two boundary buckets), and the distinct count scales
+// by the histogram mass of the surviving range. lo > hi denotes an
+// empty range (e.g. "< 0"). Nil-safe; columns other than attr are only
+// distinct-clamped, as before.
+func (t *Table) Restrict(attr int, lo, hi uint64, rows int) *Table {
+	d := t.WithRows(rows)
+	if d == nil || attr < 0 || attr >= len(d.Cols) {
+		return d
+	}
+	col := &d.Cols[attr]
+	empty := lo > hi
+	if !empty {
+		if lo < col.Min {
+			lo = col.Min
+		}
+		if hi > col.Max {
+			hi = col.Max
+		}
+		empty = lo > hi
+	}
+	if empty {
+		// Nothing survives: an impossible-range column. Keep the bounds
+		// collapsed so every later estimate over it reports zero.
+		col.Distinct = 0
+		col.Hist = Histogram{}
+		col.Min, col.Max = 1, 0
+		return d
+	}
+	frac := col.Hist.FracLE(hi)
+	if lo > 0 {
+		frac -= col.Hist.FracLE(lo - 1)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Scale from the pre-clamp distinct count: WithRows already clamped
+	// col.Distinct to the surviving rows, and scaling that again would
+	// double-count the reduction.
+	if orig := t.Col(attr).Distinct; orig > 0 {
+		scaled := int(float64(orig)*frac + 0.5)
+		if scaled < 1 {
+			scaled = 1
+		}
+		if scaled < col.Distinct {
+			col.Distinct = scaled
+		}
+	}
+	if col.Distinct > rows {
+		col.Distinct = rows
+	}
+	col.Min, col.Max = lo, hi
+	col.Hist = col.Hist.clip(lo, hi)
+	return d
+}
+
+// clip restricts an equi-depth histogram to [lo, hi]: bounds outside the
+// range drop, the surviving range's maximum becomes the final bound, and
+// the lower edge moves to lo. The surviving interior bounds keep their
+// quantile positions, so the clipped histogram stays approximately
+// equi-depth over the surviving rows (exact up to the two boundary
+// buckets).
+func (h Histogram) clip(lo, hi uint64) Histogram {
+	if len(h.Bounds) == 0 {
+		return Histogram{Lo: lo, Bounds: []uint64{hi}}
+	}
+	bounds := make([]uint64, 0, len(h.Bounds)+1)
+	for _, b := range h.Bounds {
+		if b >= lo && b < hi {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, hi)
+	return Histogram{Lo: lo, Bounds: bounds}
+}
+
 // Project returns the statistics of the projected schema: column attrs[i]
 // of t becomes column i. Returns nil when t is unknown or any attribute is
 // outside the collected schema.

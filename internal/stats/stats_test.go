@@ -265,3 +265,62 @@ func TestTransforms(t *testing.T) {
 		t.Error("nil table transforms not nil")
 	}
 }
+
+// TestRestrictPropagatesRangeBounds: restricting a uniform column to a
+// sub-range tightens Min/Max, scales the distinct count by the surviving
+// histogram mass, and re-bases the histogram so cumulative-fraction
+// estimates describe the conditional distribution.
+func TestRestrictPropagatesRangeBounds(t *testing.T) {
+	const n = 8000
+	values := make([]uint64, n) // keys 0..n-1, shuffled
+	for i := range values {
+		values[i] = uint64(i)
+	}
+	shuffle(values)
+	c := newCollection(t, "restrict", values)
+	tbl, err := Collect(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := tbl.Restrict(0, 0, n/2-1, n/2)
+	col := half.Col(0)
+	if col.Min != 0 || col.Max != n/2-1 {
+		t.Fatalf("restricted bounds [%d, %d], want [0, %d]", col.Min, col.Max, n/2-1)
+	}
+	if d := float64(col.Distinct); d < 0.8*n/2 || d > 1.2*n/2 {
+		t.Errorf("restricted distinct = %.0f, want ~%d (±20%%)", d, n/2)
+	}
+	// The restricted histogram must answer fractions of the *surviving*
+	// rows: half the filtered domain is ~50%, not the base table's ~25%.
+	if f := col.FracLE(n / 4); math.Abs(f-0.5) > 0.08 {
+		t.Errorf("FracLE(n/4) over [0, n/2) = %.3f, want ~0.5", f)
+	}
+	// Values beyond the restriction are impossible.
+	if f := col.FracEq(3 * n / 4); f != 0 {
+		t.Errorf("FracEq outside the range = %v, want 0", f)
+	}
+	// Other columns are untouched beyond the distinct clamp.
+	if other := half.Col(3); other.Min != tbl.Col(3).Min || other.Max != tbl.Col(3).Max {
+		t.Error("Restrict touched an unrelated column's bounds")
+	}
+
+	// Empty intersection collapses the column to "nothing survives".
+	empty := tbl.Restrict(0, uint64(n+100), uint64(n+200), 1)
+	if col := empty.Col(0); col.Distinct != 0 || col.FracLE(n) != 0 || col.FracEq(0) != 0 {
+		t.Errorf("empty-range restriction still estimates rows: %+v", col)
+	}
+	// lo > hi is the explicit empty range.
+	lohi := tbl.Restrict(0, 1, 0, 1)
+	if col := lohi.Col(0); col.Distinct != 0 {
+		t.Errorf("lo>hi restriction kept distinct = %d", col.Distinct)
+	}
+
+	// Nil-safety and out-of-schema attributes.
+	var nilTbl *Table
+	if nilTbl.Restrict(0, 0, 10, 5) != nil {
+		t.Error("nil table Restrict not nil")
+	}
+	if tbl.Restrict(99, 0, 10, 5) == nil {
+		t.Error("out-of-schema Restrict dropped the table")
+	}
+}

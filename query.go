@@ -1,24 +1,28 @@
 package wlpm
 
 import (
+	"context"
+
+	"wlpm/internal/broker"
 	"wlpm/internal/exec"
 	"wlpm/internal/storage"
 )
 
 // Query-engine façade: the fluent builder over internal/exec. A Query is
-// a logical plan; Run compiles it with the cost-model physical planner —
-// which picks the write-limited sort and join variants (and places their
-// intensity knobs) from the device λ, the per-stage memory share and the
+// a logical plan; Rows (or RunCtx) compiles it with the cost-model
+// physical planner — which picks the write-limited sort and join
+// variants (and places their intensity knobs) from the device λ, the
+// per-stage share of the session's broker-granted memory and the
 // cardinality estimates of the internal/stats catalog (filter
 // selectivities, group counts, join sizes and join order; collected
 // automatically on first use, or explicitly with System.Collect) — and
 // executes it as a pipeline. Use the *With variants to pin an algorithm
 // instead.
 //
-//	q := sys.Query(dim).Join(sys.Query(fact)).
+//	q := sess.Query(dim).Join(sess.Query(fact)).
 //	        Project(0, 1, 12, 13, 14, 15, 16, 17, 18, 19).
 //	        GroupBy(3).OrderBy().Limit(10)
-//	err := q.Run(out, 4<<20)
+//	rows, err := q.Rows(ctx)
 
 // Predicate compares one 8-byte attribute against a constant; see the
 // comparison constants below.
@@ -38,35 +42,49 @@ const (
 	CmpGe = exec.Ge
 )
 
-// Query is a logical query plan under construction.
+// Query is a logical query plan under construction. A query built from
+// a Session (or from System.Query, which binds the system's implicit
+// default session) executes through the memory broker: Rows and RunCtx
+// request the session's grant before planning.
 type Query struct {
 	sys  *System
+	sess *Session
 	plan *exec.Plan
 }
 
-// Query starts a plan with a scan of c.
+// Query starts a plan with a scan of c, bound to the system's implicit
+// default session (per-query grant of a quarter of the system budget,
+// blocking admission). Use Session.Query to control budget and
+// admission policy.
 func (s *System) Query(c Collection) *Query {
-	return &Query{sys: s, plan: exec.Table(c)}
+	return &Query{sys: s, sess: s.def, plan: exec.Table(c)}
 }
 
 // ParseQuery parses the plan DSL of cmd/wlquery (see that command's
-// documentation for the grammar), resolving table names via lookup.
+// documentation for the grammar), resolving table names via lookup. The
+// query is bound to the system's implicit default session.
 func (s *System) ParseQuery(src string, lookup func(name string) (Collection, error)) (*Query, error) {
 	p, err := exec.ParsePlan(src, func(name string) (storage.Collection, error) { return lookup(name) })
 	if err != nil {
 		return nil, err
 	}
-	return &Query{sys: s, plan: p}, nil
+	return &Query{sys: s, sess: s.def, plan: p}, nil
+}
+
+// derive continues the fluent chain with a new plan node, preserving the
+// session binding.
+func (q *Query) derive(p *exec.Plan) *Query {
+	return &Query{sys: q.sys, sess: q.sess, plan: p}
 }
 
 // Filter keeps records satisfying pred.
 func (q *Query) Filter(pred Predicate) *Query {
-	return &Query{sys: q.sys, plan: q.plan.Filter(pred)}
+	return q.derive(q.plan.Filter(pred))
 }
 
 // Project keeps the chosen 8-byte attributes, in order.
 func (q *Query) Project(attrs ...int) *Query {
-	return &Query{sys: q.sys, plan: q.plan.Project(attrs...)}
+	return q.derive(q.plan.Project(attrs...))
 }
 
 // Join equi-joins q (the build side — put the smaller input here) with
@@ -80,19 +98,19 @@ func (q *Query) JoinWith(right *Query, a JoinAlgorithm) *Query {
 	if right != nil {
 		rp = right.plan
 	}
-	return &Query{sys: q.sys, plan: q.plan.JoinWith(rp, a)}
+	return q.derive(q.plan.JoinWith(rp, a))
 }
 
 // GroupBy groups by the key attribute and aggregates attr into the
 // GroupAttr* result slots; the planner picks hash vs sort-based
 // execution (see GroupHint) and the sort algorithm.
 func (q *Query) GroupBy(attr int) *Query {
-	return &Query{sys: q.sys, plan: q.plan.GroupBy(attr)}
+	return q.derive(q.plan.GroupBy(attr))
 }
 
 // GroupByWith is GroupBy with a pinned sort algorithm.
 func (q *Query) GroupByWith(attr int, a SortAlgorithm) *Query {
-	return &Query{sys: q.sys, plan: q.plan.GroupByWith(attr, a)}
+	return q.derive(q.plan.GroupByWith(attr, a))
 }
 
 // GroupHint tells the planner how many distinct groups to expect from
@@ -103,36 +121,76 @@ func (q *Query) GroupByWith(attr int, a SortAlgorithm) *Query {
 // longer fails the query — the hash aggregation spills to sorted runs
 // and merges them, degrading to the sort-based plan's I/O profile.
 func (q *Query) GroupHint(groups int) *Query {
-	return &Query{sys: q.sys, plan: q.plan.GroupHint(groups)}
+	return q.derive(q.plan.GroupHint(groups))
 }
 
 // OrderBy sorts by the record total order (key attribute first); the
 // planner picks the algorithm and its write-intensity knob.
 func (q *Query) OrderBy() *Query {
-	return &Query{sys: q.sys, plan: q.plan.OrderBy()}
+	return q.derive(q.plan.OrderBy())
 }
 
 // OrderByWith is OrderBy with a pinned algorithm.
 func (q *Query) OrderByWith(a SortAlgorithm) *Query {
-	return &Query{sys: q.sys, plan: q.plan.OrderByWith(a)}
+	return q.derive(q.plan.OrderByWith(a))
 }
 
 // Limit keeps the first n records.
 func (q *Query) Limit(n int) *Query {
-	return &Query{sys: q.sys, plan: q.plan.Limit(n)}
+	return q.derive(q.plan.Limit(n))
 }
 
-// ctx builds the execution context: the whole-plan memory budget that
-// the engine splits across blocking stages, the system parallelism, and
-// the statistics catalog the planner estimates cardinalities from.
-func (q *Query) ctx(memoryBudget int64) *exec.Ctx {
-	ctx := exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
-	ctx.Stats = q.sys.stats
-	return ctx
+// compile builds the execution context — the plan memory budget the
+// engine splits across blocking stages, the system parallelism, the
+// statistics catalog — and compiles the plan with the physical planner.
+func (q *Query) compile(memoryBudget int64, opts exec.CompileOptions) (exec.Operator, *QueryExplain, *exec.Ctx, error) {
+	ec := exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
+	ec.Stats = q.sys.stats
+	root, ex, err := exec.CompileWith(ec, q.plan, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return root, ex, ec, nil
+}
+
+// runInto compiles the plan at the given budget and executes it under
+// ctx, appending the result to out (blocking roots emit directly). The
+// grant, when non-nil, is released on return.
+func (q *Query) runInto(ctx context.Context, out Collection, memoryBudget int64, grant *broker.Grant, opts exec.CompileOptions) (*QueryExplain, error) {
+	defer grant.Release()
+	root, ex, ec, err := q.compile(memoryBudget, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.RunCtx(ctx, ec, root, out); err != nil {
+		return ex, err
+	}
+	return ex, nil
+}
+
+// RunCtx executes the plan under ctx with the session's broker-granted
+// memory budget, appending the result to out, and returns the plan
+// explanation (choices carry estimated and actual rows after the run).
+// Cancellation aborts the run mid-operator, destroys its temporaries and
+// releases the grant. Prefer Rows when the caller wants to stream the
+// result instead of materializing it.
+func (q *Query) RunCtx(ctx context.Context, out Collection) (*QueryExplain, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g, err := q.sess.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return q.runInto(ctx, out, g.Bytes(), g, exec.CompileOptions{})
 }
 
 // Run compiles the plan (cost model fills the open algorithm choices)
 // and executes it as a pipeline, appending the result to out.
+//
+// Deprecated: the fixed caller budget bypasses the memory broker and the
+// call cannot be cancelled. Use Rows (streaming) or RunCtx
+// (materializing) on a session-bound query.
 func (q *Query) Run(out Collection, memoryBudget int64) error {
 	_, err := q.RunExplained(out, memoryBudget)
 	return err
@@ -142,34 +200,50 @@ func (q *Query) Run(out Collection, memoryBudget int64) error {
 // choices carry both the planner's estimates and the actual input rows
 // observed while the plan ran — the estimate-vs-actual view that makes
 // planner misestimates visible.
+//
+// Deprecated: see Run; use RunCtx, which returns the same explanation.
 func (q *Query) RunExplained(out Collection, memoryBudget int64) (*QueryExplain, error) {
-	ctx := q.ctx(memoryBudget)
-	root, ex, err := exec.Compile(ctx, q.plan)
-	if err != nil {
-		return nil, err
-	}
-	if err := exec.Run(ctx, root, out); err != nil {
-		return ex, err
-	}
-	return ex, nil
+	return q.runInto(context.Background(), out, memoryBudget, nil, exec.CompileOptions{})
 }
 
 // RunMaterialized executes the plan with a materialization barrier after
 // every operator — the naive composition the pipeline is measured
 // against. Results are identical to Run; only the device traffic
 // differs.
+//
+// Deprecated: the fixed caller budget bypasses the memory broker. Use
+// RunMaterializedCtx.
 func (q *Query) RunMaterialized(out Collection, memoryBudget int64) error {
-	ctx := q.ctx(memoryBudget)
-	root, _, err := exec.CompileWith(ctx, q.plan, exec.CompileOptions{MaterializeEveryStep: true})
+	_, err := q.runInto(context.Background(), out, memoryBudget, nil, exec.CompileOptions{MaterializeEveryStep: true})
+	return err
+}
+
+// RunMaterializedCtx is RunCtx with a materialization barrier after
+// every operator (the naive-composition baseline).
+func (q *Query) RunMaterializedCtx(ctx context.Context, out Collection) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g, err := q.sess.acquire(ctx)
 	if err != nil {
 		return err
 	}
-	return exec.Run(ctx, root, out)
+	_, err = q.runInto(ctx, out, g.Bytes(), g, exec.CompileOptions{MaterializeEveryStep: true})
+	return err
 }
 
 // Explain compiles the plan without running it and reports the physical
-// operator tree and the planner's algorithm choices.
+// operator tree and the planner's algorithm choices at the given budget.
 func (q *Query) Explain(memoryBudget int64) (*QueryExplain, error) {
-	_, ex, err := exec.Compile(q.ctx(memoryBudget), q.plan)
+	_, ex, _, err := q.compile(memoryBudget, exec.CompileOptions{})
 	return ex, err
+}
+
+// ExplainGranted is Explain at the session's per-query grant size — the
+// budget Rows and RunCtx will actually plan with.
+func (q *Query) ExplainGranted() (*QueryExplain, error) {
+	if q.sess == nil {
+		return nil, ErrSessionClosed
+	}
+	return q.Explain(q.sess.Budget())
 }

@@ -1,0 +1,149 @@
+package wlpm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"wlpm/internal/broker"
+)
+
+// Concurrency façade: Sessions are the unit of admission control. A
+// Session is a lightweight handle on the System whose queries request
+// working-memory grants from the System's broker before they are
+// planned — the physical planner prices every plan at the granted
+// budget — and release them when their cursor closes or their context
+// is cancelled. Many sessions may run queries concurrently on one
+// System; the broker guarantees their grants never sum past the
+// System-wide budget (WithMemoryBudget).
+//
+//	sess := sys.Session(wlpm.WithSessionBudget(8<<20))
+//	rows, err := sess.Query(fact).Filter(pred).OrderBy().Rows(ctx)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var key uint64
+//	    _ = rows.Scan(&key)
+//	}
+//	err = rows.Err()
+
+// AdmissionPolicy selects how a session's queries behave when their
+// grant request does not fit the free system budget.
+type AdmissionPolicy = broker.Policy
+
+const (
+	// AdmitBlock queues the query FIFO until memory frees (or its
+	// context is cancelled). The default.
+	AdmitBlock = broker.Block
+	// AdmitFailFast fails the query immediately with ErrAdmission.
+	AdmitFailFast = broker.FailFast
+)
+
+// ErrAdmission is returned by fail-fast sessions when the requested
+// memory is not free.
+var ErrAdmission = broker.ErrAdmission
+
+// ErrSessionClosed is returned by queries started on a closed session.
+var ErrSessionClosed = errors.New("wlpm: session is closed")
+
+// SessionOption configures System.Session.
+type SessionOption func(*Session)
+
+// WithSessionBudget sets the per-query working-memory grant the
+// session's queries request from the broker (default: a quarter of the
+// System budget, so four default sessions run concurrently without
+// queueing). The planner prices each query's plan at this budget.
+func WithSessionBudget(bytes int64) SessionOption {
+	return func(s *Session) { s.budget = bytes }
+}
+
+// WithAdmission sets the session's admission policy (default AdmitBlock).
+func WithAdmission(p AdmissionPolicy) SessionOption {
+	return func(s *Session) { s.policy = p }
+}
+
+// Session is one caller's handle on the System for concurrent query
+// execution. Sessions are cheap (no goroutines, no device state); create
+// one per logical client. A Session's methods are safe for concurrent
+// use, but each Query/Rows it produces remains single-owner.
+type Session struct {
+	sys    *System
+	budget int64
+	policy AdmissionPolicy
+	closed atomic.Bool
+}
+
+// Session opens a session on the system.
+func (s *System) Session(opts ...SessionOption) *Session {
+	se := &Session{sys: s, policy: AdmitBlock}
+	se.budget = s.mem.Total() / 4
+	if se.budget < 1 {
+		se.budget = 1
+	}
+	for _, o := range opts {
+		o(se)
+	}
+	return se
+}
+
+// Budget is the per-query grant this session requests.
+func (se *Session) Budget() int64 { return se.budget }
+
+// Policy is the session's admission policy.
+func (se *Session) Policy() AdmissionPolicy { return se.policy }
+
+// Query starts a plan with a scan of c, bound to this session: its
+// Rows/RunCtx executions are admitted through the memory broker.
+func (se *Session) Query(c Collection) *Query {
+	q := se.sys.Query(c)
+	q.sess = se
+	return q
+}
+
+// ParseQuery parses the plan DSL of cmd/wlquery, binding the resulting
+// query to this session.
+func (se *Session) ParseQuery(src string, lookup func(name string) (Collection, error)) (*Query, error) {
+	q, err := se.sys.ParseQuery(src, lookup)
+	if err != nil {
+		return nil, err
+	}
+	q.sess = se
+	return q, nil
+}
+
+// Close marks the session closed; queries started afterwards fail with
+// ErrSessionClosed. Grants already held by open cursors are unaffected —
+// they release on cursor Close as usual.
+func (se *Session) Close() error {
+	se.closed.Store(true)
+	return nil
+}
+
+// acquire requests this session's grant from the broker under the
+// session's admission policy.
+func (se *Session) acquire(ctx context.Context) (*broker.Grant, error) {
+	if se == nil {
+		return nil, fmt.Errorf("wlpm: query has no session (construct it via System.Query or Session.Query)")
+	}
+	if se.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	g, err := se.sys.mem.Acquire(ctx, se.budget, se.policy)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CollectionLookup adapts a fixed name→collection map to the lookup
+// function ParseQuery takes — a convenience for CLIs and tests.
+func CollectionLookup(cols map[string]Collection) func(name string) (Collection, error) {
+	return func(name string) (Collection, error) {
+		c, ok := cols[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown table %q", name)
+		}
+		return c, nil
+	}
+}

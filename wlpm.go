@@ -31,16 +31,37 @@
 //	_ = wlpm.GenerateRecords(1_000_000, 42, in.Append)
 //	_ = in.Close()
 //	out, _ := sys.Create("sorted")
-//	_ = sys.Sort(wlpm.SegmentSort(0.2), in, out, 4<<20) // 4 MiB budget
+//	_ = sys.SortCtx(ctx, wlpm.SegmentSort(0.2), in, out, 4<<20) // 4 MiB budget
 //	fmt.Println(sys.Stats()) // cacheline writes vs reads
+//
+// # Concurrent use
+//
+// The query API is session-based: a System-wide memory broker
+// (WithMemoryBudget) admits each query's working-memory grant before it
+// is planned, queries stream through cancellable cursors, and grants are
+// released on cursor Close or context cancellation — so any number of
+// concurrent sessions share one System without oversubscribing its DRAM
+// budget. See the README's "Concurrent use" section and
+// examples/concurrent.
+//
+//	sess := sys.Session(wlpm.WithSessionBudget(16 << 20))
+//	rows, err := sess.Query(dim).Join(sess.Query(fact)).GroupBy(3).Rows(ctx)
+//	...
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var key, count uint64
+//	    _ = rows.Scan(&key, &count)
+//	}
 package wlpm
 
 import (
+	"context"
 	"time"
 
 	"wlpm/internal/aggregate"
 	"wlpm/internal/algo"
 	"wlpm/internal/bench"
+	"wlpm/internal/broker"
 	"wlpm/internal/core"
 	"wlpm/internal/cost"
 	"wlpm/internal/joins"
@@ -130,6 +151,7 @@ type sysConfig struct {
 	spin          bool
 	parallelism   int
 	noAutoCollect bool
+	memoryBudget  int64
 }
 
 // WithCapacity sets the device size in bytes (default 256 MiB).
@@ -168,13 +190,26 @@ func WithAutoCollect(enabled bool) Option {
 	return func(c *sysConfig) { c.noAutoCollect = !enabled }
 }
 
-// System bundles a device, a persistence layer and the statistics
-// catalog feeding the query planner.
+// WithMemoryBudget sets the System-wide DRAM working-memory budget in
+// bytes — the one pool of operator memory (heaps, hash tables, merge
+// buffers) the memory broker rations among concurrent sessions. The
+// default is a quarter of the device capacity. Session queries request
+// grants against this budget before planning; the deprecated
+// budget-taking façade methods (Sort, Run, …) bypass it.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *sysConfig) { c.memoryBudget = bytes }
+}
+
+// System bundles a device, a persistence layer, the statistics catalog
+// feeding the query planner, and the memory broker that admits
+// concurrent sessions against one shared DRAM budget.
 type System struct {
 	dev   *pmem.Device
 	fac   storage.Factory
 	par   int
 	stats *stats.Cache
+	mem   *broker.Broker
+	def   *Session // implicit session backing System.Query(...).Rows
 }
 
 // New opens a fresh system.
@@ -201,7 +236,20 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{dev: dev, fac: fac, par: cfg.parallelism, stats: stats.NewCache(!cfg.noAutoCollect)}, nil
+	total := cfg.memoryBudget
+	if total <= 0 {
+		total = cfg.capacity / 4
+		if total < 1 {
+			total = 1
+		}
+	}
+	mem, err := broker.New(total)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{dev: dev, fac: fac, par: cfg.parallelism, stats: stats.NewCache(!cfg.noAutoCollect), mem: mem}
+	s.def = s.Session()
+	return s, nil
 }
 
 // Device exposes the underlying simulated device.
@@ -228,14 +276,47 @@ func (s *System) CreateSized(name string, recordSize int) (Collection, error) {
 }
 
 // Sort runs a sort algorithm with the given DRAM budget in bytes.
+//
+// Deprecated: the fixed caller budget bypasses the memory broker, so
+// concurrent callers can oversubscribe the system budget. Use SortCtx
+// (cancellable, leak-swept) or a Session query with OrderBy.
 func (s *System) Sort(a SortAlgorithm, in, out Collection, memoryBudget int64) error {
-	return a.Sort(s.NewEnv(memoryBudget), in, out)
+	return s.SortCtx(context.Background(), a, in, out, memoryBudget)
+}
+
+// SortCtx runs a sort algorithm under ctx with the given DRAM budget.
+// Cancellation is polled between batches inside the algorithm; on any
+// error — including cancellation — the temporaries (runs, intermediate
+// inputs) the sort created are destroyed before returning.
+func (s *System) SortCtx(ctx context.Context, a SortAlgorithm, in, out Collection, memoryBudget int64) error {
+	env := s.NewEnv(memoryBudget).WithContext(ctx)
+	if err := a.Sort(env, in, out); err != nil {
+		env.SweepTemps() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	return nil
 }
 
 // Join runs a join algorithm with the given DRAM budget in bytes. The
 // output collection's record size must be the sum of the inputs'.
+//
+// Deprecated: the fixed caller budget bypasses the memory broker. Use
+// JoinCtx or a Session query with Join.
 func (s *System) Join(a JoinAlgorithm, left, right, out Collection, memoryBudget int64) error {
-	return a.Join(s.NewEnv(memoryBudget), left, right, out)
+	return s.JoinCtx(context.Background(), a, left, right, out, memoryBudget)
+}
+
+// JoinCtx runs a join algorithm under ctx with the given DRAM budget.
+// Cancellation is polled between batches (partitioning, builds, probes);
+// on any error the join's temporaries (partitions, intermediate inputs)
+// are destroyed before returning.
+func (s *System) JoinCtx(ctx context.Context, a JoinAlgorithm, left, right, out Collection, memoryBudget int64) error {
+	env := s.NewEnv(memoryBudget).WithContext(ctx)
+	if err := a.Join(env, left, right, out); err != nil {
+		env.SweepTemps() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	return nil
 }
 
 // NewEnv builds an operator environment for direct algorithm use,
@@ -249,9 +330,30 @@ func (s *System) NewEnv(memoryBudget int64) *Env {
 // attribute attr is aggregated; out receives one benchmark-schema record
 // per group carrying count/sum/min/max in the GroupAttr* slots. The write
 // profile is inherited from the chosen sort algorithm.
+//
+// Deprecated: the fixed caller budget bypasses the memory broker. Use
+// GroupByCtx or a Session query with GroupBy.
 func (s *System) GroupBy(a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
-	return aggregate.GroupBy(s.NewEnv(memoryBudget), a, in, attr, out)
+	return s.GroupByCtx(context.Background(), a, in, attr, out, memoryBudget)
 }
+
+// GroupByCtx runs the sort-based aggregation under ctx with the given
+// DRAM budget, polling cancellation and sweeping temporaries on error.
+func (s *System) GroupByCtx(ctx context.Context, a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
+	env := s.NewEnv(memoryBudget).WithContext(ctx)
+	if err := aggregate.GroupBy(env, a, in, attr, out); err != nil {
+		env.SweepTemps() //nolint:errcheck // best-effort cleanup after failure
+		return err
+	}
+	return nil
+}
+
+// MemoryBudget is the System-wide DRAM budget the memory broker rations
+// among sessions (WithMemoryBudget; default capacity/4).
+func (s *System) MemoryBudget() int64 { return s.mem.Total() }
+
+// MemoryInUse is the sum of the outstanding broker grants.
+func (s *System) MemoryInUse() int64 { return s.mem.InUse() }
 
 // Collect gathers column statistics for c in one read-only streaming
 // pass — the ANALYZE of this engine — and caches them for the query
