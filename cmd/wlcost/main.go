@@ -8,18 +8,27 @@
 //	wlcost -join -t 78125 -v 781250 -m 3906         # join estimates
 //	wlcost -heatmap -ratio 10 -lambda 5             # one Fig. 2 panel
 //	wlcost -ledger -k 8 -lambda 15                  # Table 1
+//	wlcost -alloc -stages sort:4000,join:400/4000,sort:40 -m 600
 //
 // Sizes t, v and memory m are in buffers (cachelines or small multiples),
 // the paper's cost unit; costs print in buffer-read units.
+//
+// -alloc runs the engine's marginal-benefit budget allocator over a
+// hand-written pipeline of blocking stages (comma-separated: sort:t or
+// join:t/v) with m buffers of total memory, printing each stage's cost
+// curve, the even-split and cost-driven shares, and both predictions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wlpm/internal/cliutil"
 	"wlpm/internal/cost"
+	"wlpm/internal/exec"
 )
 
 const cmd = "wlcost"
@@ -38,6 +47,8 @@ func main() {
 		ledger  = flag.Bool("ledger", false, "print the Table 1 lazy-join ledger")
 		k       = flag.Int("k", 8, "iterations for -ledger")
 		grants  = flag.Int("sessions", 1, "price estimates at the broker grant m/K of K concurrent sessions instead of all of m")
+		alloc   = flag.Bool("alloc", false, "run the budget allocator over -stages with m buffers of total memory")
+		stages  = flag.String("stages", "sort:4000,join:400/4000,sort:40", "blocking stages for -alloc: sort:t or join:t/v, comma-separated")
 	)
 	flag.Parse()
 
@@ -58,6 +69,8 @@ func main() {
 	}
 
 	switch {
+	case *alloc:
+		printAlloc(*stages, *m, *lambda)
 	case *heatmap:
 		printHeatmap(*ratio, *lambda)
 	case *ledger:
@@ -66,6 +79,104 @@ func main() {
 		printJoin(*t, *v, *m, *lambda)
 	default:
 		printSort(*t, *m, *lambda)
+	}
+}
+
+// allocStage is one parsed -stages entry.
+type allocStage struct {
+	kind string // "sort" or "join"
+	t, v float64
+}
+
+func parseStages(spec string) ([]allocStage, error) {
+	var out []allocStage
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		kind, sizes, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("stage %q: want sort:t or join:t/v", part)
+		}
+		ts, vs, hasV := strings.Cut(sizes, "/")
+		t, err := strconv.ParseFloat(ts, 64)
+		if err != nil || t <= 0 {
+			return nil, fmt.Errorf("stage %q: bad input size %q", part, ts)
+		}
+		s := allocStage{kind: kind, t: t}
+		switch kind {
+		case "sort":
+			if hasV {
+				return nil, fmt.Errorf("stage %q: sort takes one input size", part)
+			}
+		case "join":
+			if !hasV {
+				return nil, fmt.Errorf("stage %q: join wants t/v", part)
+			}
+			if s.v, err = strconv.ParseFloat(vs, 64); err != nil || s.v <= 0 {
+				return nil, fmt.Errorf("stage %q: bad probe size %q", part, vs)
+			}
+		default:
+			return nil, fmt.Errorf("stage %q: unknown kind %q (sort|join)", part, kind)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no stages in %q", spec)
+	}
+	return out, nil
+}
+
+// printAlloc runs the engine's marginal-benefit allocator over the
+// spec'd pipeline at m total buffers, comparing the even split against
+// the cost-driven shares. Shares are computed in buffer units
+// (blockSize 1), exactly how the physical planner computes them in
+// bytes.
+func printAlloc(spec string, m, lambda float64) {
+	stages, err := parseStages(spec)
+	if err != nil {
+		cliutil.Usage(cmd, "-stages: %v", err)
+	}
+	pricers := make([]func(float64) float64, len(stages))
+	for i, s := range stages {
+		s := s
+		if s.kind == "sort" {
+			pricers[i] = func(mm float64) float64 { return cost.BestSortPlan(s.t, mm, lambda).Cost }
+		} else {
+			pricers[i] = func(mm float64) float64 { return cost.BestJoinPlan(s.t, s.v, mm, lambda).Cost }
+		}
+	}
+	total := int64(m)
+	a := exec.Allocate(total, 1, pricers)
+	even := total / int64(len(stages))
+	if even < 2 {
+		even = 2
+	}
+	fmt.Printf("budget allocation: M=%.0f buffers over %d blocking stage(s), λ=%.1f\n\n", m, len(stages), lambda)
+	fmt.Printf("  %-3s %-18s %12s %14s %12s %14s\n", "#", "stage", "even m", "even cost", "alloc m", "alloc cost")
+	for i, s := range stages {
+		name := fmt.Sprintf("%s:%.0f", s.kind, s.t)
+		if s.kind == "join" {
+			name = fmt.Sprintf("join:%.0f/%.0f", s.t, s.v)
+		}
+		fmt.Printf("  %-3d %-18s %12d %14.4g %12d %14.4g\n",
+			i, name, even, pricers[i](float64(even)), a.Shares[i], pricers[i](float64(a.Shares[i])))
+	}
+	fmt.Printf("\n  predicted plan cost: even split %.4g, cost-driven %.4g", a.EvenCost, a.Cost)
+	switch {
+	case a.Even:
+		fmt.Printf(" (even split kept: no stage curve bends enough)\n")
+	case a.EvenCost > 0:
+		fmt.Printf(" (%.1f%% saved)\n", 100*(a.EvenCost-a.Cost)/a.EvenCost)
+	default:
+		fmt.Println()
+	}
+	fmt.Printf("\nper-stage cost curves (cheapest implementation as a function of the stage share):\n")
+	for i := range stages {
+		curve := cost.SampleCurve(pricers[i], 2, m, 7)
+		fmt.Printf("  stage %d:", i)
+		for j := range curve.M {
+			fmt.Printf("  m=%.0f→%.3g", curve.M[j], curve.C[j])
+		}
+		fmt.Println()
 	}
 }
 

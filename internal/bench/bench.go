@@ -168,6 +168,7 @@ var registry = map[string]Runner{
 	"scaling":     Scaling,
 	"pipeline":    Pipeline,
 	"concurrency": Concurrency,
+	"budget":      Budget,
 }
 
 // Experiments lists the registered experiment ids in presentation order.

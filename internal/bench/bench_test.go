@@ -14,7 +14,7 @@ func tiny() Config {
 
 func TestExperimentsRegistry(t *testing.T) {
 	ids := Experiments()
-	want := []string{"concurrency", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "pipeline", "scaling", "table1", "table2"}
+	want := []string{"budget", "concurrency", "fig2", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "pipeline", "scaling", "table1", "table2"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %v, want %v", ids, want)
 	}

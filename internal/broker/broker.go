@@ -12,12 +12,18 @@
 // ones) and is woken as releases free memory. Blocking requests honour
 // context cancellation; fail-fast requests return ErrAdmission
 // immediately when the memory is not free.
+//
+// AcquireBest adds grant bidding on top of the FIFO: a query names every
+// grant size it is willing to run at (descending), and the broker admits
+// the largest that currently fits — raising utilization without letting
+// any bidder overtake requests queued ahead of it.
 package broker
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -59,8 +65,19 @@ type Broker struct {
 }
 
 type waiter struct {
-	bytes int64
-	ready chan struct{} // closed by admit with the grant charged
+	cands   []int64       // acceptable grant sizes, descending
+	granted int64         // the candidate admit charged, set before ready closes
+	ready   chan struct{} // closed by admit with the grant charged
+}
+
+// fit returns the largest candidate not exceeding free, or 0.
+func (w *waiter) fit(free int64) int64 {
+	for _, c := range w.cands {
+		if c <= free {
+			return c
+		}
+	}
+	return 0
 }
 
 // New returns a broker over a total budget in bytes.
@@ -105,36 +122,70 @@ func (b *Broker) Acquire(ctx context.Context, bytes int64, p Policy) (*Grant, er
 	if bytes <= 0 {
 		return nil, fmt.Errorf("broker: grant request must be positive, got %d", bytes)
 	}
-	if bytes > b.total {
-		return nil, fmt.Errorf("broker: grant request %d B exceeds the system budget %d B", bytes, b.total)
+	return b.AcquireBest(ctx, []int64{bytes}, p)
+}
+
+// AcquireBest is multi-candidate admission — the grant-bidding half of
+// cost-driven memory planning. The caller names every grant size it is
+// willing to run at (a session prices its plan at several budgets first
+// and keeps the ones whose predicted cost stays acceptable); the broker
+// admits the largest candidate that currently fits, so a query that runs
+// well at M/2 starts immediately instead of queueing behind its full-M
+// ask. FIFO fairness is preserved: when other requests are already
+// queued the bidder queues behind them, and a queued bidder is woken
+// with the largest of its candidates that fits at release time.
+//
+// Candidates are normalized to descending order; candidates above the
+// system budget are dropped (an error if none survive). All must be
+// positive.
+func (b *Broker) AcquireBest(ctx context.Context, candidates []int64, p Policy) (*Grant, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("broker: grant request needs at least one candidate size")
 	}
+	cands := make([]int64, 0, len(candidates))
+	for _, c := range candidates {
+		if c <= 0 {
+			return nil, fmt.Errorf("broker: grant request must be positive, got %d", c)
+		}
+		if c <= b.total {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("broker: grant request %d B exceeds the system budget %d B", candidates[0], b.total)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	b.mu.Lock()
-	// Admit immediately only when nothing is queued ahead (FIFO).
-	if len(b.waiters) == 0 && b.used+bytes <= b.total {
-		b.charge(bytes)
-		b.mu.Unlock()
-		return &Grant{b: b, bytes: bytes}, nil
+	// Admit immediately only when nothing is queued ahead (FIFO); take
+	// the largest candidate the free budget covers.
+	if len(b.waiters) == 0 {
+		if g := (&waiter{cands: cands}).fit(b.total - b.used); g > 0 {
+			b.charge(g)
+			b.mu.Unlock()
+			return &Grant{b: b, bytes: g}, nil
+		}
 	}
 	if p == FailFast {
+		used := b.used
 		b.mu.Unlock()
-		return nil, fmt.Errorf("%w (requested %d B, %d B of %d B in use)", ErrAdmission, bytes, b.used, b.total)
+		return nil, fmt.Errorf("%w (requested %d B, %d B of %d B in use)", ErrAdmission, cands[0], used, b.total)
 	}
-	w := &waiter{bytes: bytes, ready: make(chan struct{})}
+	w := &waiter{cands: cands, ready: make(chan struct{})}
 	b.waiters = append(b.waiters, w)
 	b.mu.Unlock()
 
 	select {
 	case <-w.ready:
-		return &Grant{b: b, bytes: bytes}, nil
+		return &Grant{b: b, bytes: w.granted}, nil
 	case <-ctx.Done():
 		b.mu.Lock()
 		// Lost race: admit may have fired between Done and the lock.
 		select {
 		case <-w.ready:
-			b.release(bytes)
+			b.release(w.granted)
 			b.mu.Unlock()
 			return nil, ctx.Err()
 		default:
@@ -159,15 +210,19 @@ func (b *Broker) charge(bytes int64) {
 }
 
 // release returns bytes to the budget and admits queued waiters, in
-// order, while they fit. Caller holds b.mu.
+// order, while any of their candidate sizes fit (largest first per
+// waiter). The head waiter still gates the queue — a small bidder never
+// overtakes a large request queued ahead of it. Caller holds b.mu.
 func (b *Broker) release(bytes int64) {
 	b.used -= bytes
 	for len(b.waiters) > 0 {
 		w := b.waiters[0]
-		if b.used+w.bytes > b.total {
+		g := w.fit(b.total - b.used)
+		if g == 0 {
 			break
 		}
-		b.charge(w.bytes)
+		w.granted = g
+		b.charge(g)
 		b.waiters = b.waiters[1:]
 		close(w.ready)
 	}

@@ -1,0 +1,209 @@
+package cost
+
+import "math"
+
+// Marginal-benefit API: the optimizer-facing view of the cost model.
+//
+// The Profile constructors price one algorithm at one memory point; the
+// planner's real question is the inverse — "what is the cheapest way to
+// run this blocking stage as a function of its memory share m?". That
+// function is what a budget allocator water-fills over: memory should
+// flow to the stage whose cost curve bends most, not be split evenly.
+// BestSortPlan and BestJoinPlan answer it pointwise (the cheapest shipped
+// implementation with its intensity knobs placed, exactly the candidate
+// set exec.ChooseSort/ChooseJoin instantiate), and Curve exposes the
+// piecewise curve sampled over a memory range for display and analysis.
+
+// Sort algorithm identifiers of BestSortPlan results.
+const (
+	SortExMS = "ExMS"
+	SortSelS = "SelS"
+	SortLaS  = "LaS"
+	SortSegS = "SegS"
+	SortHybS = "HybS"
+)
+
+// Join algorithm identifiers of BestJoinPlan results.
+const (
+	JoinNLJ  = "NLJ"
+	JoinGJ   = "GJ"
+	JoinHJ   = "HJ"
+	JoinLaJ  = "LaJ"
+	JoinHybJ = "HybJ"
+	JoinSegJ = "SegJ"
+)
+
+// SortPlan is the cheapest shipped sort implementation at one
+// (t, m, λ) point: the algorithm, its placed intensity knob (SegS/HybS;
+// zero otherwise), its I/O profile and the profile's price in
+// buffer-read units.
+type SortPlan struct {
+	Algo      string
+	Intensity float64
+	Profile   Profile
+	Cost      float64
+}
+
+// JoinPlan is SortPlan's join twin; X and Y are the HybJ fractions (X
+// doubles as the SegJ intensity).
+type JoinPlan struct {
+	Algo    string
+	X, Y    float64
+	Profile Profile
+	Cost    float64
+}
+
+// BestSortPlan prices every shipped sort implementation (knobs placed by
+// solver-seeded grid search) for t input buffers with m buffers of
+// memory at write/read ratio λ and returns the cheapest. Candidate order
+// and tie-breaking match exec.ChooseSort, which instantiates the result.
+func BestSortPlan(t, m, lambda float64) SortPlan {
+	best := SortPlan{Cost: math.Inf(1)}
+	consider := func(algo string, knob float64, p Profile) {
+		if c := p.Price(1, lambda); c < best.Cost {
+			best = SortPlan{Algo: algo, Intensity: knob, Profile: p, Cost: c}
+		}
+	}
+	consider(SortExMS, 0, ExMSProfile(t, m))
+	consider(SortSelS, 0, SelSProfile(t, m))
+	consider(SortLaS, 0, LaSProfile(t, m, lambda))
+	xSeg := BestKnob(lambda, func(x float64) Profile { return SegSProfile(x, t, m) },
+		SegmentSortOptimalX(t, m, lambda))
+	consider(SortSegS, xSeg, SegSProfile(xSeg, t, m))
+	xHyb := BestKnob(lambda, func(x float64) Profile { return HybSProfile(x, t, m) })
+	consider(SortHybS, xHyb, HybSProfile(xHyb, t, m))
+	return best
+}
+
+// BestJoinPlan prices every shipped equi-join implementation for t
+// build-side and v probe-side buffers with m buffers of memory at ratio
+// λ and returns the cheapest. Candidate order and tie-breaking match
+// exec.ChooseJoin.
+func BestJoinPlan(t, v, m, lambda float64) JoinPlan {
+	best := JoinPlan{Cost: math.Inf(1)}
+	consider := func(algo string, x, y float64, p Profile) {
+		if c := p.Price(1, lambda); c < best.Cost {
+			best = JoinPlan{Algo: algo, X: x, Y: y, Profile: p, Cost: c}
+		}
+	}
+	consider(JoinNLJ, 0, 0, NLJProfile(t, v, m))
+	consider(JoinGJ, 0, 0, GJProfile(t, v))
+	consider(JoinHJ, 0, 0, HJProfile(t, v, m))
+	consider(JoinLaJ, 0, 0, LaJProfile(t, v, m, lambda))
+	sx, sy := HybridJoinSaddle(t, v, m, lambda)
+	bx, by, bp := 0.0, 0.0, HybJProfile(0, 0, t, v, m)
+	bc := bp.Price(1, lambda)
+	tryXY := func(x, y float64) {
+		if x < 0 || x > 1 || y < 0 || y > 1 {
+			return
+		}
+		p := HybJProfile(x, y, t, v, m)
+		if c := p.Price(1, lambda); c < bc {
+			bx, by, bp, bc = x, y, p, c
+		}
+	}
+	for xi := 0; xi <= 4; xi++ {
+		for yi := 0; yi <= 4; yi++ {
+			tryXY(float64(xi)*0.25, float64(yi)*0.25)
+		}
+	}
+	tryXY(sx, sy)
+	consider(JoinHybJ, bx, by, bp)
+	xSeg := BestKnob(lambda, func(x float64) Profile { return SegJProfile(x, t, v, m) })
+	consider(JoinSegJ, xSeg, 0, SegJProfile(xSeg, t, v, m))
+	return best
+}
+
+// BestKnob grid-searches an intensity knob x ∈ [0, 1] (step 0.05) plus
+// any analytic seeds for the cheapest profile price at ratio λ.
+func BestKnob(lambda float64, f func(x float64) Profile, seeds ...float64) float64 {
+	bestX, bestC := 0.0, math.Inf(1)
+	try := func(x float64) {
+		if x < 0 || x > 1 {
+			return
+		}
+		if c := f(x).Price(1, lambda); c < bestC {
+			bestX, bestC = x, c
+		}
+	}
+	for i := 0; i <= 20; i++ {
+		try(float64(i) * 0.05)
+	}
+	for _, s := range seeds {
+		try(s)
+	}
+	return bestX
+}
+
+// Curve is the piecewise cost-vs-memory curve of one blocking stage: the
+// predicted price of the stage's cheapest implementation sampled on an
+// ascending memory grid, both in buffer units. It is the object a budget
+// allocator trades between stages — Marginal is the water-filling
+// signal.
+type Curve struct {
+	M []float64 // ascending memory points (buffers)
+	C []float64 // predicted cost at each point (buffer-read units)
+}
+
+// SampleCurve evaluates price on a geometric grid of points memory
+// values spanning [mMin, mMax] (both clamped to ≥ 2 buffers, the
+// engine's stage floor). At least two points are sampled.
+func SampleCurve(price func(m float64) float64, mMin, mMax float64, points int) Curve {
+	if mMin < 2 {
+		mMin = 2
+	}
+	if mMax < mMin {
+		mMax = mMin
+	}
+	if points < 2 {
+		points = 2
+	}
+	c := Curve{M: make([]float64, points), C: make([]float64, points)}
+	ratio := math.Pow(mMax/mMin, 1/float64(points-1))
+	m := mMin
+	for i := 0; i < points; i++ {
+		if i == points-1 {
+			m = mMax
+		}
+		c.M[i] = m
+		c.C[i] = price(m)
+		m *= ratio
+	}
+	return c
+}
+
+// Cost interpolates the curve linearly at m, clamping to the sampled
+// range's end values.
+func (c Curve) Cost(m float64) float64 {
+	if len(c.M) == 0 {
+		return 0
+	}
+	if m <= c.M[0] {
+		return c.C[0]
+	}
+	last := len(c.M) - 1
+	if m >= c.M[last] {
+		return c.C[last]
+	}
+	for i := 1; i <= last; i++ {
+		if m <= c.M[i] {
+			span := c.M[i] - c.M[i-1]
+			if span <= 0 {
+				return c.C[i]
+			}
+			f := (m - c.M[i-1]) / span
+			return c.C[i-1] + f*(c.C[i]-c.C[i-1])
+		}
+	}
+	return c.C[last]
+}
+
+// Marginal is the predicted cost saved per extra buffer when growing the
+// stage's share from m to m+dm — the quantity a greedy allocator
+// maximizes across stages. Positive when more memory helps.
+func (c Curve) Marginal(m, dm float64) float64 {
+	if dm <= 0 {
+		return 0
+	}
+	return (c.Cost(m) - c.Cost(m+dm)) / dm
+}

@@ -1,0 +1,419 @@
+package exec
+
+import (
+	"math"
+	"sync"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/cost"
+	"wlpm/internal/record"
+)
+
+// Budget allocation: memory planning as a first-class layer.
+//
+// The plan's DRAM budget M used to be split evenly across the blocking
+// stages. The allocator here splits it by marginal benefit instead: each
+// stage exposes the price of its cheapest implementation as a function
+// of its share (cost.BestSortPlan / cost.BestJoinPlan, plus the
+// hash-aggregation fit cliff), and a greedy water-filling pass hands
+// quanta of the budget to whichever stage's cost curve bends most. The
+// even split remains a guaranteed-no-worse fallback: the allocator
+// compares the two predictions and keeps the even shares whenever the
+// greedy result does not beat them.
+//
+// At run time the shares stay live: when a blocking stage opens and its
+// actual input cardinality diverges from the estimate, budgetPlan.commit
+// scales the estimates of the stages it feeds and re-splits the
+// not-yet-opened stages' shares over the remaining budget — the memory
+// twin of the Open-time algorithm re-planning the operators already do.
+
+// allocQuantaPerStage bounds the greedy pass: the remaining budget above
+// the floors is handed out in at most ~this many quanta per stage.
+const allocQuantaPerStage = 64
+
+// Allocation is the result of one budget split across blocking stages.
+type Allocation struct {
+	Shares   []int64 // per-stage share in bytes, stage order
+	Cost     float64 // predicted plan cost at Shares (buffer-read units)
+	EvenCost float64 // predicted plan cost at the even split
+	Even     bool    // the even split won (or was forced) — Shares hold it
+}
+
+// stageFloor is the smallest useful stage share: two persistence-layer
+// buffers, matching algo.Env.BudgetBuffers and the compiler's memBuffers
+// floor (one input/fan-in buffer plus one output buffer). Shares are
+// never sized below it — the old 1-byte floor admitted budgets no
+// algorithm could run at.
+func stageFloor(blockSize int) int64 {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	return 2 * int64(blockSize)
+}
+
+// allocBuffers converts a share in bytes to the cost model's m, floored
+// at 2 buffers like the rest of the engine.
+func allocBuffers(share int64, blockSize int) float64 {
+	m := float64(share) / float64(blockSize)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// Allocate splits total bytes across the stages' cost curves. Each
+// pricer maps a stage share m (in buffers, ≥ 2) to the predicted price
+// of the stage's cheapest implementation. Every share is floored at two
+// buffers; when the total cannot cover the floors, or when the greedy
+// result does not beat the even split's prediction, the even split is
+// returned with Even set.
+func Allocate(total int64, blockSize int, pricers []func(m float64) float64) Allocation {
+	n := len(pricers)
+	if n == 0 {
+		return Allocation{}
+	}
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	floor := stageFloor(blockSize)
+	costAt := func(shares []int64) float64 {
+		sum := 0.0
+		for i, p := range pricers {
+			sum += p(allocBuffers(shares[i], blockSize))
+		}
+		return sum
+	}
+	evenShare := total / int64(n)
+	if evenShare < floor {
+		evenShare = floor
+	}
+	even := make([]int64, n)
+	for i := range even {
+		even[i] = evenShare
+	}
+	evenCost := costAt(even)
+	if total < int64(n)*floor {
+		return Allocation{Shares: even, Cost: evenCost, EvenCost: evenCost, Even: true}
+	}
+
+	shares := make([]int64, n)
+	for i := range shares {
+		shares[i] = floor
+	}
+	rest := total - int64(n)*floor
+	quantum := int64(blockSize)
+	if q := rest / int64(allocQuantaPerStage*n); q > quantum {
+		quantum = (q / int64(blockSize)) * int64(blockSize)
+	}
+	// Water-filling with step-aware probing: the curves are staircases
+	// (pass counts are ceilings), so a fixed small quantum would see a
+	// zero gradient inside a flat step and give up too early. Each round
+	// probes geometrically growing windows (quantum, 4×, 16×, …, rest)
+	// per stage and hands the window with the best cost-saved-per-byte
+	// rate to its stage.
+	for rounds := 0; rest >= quantum && quantum > 0 && rounds < 4*allocQuantaPerStage*n; rounds++ {
+		bestI, bestW, bestRate := -1, int64(0), 0.0
+		for i, p := range pricers {
+			base := p(allocBuffers(shares[i], blockSize))
+			probe := func(w int64) {
+				rate := (base - p(allocBuffers(shares[i]+w, blockSize))) / float64(w)
+				if rate > bestRate {
+					bestI, bestW, bestRate = i, w, rate
+				}
+			}
+			for w := quantum; w < rest; w *= 4 {
+				probe(w)
+			}
+			probe(rest)
+		}
+		if bestI < 0 {
+			break // flat curves: more memory buys nothing anywhere
+		}
+		shares[bestI] += bestW
+		rest -= bestW
+	}
+	// Whatever the greedy pass left (flat tails, sub-quantum remainder)
+	// is spread evenly rather than parked: the model says it buys
+	// nothing, and idle budget would just shrink the stages for free.
+	if rest > 0 {
+		per := rest / int64(n)
+		for i := range shares {
+			shares[i] += per
+		}
+		shares[0] += rest - per*int64(n)
+	}
+	greedyCost := costAt(shares)
+	if !(greedyCost <= evenCost+1e-9*(1+math.Abs(evenCost))) {
+		return Allocation{Shares: even, Cost: evenCost, EvenCost: evenCost, Even: true}
+	}
+	return Allocation{Shares: shares, Cost: greedyCost, EvenCost: evenCost}
+}
+
+// stageAlloc is one blocking stage's allocation state, shared between
+// the compiler (which prices it from estimates), the Explain choice
+// (which displays it) and the run (which re-splits it from actuals).
+type stageAlloc struct {
+	op     string
+	idx    int                           // position in the plan's stage order (build's post-order)
+	price  func(t, v, m float64) float64 // cheapest-impl price at input sizes (buffers)
+	t, v   float64                       // current input-size estimates (buffers)
+	inEst  float64                       // estimated build/input rows, divergence baseline
+	tFrom  int                           // stage index feeding the t input (-1: base tables only)
+	vFrom  int                           // stage index feeding the v input (-1: none/base)
+	share  int64                         // allocated share in bytes
+	opened bool                          // the stage has started; its share is frozen
+	choice *Choice                       // Explain entry mirroring share/resplit
+}
+
+func (s *stageAlloc) pricer(blockSize int) func(m float64) float64 {
+	return func(m float64) float64 { return s.price(s.t, s.v, m) }
+}
+
+// budgetPlan carries one compiled plan's allocation through its run.
+type budgetPlan struct {
+	mu        sync.Mutex
+	blockSize int
+	total     int64
+	stages    []*stageAlloc
+}
+
+// pricersOf builds the allocator inputs for a subset of stages.
+func pricersOf(stages []*stageAlloc, blockSize int) []func(m float64) float64 {
+	ps := make([]func(m float64) float64, len(stages))
+	for i, s := range stages {
+		ps[i] = s.pricer(blockSize)
+	}
+	return ps
+}
+
+// commit is called when stage idx opens with its actual input sizes
+// (buffers) and build-side rows. It scales the estimates of the unopened
+// stages this one feeds by the observed divergence, re-splits the
+// remaining budget — total minus the frozen shares of already-opened
+// stages — across the unopened stages (idx included: it has not built
+// its environment yet), freezes idx, and returns its share's m in
+// buffers. actRows 0 freezes without re-splitting (no new information).
+func (bp *budgetPlan) commit(idx int, actT, actV float64, actRows int) float64 {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	s := bp.stages[idx]
+	if s.opened {
+		return allocBuffers(s.share, bp.blockSize)
+	}
+	if actRows <= 0 {
+		s.opened = true
+		return allocBuffers(s.share, bp.blockSize)
+	}
+	ratio := 1.0
+	if s.inEst > 0 {
+		ratio = float64(actRows) / s.inEst
+	}
+	if actT > 0 {
+		s.t = actT
+	}
+	if actV > 0 {
+		s.v = actV
+	}
+	s.inEst = float64(actRows)
+	// Misestimates propagate multiplicatively through the streaming
+	// operators between stages, so the observed input divergence scales
+	// every unopened stage downstream of this one (transitively).
+	scaled := map[int]bool{idx: true}
+	for changed := true; changed; {
+		changed = false
+		for j, d := range bp.stages {
+			if d.opened || scaled[j] {
+				continue
+			}
+			if scaled[d.tFrom] {
+				d.t = math.Max(1, d.t*ratio)
+				d.inEst *= ratio
+				scaled[j] = true
+				changed = true
+				continue
+			}
+			if scaled[d.vFrom] {
+				d.v = math.Max(1, d.v*ratio)
+				scaled[j] = true
+				changed = true
+			}
+		}
+	}
+	// Re-split the unopened stages over what the opened ones left.
+	remaining := bp.total
+	var open []*stageAlloc
+	for _, d := range bp.stages {
+		if d.opened {
+			remaining -= d.share
+		} else {
+			open = append(open, d)
+		}
+	}
+	if remaining > 0 && len(open) > 0 {
+		alloc := Allocate(remaining, bp.blockSize, pricersOf(open, bp.blockSize))
+		for i, d := range open {
+			if alloc.Shares[i] != d.share && d.choice != nil {
+				d.choice.Resplit = true
+			}
+			d.share = alloc.Shares[i]
+			if d.choice != nil {
+				d.choice.Share = d.share
+			}
+		}
+	}
+	s.opened = true
+	return allocBuffers(s.share, bp.blockSize)
+}
+
+// --- Compile-time demand collection ---
+
+// hashAggCap is the largest estimated group count whose hash table the
+// planner trusts to a stage share: the paper's f expansion plus 2×
+// headroom for estimate error. Shared by the compiler's hash-vs-sort
+// decision and the allocator's group-by cost curve so the two can never
+// disagree about which side of the cliff a share lands on.
+func hashAggCap(shareBytes float64) float64 {
+	return shareBytes / (2 * algo.HashTableExpansion * float64(record.Size))
+}
+
+// stageDemands walks the (already join-reordered) plan in build's
+// post-order, returning one stageAlloc per blocking stage: the stage's
+// cost-vs-memory pricer at the compile-time cardinality estimates, plus
+// the dataflow links divergence propagation follows.
+func (c *compiler) stageDemands(p *Plan) []*stageAlloc {
+	var out []*stageAlloc
+	c.demandWalk(p, &out)
+	return out
+}
+
+// demandWalk returns the node's output estimate and the index of the
+// blocking stage its output streams from (-1 when it derives from base
+// tables only).
+func (c *compiler) demandWalk(p *Plan, out *[]*stageAlloc) (planEstimate, int) {
+	if p == nil || p.err != nil {
+		return planEstimate{}, -1
+	}
+	switch p.kind {
+	case planScan:
+		return planEstimate{rows: p.col.Len(), tbl: c.statsFor(p)}, -1
+
+	case planFilter:
+		in, from := c.demandWalk(p.left, out)
+		return c.filterEstimate(in, p.pred), from
+
+	case planProject:
+		in, from := c.demandWalk(p.left, out)
+		return projectEstimate(in, p.attrs), from
+
+	case planLimit:
+		in, from := c.demandWalk(p.left, out)
+		return limitEstimate(in, p.n), from
+
+	case planOrderBy:
+		in, from := c.demandWalk(p.left, out)
+		t := c.buffers(in.rows, planRecordSize(p.left))
+		lambda, pinned := c.lambda, p.sortA
+		s := &stageAlloc{
+			op: "OrderBy",
+			price: func(t, _, m float64) float64 {
+				if pinned != nil {
+					if prof, ok := pinnedSortProfile(pinned, t, m, lambda); ok {
+						return prof.Price(1, lambda)
+					}
+				}
+				return cost.BestSortPlan(t, m, lambda).Cost
+			},
+			t: t, inEst: float64(in.rows), tFrom: from, vFrom: -1,
+		}
+		*out = append(*out, s)
+		return in, len(*out) - 1
+
+	case planGroupBy:
+		in, from := c.demandWalk(p.left, out)
+		est, groups := c.groupEstimate(p, in)
+		t := c.buffers(in.rows, planRecordSize(p.left))
+		groupBuf := c.buffers(groups, record.Size)
+		lambda, blockSize, pinned := c.lambda, float64(c.blockSize), p.sortA
+		s := &stageAlloc{
+			op: "GroupBy",
+			price: func(t, _, m float64) float64 {
+				if pinned != nil {
+					if prof, ok := pinnedSortProfile(pinned, t, m, lambda); ok {
+						return prof.Price(1, lambda)
+					}
+					return cost.BestSortPlan(t, m, lambda).Cost
+				}
+				// The fit cliff: once the estimated groups' hash table
+				// fits the share, the stage reads its input once and
+				// writes only the result.
+				if est > 0 && float64(est) <= hashAggCap(m*blockSize) {
+					return cost.Profile{Reads: t, Writes: groupBuf}.Price(1, lambda)
+				}
+				return cost.BestSortPlan(t, m, lambda).Cost
+			},
+			t: t, inEst: float64(in.rows), tFrom: from, vFrom: -1,
+		}
+		*out = append(*out, s)
+		return planEstimate{rows: groups}, len(*out) - 1
+
+	case planJoin:
+		lest, lfrom := c.demandWalk(p.left, out)
+		rest, rfrom := c.demandWalk(p.right, out)
+		t := c.buffers(lest.rows, planRecordSize(p.left))
+		v := c.buffers(rest.rows, planRecordSize(p.right))
+		outEst := c.joinEstimate(lest, rest)
+		outBuf := c.buffers(outEst.rows, planRecordSize(p.left)+planRecordSize(p.right))
+		lambda, pinned := c.lambda, p.joinA
+		s := &stageAlloc{
+			op: "Join",
+			price: func(t, v, m float64) float64 {
+				// The engine's concatenated-output write term, the same
+				// constant shift build applies (see the adjust closure).
+				adjust := lambda * (outBuf - v)
+				if pinned != nil {
+					if prof, ok := pinnedJoinProfile(pinned, t, v, m, lambda); ok {
+						return prof.Price(1, lambda) + adjust
+					}
+				}
+				return cost.BestJoinPlan(t, v, m, lambda).Cost + adjust
+			},
+			t: t, v: v, inEst: float64(lest.rows), tFrom: lfrom, vFrom: rfrom,
+		}
+		*out = append(*out, s)
+		return outEst, len(*out) - 1
+	}
+	return planEstimate{}, -1
+}
+
+// PlanCosts prices the plan's predicted total cost at several candidate
+// budgets without building operators: one demand walk, one allocation
+// per budget. This is what grant bidding runs before asking the broker
+// for memory — a plan whose cost barely moves between M and M/2 can bid
+// for the smaller grant and start instead of queueing.
+func PlanCosts(ctx *Ctx, p *Plan, budgets []int64) ([]float64, error) {
+	if err := ctx.validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, errNilPlan
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	c := &compiler{
+		lambda:    ctx.Factory.Device().Lambda(),
+		blockSize: ctx.Factory.BlockSize(),
+		stats:     ctx.Stats,
+	}
+	p = c.reorderJoins(p)
+	demands := c.stageDemands(p)
+	pricers := pricersOf(demands, c.blockSize)
+	costs := make([]float64, len(budgets))
+	for i, b := range budgets {
+		if len(demands) == 0 || b <= 0 {
+			continue
+		}
+		costs[i] = Allocate(b, c.blockSize, pricers).Cost
+	}
+	return costs, nil
+}

@@ -1,0 +1,297 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/sorts"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+// budgetPlanShapes is the plan-shape grid of the allocator tests: every
+// blocking-operator combination the engine plans, from a single sort to
+// the skewed star pipeline the allocator exists for.
+func budgetPlanShapes(dim1, dim2, fact storage.Collection) map[string]func() *Plan {
+	star := func() *Plan {
+		inner := Table(dim1).Join(Table(fact))
+		return Table(dim2).Join(inner).
+			Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).GroupBy(3).OrderBy()
+	}
+	return map[string]func() *Plan{
+		"sort":       func() *Plan { return Table(fact).OrderBy() },
+		"join+sort":  func() *Plan { return Table(dim1).Join(Table(fact)).OrderBy() },
+		"groupcliff": func() *Plan { return Table(fact).GroupHint(testDim).GroupBy(3).OrderBy() },
+		"star":       star,
+		"skewed": func() *Plan {
+			return Table(dim1).Join(Table(fact)).
+				Project(0, 1, 12, 13, 14, 5, 16, 7, 18, 9).GroupHint(testDim).GroupBy(3).OrderBy()
+		},
+	}
+}
+
+// TestAllocatorNeverWorseThanEvenSplit is the acceptance grid: for every
+// plan shape × memory point × device asymmetry, the cost-driven shares'
+// predicted total cost must not exceed the even split's, every stage
+// share must respect the two-buffer floor, and the shares must not
+// oversubscribe the budget (beyond the floors a degenerate budget
+// forces).
+func TestAllocatorNeverWorseThanEvenSplit(t *testing.T) {
+	for _, lambdaWrite := range []time.Duration{15 * time.Nanosecond, 150 * time.Nanosecond, 900 * time.Nanosecond} {
+		dev := pmem.MustOpen(pmem.Config{Capacity: 256 << 20, ReadLatency: 10 * time.Nanosecond, WriteLatency: lambdaWrite})
+		fac, err := all.New("blocked", dev, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &rig{dev: dev, fac: fac}
+		dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+		floor := 2 * int64(fac.BlockSize())
+		for name, plan := range budgetPlanShapes(dim1, dim2, fact) {
+			for _, frac := range []float64{0.01, 0.05, 0.15} {
+				budget := int64(frac * float64(testFact) * record.Size)
+				if budget < 1 {
+					budget = 1
+				}
+				_, ex, err := Compile(NewCtx(fac, budget, 1), plan())
+				if err != nil {
+					t.Fatalf("%s λw=%v mem=%.0f%%: %v", name, lambdaWrite, frac*100, err)
+				}
+				if ex.PlanCost > ex.EvenCost*(1+1e-9) {
+					t.Errorf("%s λw=%v mem=%.0f%%: cost-driven %.6g worse than even %.6g",
+						name, lambdaWrite, frac*100, ex.PlanCost, ex.EvenCost)
+				}
+				if len(ex.StageShares) != ex.Stages {
+					t.Fatalf("%s: %d shares for %d stages", name, len(ex.StageShares), ex.Stages)
+				}
+				var sum int64
+				for i, s := range ex.StageShares {
+					if s < floor {
+						t.Errorf("%s λw=%v mem=%.0f%%: stage %d share %d below the %d B floor",
+							name, lambdaWrite, frac*100, i, s, floor)
+					}
+					sum += s
+				}
+				if minTotal := int64(ex.Stages) * floor; sum > budget && sum > minTotal {
+					t.Errorf("%s λw=%v mem=%.0f%%: shares sum %d oversubscribe budget %d",
+						name, lambdaWrite, frac*100, sum, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestBudgetSplitsByteIdenticalOutput pins the safety half of the
+// refactor: the even split and the cost-driven split run the same
+// algorithms' contracts, so the query output must be byte-identical —
+// only device traffic and predicted cost may differ.
+func TestBudgetSplitsByteIdenticalOutput(t *testing.T) {
+	for _, frac := range []float64{0.01, 0.05} {
+		budget := int64(frac * float64(testFact) * record.Size)
+		run := func(even bool) []byte {
+			r := newRig(t)
+			dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+			inner := Table(dim1).Join(Table(fact))
+			plan := Table(dim2).Join(inner).
+				Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).GroupBy(3).OrderBy()
+			ctx := r.ctx(budget, 1)
+			root, ex, err := CompileWith(ctx, plan, CompileOptions{EvenBudgetSplit: even})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if even != ex.EvenSplit && even {
+				t.Fatalf("EvenBudgetSplit not reflected in Explain: %+v", ex)
+			}
+			out := r.create(t, "out", record.Size)
+			if err := Run(ctx, root, out); err != nil {
+				t.Fatal(err)
+			}
+			return readBytes(t, out)
+		}
+		evenOut := run(true)
+		costOut := run(false)
+		if len(evenOut) == 0 {
+			t.Fatal("even split produced no output")
+		}
+		if !bytes.Equal(evenOut, costOut) {
+			t.Errorf("mem=%.0f%%: cost-driven output differs from even split", frac*100)
+		}
+	}
+}
+
+// TestStageShareFloor is the satellite bugfix regression: a budget far
+// below what the plan's stages need must floor every share at two
+// persistence-layer buffers (the old floor was one byte), matching
+// algo.Env.BudgetBuffers and the planner's memBuffers.
+func TestStageShareFloor(t *testing.T) {
+	r := newRig(t)
+	dim1, dim2, fact := r.loadStar(t, testDim, testFact)
+	inner := Table(dim1).Join(Table(fact))
+	plan := Table(dim2).Join(inner).
+		Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).GroupBy(3).OrderBy()
+	ctx := r.ctx(1, 1) // one byte for four blocking stages
+	_, ex, err := Compile(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := 2 * int64(r.fac.BlockSize())
+	for i, s := range ex.StageShares {
+		if s < floor {
+			t.Errorf("stage %d share %d B, want ≥ %d B", i, s, floor)
+		}
+	}
+	if got := ctx.StageBudget(); got < floor {
+		t.Errorf("Ctx.StageBudget() = %d B, want ≥ %d B", got, floor)
+	}
+}
+
+// TestOpenTimeResplit drives actuals away from the estimates: without
+// statistics a ≥-filter is estimated at the textbook 0.5 though it keeps
+// every record, so the first blocking stage opens on 2× its estimated
+// input. The budget plan must propagate the divergence and re-split the
+// remaining stages' shares, and the result must stay correct.
+func TestOpenTimeResplit(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(4000, 11, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// filter (keeps all, estimated half) → group-by → order-by.
+	plan := Table(in).Filter(Predicate{Attr: 0, Op: Ge, Value: 0}).GroupBy(3).OrderBy()
+	ctx := r.ctx(int64(4000*record.Size/10), 1)
+	root, ex, err := Compile(ctx, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled := append([]int64(nil), ex.StageShares...)
+	out := r.create(t, "out", record.Size)
+	if err := Run(ctx, root, out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4000 {
+		t.Fatalf("%d result groups, want 4000 (unique keys)", out.Len())
+	}
+	first := ex.Choices[0]
+	if first.ActualRows != 4000 || first.InputRows >= 4000 {
+		t.Fatalf("first stage est %d act %d, want a real misestimate", first.InputRows, first.ActualRows)
+	}
+	resplit := false
+	for i, c := range ex.Choices {
+		if c.Resplit {
+			resplit = true
+		}
+		if c.Resplit && c.Share == compiled[i] {
+			t.Errorf("choice %d marked re-split but share unchanged (%d B)", i, c.Share)
+		}
+	}
+	if !resplit {
+		t.Errorf("2x input divergence re-split no stage; compiled %v, final %+v", compiled, ex.Choices)
+	}
+	var sum int64
+	for _, c := range ex.Choices {
+		sum += c.Share
+	}
+	if sum > ctx.MemoryBudget {
+		t.Errorf("re-split shares sum %d oversubscribe budget %d", sum, ctx.MemoryBudget)
+	}
+}
+
+// TestPlanCostsMatchesCompile pins the bidding path's pricing to the
+// compiler's: PlanCosts at the compile budget must reproduce
+// Explain.PlanCost, and pricing at several budgets must not error.
+func TestPlanCostsMatchesCompile(t *testing.T) {
+	r := newRig(t)
+	dim1, _, fact := r.loadStar(t, testDim, testFact)
+	plan := func() *Plan { return Table(dim1).Join(Table(fact)).OrderBy() }
+	budget := testBudget
+	ctx := r.ctx(budget, 1)
+	_, ex, err := Compile(ctx, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := PlanCosts(r.ctx(budget, 1), plan(), []int64{budget, budget / 2, budget / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := costs[0] - ex.PlanCost; diff > 1e-6*ex.PlanCost || diff < -1e-6*ex.PlanCost {
+		t.Errorf("PlanCosts(full) = %.6g, Explain.PlanCost = %.6g", costs[0], ex.PlanCost)
+	}
+	for i, c := range costs {
+		if c <= 0 {
+			t.Errorf("cost[%d] = %g, want positive", i, c)
+		}
+	}
+}
+
+// TestAllocateSyntheticCurves checks the allocator directly: a stage
+// with a steep curve takes budget from a flat one, floors hold, and the
+// even fallback engages when the total cannot cover the floors.
+func TestAllocateSyntheticCurves(t *testing.T) {
+	steep := func(m float64) float64 { return 1e6 / m }
+	flat := func(m float64) float64 { return 100 }
+	a := Allocate(100<<10, 1024, []func(float64) float64{steep, flat})
+	if a.Even {
+		t.Fatalf("steep+flat fell back to even: %+v", a)
+	}
+	if a.Shares[0] <= a.Shares[1] {
+		t.Errorf("steep stage got %d B, flat got %d B — memory flowed the wrong way", a.Shares[0], a.Shares[1])
+	}
+	if a.Cost > a.EvenCost*(1+1e-9) {
+		t.Errorf("allocation cost %.4g worse than even %.4g", a.Cost, a.EvenCost)
+	}
+	if a.Shares[1] < 2*1024 {
+		t.Errorf("flat stage share %d below the floor", a.Shares[1])
+	}
+
+	tiny := Allocate(1024, 1024, []func(float64) float64{steep, flat})
+	if !tiny.Even {
+		t.Errorf("sub-floor total did not fall back to even: %+v", tiny)
+	}
+	for i, s := range tiny.Shares {
+		if s < 2*1024 {
+			t.Errorf("tiny stage %d share %d below the floor", i, s)
+		}
+	}
+}
+
+// TestEvenSplitOptionPinsLegacyBehaviour: under EvenBudgetSplit every
+// stage share is the even split and no Open-time re-split happens even
+// when actuals diverge.
+func TestEvenSplitOptionPinsLegacyBehaviour(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(2000, 3, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plan := Table(in).Filter(Predicate{Attr: 0, Op: Ge, Value: 0}).
+		OrderByWith(sorts.NewExternalMergeSort()).OrderByWith(sorts.NewExternalMergeSort())
+	ctx := r.ctx(int64(2000*record.Size/10), 1)
+	root, ex, err := CompileWith(ctx, plan, CompileOptions{EvenBudgetSplit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.EvenSplit {
+		t.Fatal("EvenSplit flag not set")
+	}
+	want := ctx.MemoryBudget / 2
+	out := r.create(t, "out", record.Size)
+	if err := Run(ctx, root, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range ex.Choices {
+		if c.Share != want {
+			t.Errorf("stage %d share %d, want even %d", i, c.Share, want)
+		}
+		if c.Resplit {
+			t.Errorf("stage %d re-split under EvenBudgetSplit", i)
+		}
+	}
+}

@@ -10,10 +10,14 @@
 // Non-blocking operators (Filter, Project, Limit) stream records without
 // touching the device, so a pipelined plan writes strictly fewer
 // cachelines than the naive compose-by-materializing sequence of the
-// same operators. Blocking operators (OrderBy, GroupBy, Join) split the
-// plan's DRAM budget M evenly among themselves and inherit the plan's
-// Parallelism, so the partition-parallel execution of the underlying
-// algorithms carries over to whole pipelines.
+// same operators. Blocking operators (OrderBy, GroupBy, Join) share the
+// plan's DRAM budget M through the marginal-benefit allocator (see
+// budget.go): each stage's share is sized by how much its cost curve
+// bends, with the even split as a guaranteed-no-worse fallback, and
+// shares are re-split at Open time when actual cardinalities diverge
+// from the estimates. Every stage inherits the plan's Parallelism, so
+// the partition-parallel execution of the underlying algorithms carries
+// over to whole pipelines.
 package exec
 
 import (
@@ -145,24 +149,40 @@ func countConsumers(op Operator) int {
 // (for display; 0 before any run).
 func (c *Ctx) Stages() int { return c.stages }
 
-// StageBudget is the per-blocking-stage share of the plan budget.
+// StageBudget is the even per-blocking-stage share of the plan budget —
+// the fallback for operators built without the planner's allocation.
+// Floored at two persistence-layer buffers (one fan-in plus one output
+// buffer, matching algo.Env.BudgetBuffers): the old 1-byte floor
+// admitted shares no algorithm could actually run at, so hash caps and
+// merge fan-ins were computed from a budget the engine then ignored.
 func (c *Ctx) StageBudget() int64 {
 	stages := c.stages
 	if stages < 1 {
 		stages = 1
 	}
 	share := c.MemoryBudget / int64(stages)
-	if share < 1 {
-		share = 1
+	if floor := 2 * int64(c.Factory.BlockSize()); share < floor {
+		share = floor
 	}
 	return share
 }
 
-// StageEnv builds the execution environment of one blocking stage: an
-// equal share of the plan budget, carrying the plan parallelism, the
-// run's cancellation context and the shared temp tracker.
+// StageEnv builds the execution environment of one blocking stage at the
+// even split, carrying the plan parallelism, the run's cancellation
+// context and the shared temp tracker.
 func (c *Ctx) StageEnv() *algo.Env {
 	return c.tempEnv().Derive(c.StageBudget())
+}
+
+// StageEnvFor is StageEnv at the stage's allocated share: blocking
+// operators compiled by the planner carry their runtimeChoice, whose
+// share the budget allocator sized (and Open-time re-splitting may have
+// moved). Operators without one fall back to the even split.
+func (c *Ctx) StageEnvFor(rc *runtimeChoice) *algo.Env {
+	if share := rc.stageShare(); share > 0 {
+		return c.tempEnv().Derive(share)
+	}
+	return c.StageEnv()
 }
 
 // tempEnv is the environment non-consuming operators (Materialize,

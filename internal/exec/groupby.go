@@ -51,9 +51,10 @@ func (g *GroupBy) groupInto(ctx context.Context, ec *Ctx, dst storage.Collection
 		return err
 	}
 	// Clamp the compile-time estimate against the materialized input: a
-	// planner-owned sort choice is re-priced at the actual cardinality.
+	// planner-owned sort choice is re-priced at the actual cardinality,
+	// and the stage's budget share is re-split from the actuals first.
 	g.algo = g.rc.clampSort(in.Len(), in.RecordSize(), g.algo)
-	env := ec.StageEnv()
+	env := ec.StageEnvFor(g.rc)
 	if err := aggregate.GroupBy(env, g.algo, in, g.attr, dst); err != nil {
 		cleanup() //nolint:errcheck // best-effort cleanup after failure
 		return err
@@ -162,7 +163,11 @@ func (h *HashAggregate) aggregate(ctx context.Context, ec *Ctx) error {
 	if err := h.child.Open(ctx, ec); err != nil {
 		return err
 	}
-	h.env = ec.StageEnv()
+	// The hash table learns its real input only while draining it, so the
+	// stage freezes at its compiled share — later stages' re-splits must
+	// not move memory a running hash table is already counting on.
+	h.rc.freeze()
+	h.env = ec.StageEnvFor(h.rc)
 	budget := h.env.BudgetHashRecords(record.Size)
 	h.groups = make(map[uint64]*aggState)
 	rows := 0

@@ -46,9 +46,10 @@ func (j *Join) joinInto(ctx context.Context, ec *Ctx, dst storage.Collection) er
 		return err
 	}
 	// Clamp the compile-time estimates against the materialized inputs: a
-	// planner-owned choice is re-priced at the actual cardinalities.
+	// planner-owned choice is re-priced at the actual cardinalities, and
+	// the stage's budget share is re-split from the actuals first.
 	j.algo = j.rc.clampJoin(lcoll.Len(), lcoll.RecordSize(), rcoll.Len(), rcoll.RecordSize(), j.algo)
-	env := ec.StageEnv()
+	env := ec.StageEnvFor(j.rc)
 	if err := j.algo.Join(env, lcoll, rcoll, dst); err != nil {
 		lclean() //nolint:errcheck // best-effort cleanup after failure
 		rclean() //nolint:errcheck // best-effort cleanup after failure

@@ -43,9 +43,10 @@ func (o *OrderBy) sortInto(ctx context.Context, ec *Ctx, dst storage.Collection)
 		return err
 	}
 	// Clamp the compile-time estimate against the materialized input: a
-	// planner-owned choice is re-priced at the actual cardinality.
+	// planner-owned choice is re-priced at the actual cardinality, and
+	// the stage's budget share is re-split from the actuals first.
 	o.algo = o.rc.clampSort(in.Len(), in.RecordSize(), o.algo)
-	env := ec.StageEnv()
+	env := ec.StageEnvFor(o.rc)
 	if err := o.algo.Sort(env, in, dst); err != nil {
 		cleanup() //nolint:errcheck // best-effort cleanup after failure
 		return err

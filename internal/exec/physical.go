@@ -5,7 +5,6 @@ import (
 	"math"
 	"strings"
 
-	"wlpm/internal/algo"
 	"wlpm/internal/cost"
 	"wlpm/internal/joins"
 	"wlpm/internal/record"
@@ -23,7 +22,14 @@ type CompileOptions struct {
 	// instead of letting the planner rebuild them smallest-build-first
 	// from the cardinality estimates.
 	DisableJoinReorder bool
+	// EvenBudgetSplit forces the legacy even budget split across the
+	// blocking stages instead of the marginal-benefit allocation, and
+	// disables Open-time share re-splitting — the baseline the budget
+	// experiment and the byte-identity tests compare against.
+	EvenBudgetSplit bool
 }
+
+var errNilPlan = fmt.Errorf("exec: nil plan")
 
 // Choice records one physical algorithm decision for Explain. The planner
 // fills the estimates at compile time; the blocking operator updates
@@ -38,19 +44,24 @@ type Choice struct {
 	Buffers    float64 // estimated input size in buffers (t; joins also use v)
 	RightBuf   float64 // v for joins, 0 otherwise
 	Cost       float64 // predicted price in buffer-read units
+	Share      int64   // the stage's memory share in bytes (live: re-splits update it)
+	Resplit    bool    // an Open-time re-split changed this stage's share
 	Replanned  bool    // Open-time actuals changed the planner's algorithm
 	Spilled    bool    // hash aggregation degraded to its sort-merge fallback
 }
 
 // Explain describes the compiled physical plan. Choices are shared with
 // the operator tree, so after a Run they also carry the actuals observed
-// at Open time.
+// at Open time and the shares Open-time re-splitting settled on.
 type Explain struct {
-	Root        string // the physical operator tree, root first
-	RecordSize  int    // byte width of the plan's output records
-	Stages      int    // blocking stages sharing the budget
-	TotalBudget int64  // plan M in bytes
-	StageBudget int64  // per-stage share in bytes
+	Root        string  // the physical operator tree, root first
+	RecordSize  int     // byte width of the plan's output records
+	Stages      int     // blocking stages sharing the budget
+	TotalBudget int64   // plan M in bytes
+	StageShares []int64 // compile-time per-stage shares in bytes, stage order
+	EvenSplit   bool    // the allocator fell back to (or was forced to) the even split
+	PlanCost    float64 // predicted plan cost at StageShares (buffer-read units)
+	EvenCost    float64 // predicted plan cost at the even split
 	Lambda      float64
 	Reordered   bool // the planner rebuilt a join chain smallest-build-first
 	Choices     []*Choice
@@ -60,8 +71,12 @@ type Explain struct {
 func (e *Explain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan    %s\n", e.Root)
-	fmt.Fprintf(&b, "memory  %d B across %d blocking stage(s): %d B each (λ=%.1f)\n",
-		e.TotalBudget, e.Stages, e.StageBudget, e.Lambda)
+	split := "cost-driven"
+	if e.EvenSplit {
+		split = "even-split"
+	}
+	fmt.Fprintf(&b, "memory  %d B across %d blocking stage(s), %s shares %s (λ=%.1f, predicted %.4g vs %.4g even)\n",
+		e.TotalBudget, e.Stages, split, fmtShares(e.StageShares), e.Lambda, e.PlanCost, e.EvenCost)
 	if e.Reordered {
 		fmt.Fprintf(&b, "joins   reordered smallest-build-first from the cardinality estimates (compensating projection restores the written column order)\n")
 	}
@@ -75,6 +90,9 @@ func (e *Explain) String() string {
 			rows += fmt.Sprintf(", act %d", c.ActualRows)
 		}
 		var notes string
+		if c.Resplit {
+			notes += "; share re-split at open"
+		}
 		if c.Replanned {
 			notes += "; replanned at open"
 		}
@@ -82,13 +100,30 @@ func (e *Explain) String() string {
 			notes += "; spilled to sort-merge"
 		}
 		if c.RightBuf > 0 {
-			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f v=%.0f buffers, %s, est cost %.3g%s)\n",
-				c.Operator, c.Algorithm, origin, c.Buffers, c.RightBuf, rows, c.Cost, notes)
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f v=%.0f buffers, %s, share %d B, est cost %.3g%s)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, c.RightBuf, rows, c.Share, c.Cost, notes)
 		} else {
-			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f buffers, %s, est cost %.3g%s)\n",
-				c.Operator, c.Algorithm, origin, c.Buffers, rows, c.Cost, notes)
+			fmt.Fprintf(&b, "choice  %-8s → %-14s (%s; t=%.0f buffers, %s, share %d B, est cost %.3g%s)\n",
+				c.Operator, c.Algorithm, origin, c.Buffers, rows, c.Share, c.Cost, notes)
 		}
 	}
+	return b.String()
+}
+
+// fmtShares renders a share list as "[a+b+c]" bytes.
+func fmtShares(shares []int64) string {
+	if len(shares) == 0 {
+		return "[—]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range shares {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteByte(']')
 	return b.String()
 }
 
@@ -108,39 +143,62 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 		return nil, nil, err
 	}
 	if p == nil {
-		return nil, nil, fmt.Errorf("exec: nil plan")
+		return nil, nil, errNilPlan
 	}
 	if p.err != nil {
 		return nil, nil, p.err
 	}
-	stages := countLogicalStages(p)
-	if stages < 1 {
-		stages = 1
-	}
-	stageBudget := ctx.MemoryBudget / int64(stages)
-	if stageBudget < 1 {
-		stageBudget = 1
-	}
 	c := &compiler{
-		opts:        opts,
-		lambda:      ctx.Factory.Device().Lambda(),
-		blockSize:   ctx.Factory.BlockSize(),
-		stageBudget: stageBudget,
-		stats:       ctx.Stats,
+		opts:      opts,
+		lambda:    ctx.Factory.Device().Lambda(),
+		blockSize: ctx.Factory.BlockSize(),
+		stats:     ctx.Stats,
 	}
 	if !opts.DisableJoinReorder {
 		p = c.reorderJoins(p)
 	}
+	// Memory planning: price every blocking stage's cheapest
+	// implementation as a function of its share and split the plan
+	// budget by marginal benefit (the even split is the guaranteed
+	// no-worse fallback, and the forced baseline under EvenBudgetSplit).
+	demands := c.stageDemands(p)
+	alloc := Allocate(ctx.MemoryBudget, c.blockSize, pricersOf(demands, c.blockSize))
+	if opts.EvenBudgetSplit && len(demands) > 0 {
+		even := stageFloor(c.blockSize)
+		if s := ctx.MemoryBudget / int64(len(demands)); s > even {
+			even = s
+		}
+		shares := make([]int64, len(demands))
+		for i := range shares {
+			shares[i] = even
+		}
+		alloc = Allocation{Shares: shares, Cost: alloc.EvenCost, EvenCost: alloc.EvenCost, Even: true}
+	}
+	for i, d := range demands {
+		d.idx = i
+		d.share = alloc.Shares[i]
+	}
+	c.stages = demands
+	if !opts.EvenBudgetSplit {
+		c.bp = &budgetPlan{blockSize: c.blockSize, total: ctx.MemoryBudget, stages: demands}
+	}
 	root, _, err := c.build(p)
 	if err != nil {
 		return nil, nil, err
+	}
+	stages := len(demands)
+	if stages < 1 {
+		stages = 1
 	}
 	ex := &Explain{
 		Root:        root.Name(),
 		RecordSize:  root.RecordSize(),
 		Stages:      stages,
 		TotalBudget: ctx.MemoryBudget,
-		StageBudget: stageBudget,
+		StageShares: alloc.Shares,
+		EvenSplit:   alloc.Even,
+		PlanCost:    alloc.Cost,
+		EvenCost:    alloc.EvenCost,
 		Lambda:      c.lambda,
 		Reordered:   c.reordered,
 		Choices:     c.choices,
@@ -148,38 +206,34 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 	return root, ex, nil
 }
 
-// countLogicalStages counts the plan's blocking stages (order-by,
-// group-by, join), mirroring Ctx.init's walk over the physical tree.
-func countLogicalStages(p *Plan) int {
-	if p == nil {
-		return 0
-	}
-	n := countLogicalStages(p.left) + countLogicalStages(p.right)
-	switch p.kind {
-	case planOrderBy, planGroupBy, planJoin:
-		n++
-	}
-	return n
-}
-
 type compiler struct {
-	opts        CompileOptions
-	lambda      float64
-	blockSize   int
-	stageBudget int64
-	stats       stats.Provider
-	reordered   bool
-	choices     []*Choice
+	opts      CompileOptions
+	lambda    float64
+	blockSize int
+	stats     stats.Provider
+	stages    []*stageAlloc // allocated blocking stages, build's post-order
+	bp        *budgetPlan   // runtime re-split state (nil under EvenBudgetSplit)
+	next      int           // stages consumed by build so far
+	reordered bool
+	choices   []*Choice
 }
 
-// memBuffers is the per-stage memory budget in buffer units (m of the
-// cost model), floored at 2 like algo.Env.BudgetBuffers.
-func (c *compiler) memBuffers() float64 {
-	m := float64(c.stageBudget) / float64(c.blockSize)
-	if m < 2 {
-		m = 2
+// takeStage hands build the next blocking stage's allocation. The demand
+// walk mirrors build's traversal exactly, so the cursor stays aligned;
+// the fallback covers plans that error later in build anyway.
+func (c *compiler) takeStage() *stageAlloc {
+	if c.next >= len(c.stages) {
+		return &stageAlloc{share: stageFloor(c.blockSize)}
 	}
-	return m
+	s := c.stages[c.next]
+	c.next++
+	return s
+}
+
+// stageBuffers is a stage share in buffer units (m of the cost model),
+// floored at 2 like algo.Env.BudgetBuffers.
+func (c *compiler) stageBuffers(s *stageAlloc) float64 {
+	return allocBuffers(s.share, c.blockSize)
 }
 
 // buffers converts a (rows, recordSize) estimate to buffer units (t or v
@@ -207,13 +261,16 @@ func (c *compiler) breaker(op Operator) Operator {
 	return NewMaterialize(op)
 }
 
-// newChoice registers an Explain entry and returns it together with the
-// runtime-clamp handle handed to the blocking operator.
-func (c *compiler) newChoice(ch Choice) (*Choice, *runtimeChoice) {
+// newChoice registers an Explain entry for the given stage and returns
+// it together with the runtime-clamp handle handed to the blocking
+// operator.
+func (c *compiler) newChoice(ch Choice, s *stageAlloc) (*Choice, *runtimeChoice) {
 	ch.ActualRows = -1
+	ch.Share = s.share
 	p := &ch
+	s.choice = p
 	c.choices = append(c.choices, p)
-	return p, &runtimeChoice{choice: p, m: c.memBuffers(), lambda: c.lambda, blockSize: c.blockSize}
+	return p, &runtimeChoice{choice: p, m: c.stageBuffers(s), lambda: c.lambda, blockSize: c.blockSize, bp: c.bp, stage: s}
 }
 
 // build compiles the node and returns the operator plus its output
@@ -263,7 +320,8 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		if err != nil {
 			return nil, planEstimate{}, err
 		}
-		t, m := c.buffers(in.rows, child.RecordSize()), c.memBuffers()
+		st := c.takeStage()
+		t, m := c.buffers(in.rows, child.RecordSize()), c.stageBuffers(st)
 		a := p.sortA
 		ch := Choice{Operator: "OrderBy", InputRows: in.rows, Buffers: t, Pinned: a != nil}
 		if a == nil {
@@ -274,7 +332,7 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 			ch.Cost = prof.Price(1, c.lambda)
 		}
 		ch.Algorithm = a.Name()
-		_, rc := c.newChoice(ch)
+		_, rc := c.newChoice(ch, st)
 		op := NewOrderBy(child, a)
 		op.rc = rc
 		return c.breaker(op), in, nil
@@ -294,7 +352,8 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 			return nil, planEstimate{}, fmt.Errorf("exec: aggregate attribute a%d out of schema (0..%d)", p.attr, record.NumAttrs-1)
 		}
 		est, groups := c.groupEstimate(p, in)
-		t, m := c.buffers(in.rows, child.RecordSize()), c.memBuffers()
+		st := c.takeStage()
+		t, m := c.buffers(in.rows, child.RecordSize()), c.stageBuffers(st)
 		out := planEstimate{rows: groups}
 		ch := Choice{Operator: "GroupBy", InputRows: in.rows, Buffers: t, Pinned: p.sortA != nil}
 		if p.sortA != nil {
@@ -302,23 +361,24 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 			if prof, ok := pinnedSortProfile(p.sortA, t, m, c.lambda); ok {
 				ch.Cost = prof.Price(1, c.lambda)
 			}
-			_, rc := c.newChoice(ch)
+			_, rc := c.newChoice(ch, st)
 			op := NewGroupBy(child, p.attr, p.sortA)
 			op.rc = rc
 			return c.breaker(op), out, nil
 		}
 		// The hash table must fit the stage share with the paper's f
-		// expansion and headroom for estimate error. An estimate (hint or
+		// expansion and headroom for estimate error (hashAggCap, shared
+		// with the allocator's cost curve so the fit cliff the allocator
+		// priced is the one the compiler acts on). An estimate (hint or
 		// statistics) is required: without one the planner assumes every
 		// record is its own group and stays on the spill-safe sort path.
-		hashCap := int(float64(c.stageBudget) / (2 * algo.HashTableExpansion * float64(record.Size)))
-		if est > 0 && est <= hashCap {
+		if est > 0 && float64(est) <= hashAggCap(m*float64(c.blockSize)) {
 			ch.Algorithm = "HashAgg"
 			// The hash path reads the input once and writes only the
 			// result; an underestimate degrades to the sort-merge spill
 			// fallback rather than failing.
 			ch.Cost = cost.Profile{Reads: t, Writes: c.buffers(groups, record.Size)}.Price(1, c.lambda)
-			_, rc := c.newChoice(ch)
+			_, rc := c.newChoice(ch, st)
 			op := NewHashAggregate(child, p.attr)
 			op.rc = rc
 			return c.breaker(op), out, nil
@@ -326,7 +386,7 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		a, prof := ChooseSort(t, m, c.lambda)
 		ch.Algorithm = a.Name()
 		ch.Cost = prof.Price(1, c.lambda)
-		_, rc := c.newChoice(ch)
+		_, rc := c.newChoice(ch, st)
 		op := NewGroupBy(child, p.attr, a)
 		op.rc = rc
 		return c.breaker(op), out, nil
@@ -340,9 +400,10 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		if err != nil {
 			return nil, planEstimate{}, err
 		}
+		st := c.takeStage()
 		t := c.buffers(lest.rows, left.RecordSize())
 		v := c.buffers(rest.rows, right.RecordSize())
-		m := c.memBuffers()
+		m := c.stageBuffers(st)
 		out := c.joinEstimate(lest, rest)
 		// The cost profiles charge the paper's microbenchmark output
 		// (joinOutput: |V| single-record results), but the engine
@@ -363,7 +424,7 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 			ch.Cost = adjust(prof.Price(1, c.lambda))
 		}
 		ch.Algorithm = a.Name()
-		_, rc := c.newChoice(ch)
+		_, rc := c.newChoice(ch, st)
 		rc.outBuf = outBuf
 		op := NewJoin(left, right, a)
 		op.rc = rc
@@ -601,15 +662,48 @@ func pinnedJoinProfile(a joins.Algorithm, t, v, m, lambda float64) (cost.Profile
 // runtimeChoice carries the planner's pricing inputs into a blocking
 // operator so its Open can clamp the compile-time estimates against the
 // actual input cardinalities: actuals are recorded on the shared Explain
-// choice, and a non-pinned algorithm is re-chosen from the actual sizes —
-// the misestimate repair the fixed selectivities and hints cannot make at
-// compile time.
+// choice, the stage's memory share is re-split (commit propagates the
+// observed divergence to the unopened stages and water-fills the
+// remaining budget over them), and a non-pinned algorithm is re-chosen
+// from the actual sizes at the re-split share — the misestimate repair
+// the fixed selectivities and hints cannot make at compile time.
 type runtimeChoice struct {
 	choice    *Choice
 	m         float64
 	lambda    float64
 	blockSize int
-	outBuf    float64 // joins: estimated output buffers for cost adjustment
+	outBuf    float64     // joins: estimated output buffers for cost adjustment
+	bp        *budgetPlan // runtime re-split state (nil: fixed shares)
+	stage     *stageAlloc // this operator's allocation entry
+}
+
+// stageShare is the operator's current memory share in bytes; Ctx uses
+// it to size the stage environment. Zero when the operator was built
+// without the planner.
+func (rc *runtimeChoice) stageShare() int64 {
+	if rc == nil || rc.stage == nil {
+		return 0
+	}
+	return rc.stage.share
+}
+
+// commit records the actual input sizes with the budget plan, re-splits
+// the unopened stages' shares and updates this choice's m accordingly.
+func (rc *runtimeChoice) commit(t, v float64, rows int) {
+	if rc.bp == nil || rc.stage == nil {
+		return
+	}
+	rc.m = rc.bp.commit(rc.stage.idx, t, v, rows)
+	rc.choice.Share = rc.stage.share
+}
+
+// freeze marks the stage opened at its current share without re-pricing
+// (used by operators that learn their input size only after running).
+func (rc *runtimeChoice) freeze() {
+	if rc == nil || rc.bp == nil || rc.stage == nil {
+		return
+	}
+	rc.bp.commit(rc.stage.idx, 0, 0, 0)
 }
 
 func (rc *runtimeChoice) buffers(rows, recSize int) float64 {
@@ -630,6 +724,7 @@ func (rc *runtimeChoice) clampSort(rows, recSize int, cur sorts.Algorithm) sorts
 	}
 	rc.choice.ActualRows = rows
 	t := rc.buffers(rows, recSize)
+	rc.commit(t, 0, rows)
 	if rc.choice.Pinned {
 		if prof, ok := pinnedSortProfile(cur, t, rc.m, rc.lambda); ok {
 			rc.choice.Cost = prof.Price(1, rc.lambda)
@@ -655,6 +750,7 @@ func (rc *runtimeChoice) clampJoin(lrows, lrec, rrows, rrec int, cur joins.Algor
 	}
 	rc.choice.ActualRows = lrows
 	t, v := rc.buffers(lrows, lrec), rc.buffers(rrows, rrec)
+	rc.commit(t, v, lrows)
 	adjust := func(price float64) float64 { return price + rc.lambda*(rc.outBuf-v) }
 	if rc.choice.Pinned {
 		if prof, ok := pinnedJoinProfile(cur, t, v, rc.m, rc.lambda); ok {
@@ -674,91 +770,43 @@ func (rc *runtimeChoice) clampJoin(lrows, lrec, rrows, rrec int, cur joins.Algor
 
 // ChooseSort returns the cost-model-optimal sort for t input buffers
 // with m buffers of stage memory at write/read ratio λ, along with its
-// predicted I/O profile. Candidates are the shipped implementations'
-// profiles: ExMS, SelS, LaS, and SegS/HybS with their intensity knob
-// placed by solver-seeded grid search.
+// predicted I/O profile. The pricing lives in cost.BestSortPlan — the
+// same function the budget allocator water-fills over — so the
+// instantiated algorithm and the allocator's curves can never disagree.
 func ChooseSort(t, m, lambda float64) (sorts.Algorithm, cost.Profile) {
-	var (
-		best     sorts.Algorithm
-		bestProf cost.Profile
-		bestCost = math.Inf(1)
-	)
-	consider := func(a sorts.Algorithm, p cost.Profile) {
-		if c := p.Price(1, lambda); c < bestCost {
-			best, bestProf, bestCost = a, p, c
-		}
+	p := cost.BestSortPlan(t, m, lambda)
+	switch p.Algo {
+	case cost.SortSelS:
+		return sorts.NewSelectionSort(), p.Profile
+	case cost.SortLaS:
+		return sorts.NewLazySort(), p.Profile
+	case cost.SortSegS:
+		return sorts.NewSegmentSort(p.Intensity), p.Profile
+	case cost.SortHybS:
+		return sorts.NewHybridSort(p.Intensity), p.Profile
+	default:
+		return sorts.NewExternalMergeSort(), p.Profile
 	}
-	consider(sorts.NewExternalMergeSort(), cost.ExMSProfile(t, m))
-	consider(sorts.NewSelectionSort(), cost.SelSProfile(t, m))
-	consider(sorts.NewLazySort(), cost.LaSProfile(t, m, lambda))
-	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegSProfile(x, t, m) },
-		cost.SegmentSortOptimalX(t, m, lambda))
-	consider(sorts.NewSegmentSort(xSeg), cost.SegSProfile(xSeg, t, m))
-	xHyb := bestKnob(lambda, func(x float64) cost.Profile { return cost.HybSProfile(x, t, m) })
-	consider(sorts.NewHybridSort(xHyb), cost.HybSProfile(xHyb, t, m))
-	return best, bestProf
 }
 
 // ChooseJoin returns the cost-model-optimal equi-join for t build-side
 // and v probe-side buffers with m buffers of stage memory at ratio λ,
-// along with its predicted I/O profile. Candidates: NLJ, GJ, HJ, LaJ,
-// and HybJ/SegJ with knobs placed by saddle-seeded grid search.
+// along with its predicted I/O profile. Pricing delegates to
+// cost.BestJoinPlan, ChooseSort-style.
 func ChooseJoin(t, v, m, lambda float64) (joins.Algorithm, cost.Profile) {
-	var (
-		best     joins.Algorithm
-		bestProf cost.Profile
-		bestCost = math.Inf(1)
-	)
-	consider := func(a joins.Algorithm, p cost.Profile) {
-		if c := p.Price(1, lambda); c < bestCost {
-			best, bestProf, bestCost = a, p, c
-		}
+	p := cost.BestJoinPlan(t, v, m, lambda)
+	switch p.Algo {
+	case cost.JoinGJ:
+		return joins.NewGrace(), p.Profile
+	case cost.JoinHJ:
+		return joins.NewHash(), p.Profile
+	case cost.JoinLaJ:
+		return joins.NewLazyHash(), p.Profile
+	case cost.JoinHybJ:
+		return joins.NewHybridGraceNL(p.X, p.Y), p.Profile
+	case cost.JoinSegJ:
+		return joins.NewSegmentedGrace(p.X), p.Profile
+	default:
+		return joins.NewNestedLoops(), p.Profile
 	}
-	consider(joins.NewNestedLoops(), cost.NLJProfile(t, v, m))
-	consider(joins.NewGrace(), cost.GJProfile(t, v))
-	consider(joins.NewHash(), cost.HJProfile(t, v, m))
-	consider(joins.NewLazyHash(), cost.LaJProfile(t, v, m, lambda))
-	sx, sy := cost.HybridJoinSaddle(t, v, m, lambda)
-	bx, by, bp := 0.0, 0.0, cost.HybJProfile(0, 0, t, v, m)
-	bc := bp.Price(1, lambda)
-	tryXY := func(x, y float64) {
-		if x < 0 || x > 1 || y < 0 || y > 1 {
-			return
-		}
-		p := cost.HybJProfile(x, y, t, v, m)
-		if c := p.Price(1, lambda); c < bc {
-			bx, by, bp, bc = x, y, p, c
-		}
-	}
-	for xi := 0; xi <= 4; xi++ {
-		for yi := 0; yi <= 4; yi++ {
-			tryXY(float64(xi)*0.25, float64(yi)*0.25)
-		}
-	}
-	tryXY(sx, sy)
-	consider(joins.NewHybridGraceNL(bx, by), bp)
-	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegJProfile(x, t, v, m) })
-	consider(joins.NewSegmentedGrace(xSeg), cost.SegJProfile(xSeg, t, v, m))
-	return best, bestProf
-}
-
-// bestKnob grid-searches x ∈ [0, 1] (step 0.05) plus any analytic seeds
-// for the cheapest profile price.
-func bestKnob(lambda float64, f func(x float64) cost.Profile, seeds ...float64) float64 {
-	bestX, bestC := 0.0, math.Inf(1)
-	try := func(x float64) {
-		if x < 0 || x > 1 {
-			return
-		}
-		if c := f(x).Price(1, lambda); c < bestC {
-			bestX, bestC = x, c
-		}
-	}
-	for i := 0; i <= 20; i++ {
-		try(float64(i) * 0.05)
-	}
-	for _, s := range seeds {
-		try(s)
-	}
-	return bestX
 }

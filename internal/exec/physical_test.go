@@ -33,10 +33,10 @@ func sortCandidates(t, m, lambda float64) map[string]cost.Profile {
 		sorts.NewSelectionSort().Name():     cost.SelSProfile(t, m),
 		sorts.NewLazySort().Name():          cost.LaSProfile(t, m, lambda),
 	}
-	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegSProfile(x, t, m) },
+	xSeg := cost.BestKnob(lambda, func(x float64) cost.Profile { return cost.SegSProfile(x, t, m) },
 		cost.SegmentSortOptimalX(t, m, lambda))
 	c[sorts.NewSegmentSort(xSeg).Name()] = cost.SegSProfile(xSeg, t, m)
-	xHyb := bestKnob(lambda, func(x float64) cost.Profile { return cost.HybSProfile(x, t, m) })
+	xHyb := cost.BestKnob(lambda, func(x float64) cost.Profile { return cost.HybSProfile(x, t, m) })
 	c[sorts.NewHybridSort(xHyb).Name()] = cost.HybSProfile(xHyb, t, m)
 	return c
 }
@@ -87,7 +87,7 @@ func joinCandidates(t, v, m, lambda float64) map[string]cost.Profile {
 		try(sx, sy)
 	}
 	c[joins.NewHybridGraceNL(bx, by).Name()] = cost.HybJProfile(bx, by, t, v, m)
-	xSeg := bestKnob(lambda, func(x float64) cost.Profile { return cost.SegJProfile(x, t, v, m) })
+	xSeg := cost.BestKnob(lambda, func(x float64) cost.Profile { return cost.SegJProfile(x, t, v, m) })
 	c[joins.NewSegmentedGrace(xSeg).Name()] = cost.SegJProfile(xSeg, t, v, m)
 	return c
 }
@@ -157,20 +157,32 @@ func TestCompileConsultsCostModel(t *testing.T) {
 	}
 	lambda := r.fac.Device().Lambda()
 	bs := float64(r.fac.BlockSize())
-	stage := float64(testBudget / 2) // two blocking stages
-	m := stage / bs
-	if m < 2 {
-		m = 2
+	// Each choice is priced at the budget allocator's share for its
+	// stage, surfaced both on the choice and in StageShares.
+	if len(ex.StageShares) != 2 {
+		t.Fatalf("stage shares %v, want 2 entries", ex.StageShares)
+	}
+	mOf := func(share int64) float64 {
+		m := float64(share) / bs
+		if m < 2 {
+			m = 2
+		}
+		return m
+	}
+	for i, c := range ex.Choices {
+		if c.Share != ex.StageShares[i] {
+			t.Errorf("choice %d share %d, want stage share %d", i, c.Share, ex.StageShares[i])
+		}
 	}
 	tJoin := math.Ceil(float64(testDim) * record.Size / bs)
 	vJoin := math.Ceil(float64(testFact) * record.Size / bs)
-	wantJoin, _ := ChooseJoin(tJoin, vJoin, m, lambda)
+	wantJoin, _ := ChooseJoin(tJoin, vJoin, mOf(ex.Choices[0].Share), lambda)
 	if ex.Choices[0].Algorithm != wantJoin.Name() {
 		t.Errorf("join choice %s, want %s", ex.Choices[0].Algorithm, wantJoin.Name())
 	}
 	// Order-by input: the join output estimate (|V| rows of 160 B).
 	tSort := math.Ceil(float64(testFact) * 2 * record.Size / bs)
-	wantSort, _ := ChooseSort(tSort, m, lambda)
+	wantSort, _ := ChooseSort(tSort, mOf(ex.Choices[1].Share), lambda)
 	if ex.Choices[1].Algorithm != wantSort.Name() {
 		t.Errorf("orderby choice %s, want %s", ex.Choices[1].Algorithm, wantSort.Name())
 	}

@@ -153,6 +153,36 @@ func (q *Query) compile(memoryBudget int64, opts exec.CompileOptions) (exec.Oper
 	return root, ex, ec, nil
 }
 
+// bidCandidates prices the plan at descending fractions of the session
+// budget (full, 1/2, 1/4, 1/8) with the planner's budget allocator and
+// returns the candidates whose predicted cost stays within slack × the
+// full-budget prediction, descending — the bid handed to
+// broker.AcquireBest. Pricing walks cardinality estimates only; no
+// operators are built. On any pricing failure the full budget alone is
+// returned and admission degrades to the fixed grant.
+func (q *Query) bidCandidates(full int64, slack float64) []int64 {
+	fracs := []int64{full, full / 2, full / 4, full / 8}
+	budgets := fracs[:1]
+	for _, b := range fracs[1:] {
+		if b > 0 {
+			budgets = append(budgets, b)
+		}
+	}
+	ec := exec.NewCtx(q.sys.fac, full, q.sys.par)
+	ec.Stats = q.sys.stats
+	costs, err := exec.PlanCosts(ec, q.plan, budgets)
+	if err != nil {
+		return []int64{full}
+	}
+	cands := []int64{full}
+	for i := 1; i < len(budgets); i++ {
+		if costs[i] <= slack*costs[0] {
+			cands = append(cands, budgets[i])
+		}
+	}
+	return cands
+}
+
 // runInto compiles the plan at the given budget and executes it under
 // ctx, appending the result to out (blocking roots emit directly). The
 // grant, when non-nil, is released on return.
@@ -178,7 +208,7 @@ func (q *Query) RunCtx(ctx context.Context, out Collection) (*QueryExplain, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	g, err := q.sess.acquire(ctx)
+	g, err := q.sess.acquireFor(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -224,7 +254,7 @@ func (q *Query) RunMaterializedCtx(ctx context.Context, out Collection) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	g, err := q.sess.acquire(ctx)
+	g, err := q.sess.acquireFor(ctx, q)
 	if err != nil {
 		return err
 	}

@@ -41,8 +41,11 @@
 // is planned, queries stream through cancellable cursors, and grants are
 // released on cursor Close or context cancellation — so any number of
 // concurrent sessions share one System without oversubscribing its DRAM
-// budget. See the README's "Concurrent use" section and
-// examples/concurrent.
+// budget. The planner splits each grant across the plan's blocking
+// stages by marginal benefit (the stage whose cost curve bends most gets
+// the memory), and sessions can bid for right-sized grants instead of
+// fixed ones (WithGrantBidding). See the README's "Memory planning" and
+// "Concurrent use" sections and examples/concurrent.
 //
 //	sess := sys.Session(wlpm.WithSessionBudget(16 << 20))
 //	rows, err := sess.Query(dim).Join(sess.Query(fact)).GroupBy(3).Rows(ctx)
