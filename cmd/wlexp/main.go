@@ -33,6 +33,8 @@ func main() {
 		wrLat    = flag.Duration("write-latency", 150*time.Nanosecond, "device write latency per cacheline")
 		memList  = flag.String("mem", "", "comma-separated memory fractions overriding each experiment's sweep (e.g. 0.05,0.10)")
 		par      = flag.Int("p", 0, "operator worker parallelism (0/1 = serial; the scaling experiment sweeps its own)")
+		batch    = flag.Int("batch", 0, "operator batch size for the engine experiments (0 = engine default 1024; 1 = record-at-a-time)")
+		batchOut = flag.String("batch-json", "BENCH_batch.json", "path where the batch experiment writes its JSON result (empty = don't write)")
 		sessions = flag.Int("sessions", 0, "K concurrent sessions for the concurrency experiment (0 = its default of 4)")
 		spin     = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
 		budget   = flag.Bool("budget", false, "shorthand for -run budget: even vs cost-driven stage shares vs grant bidding")
@@ -54,6 +56,9 @@ func main() {
 	if *sessions < 0 {
 		cliutil.Usage(cmd, "-sessions must be non-negative, got %d", *sessions)
 	}
+	if *batch < 0 {
+		cliutil.Usage(cmd, "-batch must be non-negative, got %d", *batch)
+	}
 
 	cfg := bench.Config{
 		Scale:        *scale,
@@ -62,6 +67,8 @@ func main() {
 		ReadLatency:  *rdLat,
 		WriteLatency: *wrLat,
 		Parallelism:  *par,
+		BatchSize:    *batch,
+		BatchJSON:    *batchOut,
 		Sessions:     *sessions,
 		Spin:         *spin,
 		Verbose:      *verbose,

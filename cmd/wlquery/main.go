@@ -78,6 +78,7 @@ func main() {
 		rdLat       = flag.Duration("read-latency", 10*time.Nanosecond, "read latency per cacheline")
 		wrLat       = flag.Duration("write-latency", 150*time.Nanosecond, "write latency per cacheline")
 		par         = flag.Int("p", 1, "worker parallelism (1 = serial)")
+		batch       = flag.Int("batch", 0, "operator batch size (0 = engine default 1024; 1 = record-at-a-time)")
 		timeout     = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit); Ctrl-C cancels either way")
 		bid         = flag.Float64("bid", 0, "grant bidding: accept a smaller memory grant when its predicted cost is within this factor of the full grant's (≥ 1; 0 = fixed grant)")
 		stat        = flag.Bool("stats", true, "collect column statistics (ANALYZE) before planning; -stats=false plans from textbook defaults")
@@ -106,6 +107,9 @@ func main() {
 	}
 	if *bid != 0 && *bid < 1 {
 		cliutil.Usage(cmd, "-bid must be ≥ 1 (or 0 to disable), got %v", *bid)
+	}
+	if *batch < 0 {
+		cliutil.Usage(cmd, "-batch must be non-negative, got %d", *batch)
 	}
 
 	// The run's cancellation context: Ctrl-C cancels, -timeout deadlines.
@@ -148,6 +152,7 @@ func main() {
 		wlpm.WithBlockSize(*block),
 		wlpm.WithLatencies(*rdLat, *wrLat),
 		wlpm.WithParallelism(*par),
+		wlpm.WithBatchSize(*batch),
 		wlpm.WithAutoCollect(*stat),
 		wlpm.WithMemoryBudget(2*budget),
 	)

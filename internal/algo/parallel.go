@@ -78,6 +78,27 @@ func RunWorkers(w int, fn func(worker int) error) error {
 	return nil
 }
 
+// RunWorkers is the package function plus device worker registration:
+// each worker is bracketed by the environment's device overlap clock
+// (pmem EnterWorker/LeaveWorker), so the simulated response time of the
+// phase reflects w partition accesses in flight at once instead of
+// summing them serially. w ≤ 1 is the package function unchanged — the
+// serial clock and the overlap clock advance identically.
+func (e *Env) RunWorkers(w int, fn func(worker int) error) error {
+	if w <= 1 || e.Factory == nil {
+		return RunWorkers(w, fn)
+	}
+	dev := e.Factory.Device()
+	if dev == nil {
+		return RunWorkers(w, fn)
+	}
+	return RunWorkers(w, func(worker int) error {
+		dev.EnterWorker()
+		defer dev.LeaveWorker()
+		return fn(worker)
+	})
+}
+
 // Turnstile serializes one ordered section across w concurrent workers:
 // worker i's Wait(i) returns only after workers 0..i-1 have called
 // Done. Operators use it to emit into a shared output collection in task

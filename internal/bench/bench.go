@@ -50,6 +50,15 @@ type Config struct {
 	// Sessions is K, the number of concurrent sessions of the concurrency
 	// experiment (default 4).
 	Sessions int
+	// BatchSize is the operator batch size of the exec-engine experiments
+	// (pipeline, concurrency, budget, batch). 0 keeps the engine default
+	// (1024); 1 is record-at-a-time execution. Output bytes and simulated
+	// cacheline writes are identical at every setting.
+	BatchSize int
+	// BatchJSON, when non-empty, is the path where the batch experiment
+	// writes its machine-readable result (BENCH_batch.json). Other
+	// experiments ignore it.
+	BatchJSON string
 	// Spin injects device latencies as real (overlappable) delays instead
 	// of only accounting them, like the paper's idle-loop
 	// instrumentation. The scaling experiment forces it on: overlapping
@@ -109,11 +118,12 @@ func scaled(n int, s float64) int {
 type Metrics struct {
 	Reads    uint64        // cachelines
 	Writes   uint64        // cachelines
-	SimIO    time.Duration // device latencies (reads·r + writes·w)
+	SimIO    time.Duration // device latencies, summed serially (reads·r + writes·w)
+	SimIOOvl time.Duration // device latencies on the overlap clock (≤ SimIO; equal when serial)
 	Soft     time.Duration // modelled filesystem software overhead
-	CPU      time.Duration // modelled native CPU: (reads+writes)·CPUPerLine
+	CPU      time.Duration // modelled native CPU: (reads+writes)·CPUPerLine, overlap-scaled
 	Wall     time.Duration // actual Go wall time (not in Response)
-	Response time.Duration // SimIO + Soft + CPU, the reported figure
+	Response time.Duration // SimIOOvl + Soft + CPU, the reported figure
 }
 
 func (m Metrics) String() string {
@@ -169,6 +179,7 @@ var registry = map[string]Runner{
 	"pipeline":    Pipeline,
 	"concurrency": Concurrency,
 	"budget":      Budget,
+	"batch":       BatchExec,
 }
 
 // Experiments lists the registered experiment ids in presentation order.

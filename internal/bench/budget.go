@@ -127,7 +127,7 @@ func measureBudgetSplit(cfg Config, nDim, nFact int, budget int64, even bool) (M
 	if err != nil {
 		return Metrics{}, 0, err
 	}
-	ctx := exec.NewCtx(r.fac, budget, cfg.Parallelism)
+	ctx := cfg.newExecCtx(r.fac, budget)
 	root, ex, err := exec.CompileWith(ctx, plan(), exec.CompileOptions{EvenBudgetSplit: even})
 	if err != nil {
 		return Metrics{}, 0, err
@@ -191,7 +191,7 @@ func measureBudgetContention(cfg Config, nDim, nFact int, perQuery int64, bid bo
 		}
 		waits[i] = time.Since(t0)
 		defer g.Release()
-		ec := exec.NewCtx(r.fac, g.Bytes(), cfg.Parallelism)
+		ec := cfg.newExecCtx(r.fac, g.Bytes())
 		root, _, err := exec.Compile(ec, plan())
 		if err != nil {
 			return err

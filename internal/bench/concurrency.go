@@ -91,6 +91,7 @@ func Concurrency(cfg Config) ([]*Report, error) {
 // sessionsMetrics is one runSessions measurement.
 type sessionsMetrics struct {
 	wall             time.Duration
+	readsPerQuery    uint64
 	writesPerQuery   uint64
 	highWater, total int64
 }
@@ -141,7 +142,7 @@ func runSessions(cfg Config, nDim, nFact int, perQuery int64, k, admit int) (ses
 		plan := exec.Table(dim1).Join(exec.Table(fact))
 		plan = exec.Table(dim2).Join(plan)
 		plan = plan.Project(0, 1, 12, 13, 23, 24, 5, 16, 27, 8).GroupBy(3).OrderBy()
-		ec := exec.NewCtx(r.fac, g.Bytes(), cfg.Parallelism)
+		ec := cfg.newExecCtx(r.fac, g.Bytes())
 		root, _, err := exec.Compile(ec, plan)
 		if err != nil {
 			return err
@@ -178,6 +179,7 @@ func runSessions(cfg Config, nDim, nFact int, perQuery int64, k, admit int) (ses
 	st := r.dev.Stats()
 	return sessionsMetrics{
 		wall:           wall,
+		readsPerQuery:  st.Reads / uint64(k),
 		writesPerQuery: st.Writes / uint64(k),
 		highWater:      b.HighWater(),
 		total:          b.Total(),

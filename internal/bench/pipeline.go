@@ -127,7 +127,7 @@ func measurePipeline(cfg Config, nDim, nFact int, memFrac float64, materialize, 
 	if budget < int64(record.Size) {
 		budget = record.Size
 	}
-	ctx := exec.NewCtx(r.fac, budget, cfg.Parallelism)
+	ctx := cfg.newExecCtx(r.fac, budget)
 	if useStats {
 		cache := stats.NewCache(false)
 		if _, err := cache.Collect(dim1); err != nil {

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"context"
+	"io"
+
+	"wlpm/internal/storage"
+)
+
+// DefaultBatchSize is the records-per-Next window operators use when the
+// context does not set one. ~1K records keeps the per-batch costs
+// (virtual dispatch, context polls, selection branches) three orders of
+// magnitude below the per-record work while the window of an 80-byte
+// schema still fits comfortably in L2.
+const DefaultBatchSize = 1024
+
+// Batch is the unit of exchange of the vectorized Operator contract: a
+// window of up to Ctx.BatchSize records in stream order. Batches are
+// never empty — an exhausted stream returns io.EOF instead.
+//
+// Ownership: the producing operator owns the batch. Recs and the bytes
+// they point into are only valid until the producer's next Next or Close
+// call; consumers copy what they retain. Streaming operators are allowed
+// to alias their child's batch (Filter and Limit return selection views
+// into the child's records), so the window a consumer holds may reach
+// all the way down to a scan's block buffer — the rule is the same
+// either way: one live batch per operator, invalidated by the next pull.
+type Batch struct {
+	// Recs holds the record views of the batch, in stream order.
+	Recs [][]byte
+
+	views [][]byte // capacity-strided views over buf for owned batches
+	buf   []byte
+}
+
+// Len is the number of records in the batch.
+func (b *Batch) Len() int { return len(b.Recs) }
+
+// newBatch returns an owned batch backed by its own buffer, holding up
+// to n records of recSize bytes.
+func newBatch(recSize, n int) *Batch {
+	if n < 1 {
+		n = 1
+	}
+	b := &Batch{buf: make([]byte, recSize*n), views: make([][]byte, n)}
+	for i := range b.views {
+		b.views[i] = b.buf[i*recSize : (i+1)*recSize]
+	}
+	return b
+}
+
+// limitHinted is the optional operator extension behind Limit: the hint
+// promises that at most n more records will be consumed from the
+// operator, so hinted producers stop fetching input past the n-th record
+// and the engine's simulated reads match the record-at-a-time engine,
+// which stops pulling lazily. Operators whose output maps 1:1 onto a
+// source (Scan, Project, the blocking operators' materialized results)
+// propagate the hint; Filter re-hints its child before every pull with
+// the records still needed, which bounds — but cannot byte-exactly
+// match — the lazy engine's read-ahead.
+type limitHinted interface {
+	limitHint(n int)
+}
+
+// hintLimit forwards a limit hint to op if it accepts one.
+func hintLimit(op Operator, n int) {
+	if h, ok := op.(limitHinted); ok {
+		h.limitHint(n)
+	}
+}
+
+// batchScanner adapts a storage iterator to batch-valued pulls: the
+// shared Next implementation of every operator that streams a
+// materialized collection (Scan, Materialize, OrderBy, GroupBy, Join,
+// the spilled HashAggregate). When the iterator supports chunked reads
+// the batch aliases the iterator's block buffer — zero per-record
+// copies; otherwise records are copied into an owned batch.
+type batchScanner struct {
+	it        storage.Iterator
+	ch        storage.ChunkIterator // non-nil: zero-copy fast path
+	view      Batch                 // wraps chunked views
+	owned     *Batch                // lazily allocated copying fallback
+	recSize   int
+	size      int // max records per batch
+	remaining int // records still wanted under a limit hint; -1 unbounded
+}
+
+func newBatchScanner(it storage.Iterator, recSize, batchSize int) *batchScanner {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	s := &batchScanner{it: it, recSize: recSize, size: batchSize, remaining: -1}
+	if ch, ok := it.(storage.ChunkIterator); ok {
+		s.ch = ch
+	}
+	return s
+}
+
+// limit caps the scanner at n more records from now; the cap replaces
+// any earlier one (parents re-hint as their own demand shrinks).
+func (s *batchScanner) limit(n int) {
+	if n >= 0 {
+		s.remaining = n
+	}
+}
+
+func (s *batchScanner) next() (*Batch, error) {
+	if s.it == nil || s.remaining == 0 {
+		return nil, io.EOF
+	}
+	max := s.size
+	if s.remaining > 0 && s.remaining < max {
+		max = s.remaining
+	}
+	if s.ch != nil {
+		recs, err := s.ch.NextChunk(max)
+		if err != nil {
+			return nil, err
+		}
+		if s.remaining > 0 {
+			s.remaining -= len(recs)
+		}
+		s.view.Recs = recs
+		return &s.view, nil
+	}
+	if s.owned == nil {
+		s.owned = newBatch(s.recSize, s.size)
+	}
+	n := 0
+	for n < max {
+		rec, err := s.it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		copy(s.owned.views[n], rec)
+		n++
+	}
+	if n == 0 {
+		return nil, io.EOF
+	}
+	if s.remaining > 0 {
+		s.remaining -= n
+	}
+	s.owned.Recs = s.owned.views[:n]
+	return s.owned, nil
+}
+
+// Close closes the underlying iterator; further pulls return io.EOF.
+func (s *batchScanner) Close() error {
+	if s.it == nil {
+		return nil
+	}
+	it := s.it
+	s.it, s.ch = nil, nil
+	return it.Close()
+}
+
+// Cursor adapts the batch contract back to record-at-a-time pulls: the
+// compatibility shim for record-level consumers (the façade's Rows
+// cursor, and any caller migrating from the pre-batch Operator
+// interface). The record returned by Next is owned by the operator's
+// current batch and only valid until the following call.
+type Cursor struct {
+	op Operator
+	b  *Batch
+	i  int
+}
+
+// NewCursor wraps an opened operator in a record-level cursor.
+func NewCursor(op Operator) *Cursor { return &Cursor{op: op} }
+
+// Next returns the next record, io.EOF at the end of the stream, or the
+// context's error once ctx is cancelled.
+func (c *Cursor) Next(ctx context.Context) ([]byte, error) {
+	for c.b == nil || c.i >= c.b.Len() {
+		b, err := c.op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.b, c.i = b, 0
+	}
+	rec := c.b.Recs[c.i]
+	c.i++
+	return rec, nil
+}

@@ -30,11 +30,15 @@ import (
 	"wlpm/internal/storage"
 )
 
-// Operator is one node of a physical plan: a pull-based record stream in
-// the Volcano style. The slice returned by Next is only valid until the
-// following call; callers must copy to retain. Operators are
-// single-owner and not safe for concurrent use — parallelism lives
-// inside the blocking operators' algorithms, not between operators.
+// Operator is one node of a physical plan: a pull-based stream of
+// record batches in the vectorized Volcano style. Each Next returns a
+// non-empty window of up to Ctx.BatchSize records, amortizing virtual
+// dispatch, context polls and predicate branches over the whole window;
+// the batch (and every record view in it) is only valid until the
+// operator's following Next or Close — see Batch for the ownership
+// rules. Operators are single-owner and not safe for concurrent use —
+// parallelism lives inside the blocking operators' algorithms, not
+// between operators. Record-level consumers pull through a Cursor.
 //
 // Both Open and Next take the run's cancellation context: blocking
 // operators hand it (through their stage environments) to the sort and
@@ -52,9 +56,10 @@ type Operator interface {
 	// Open prepares the stream. Blocking operators do their work here,
 	// honouring ctx cancellation.
 	Open(ctx context.Context, ec *Ctx) error
-	// Next returns the next record, or io.EOF when exhausted, or the
-	// context's error once ctx is cancelled.
-	Next(ctx context.Context) ([]byte, error)
+	// Next returns the next batch of records, or io.EOF when exhausted,
+	// or the context's error once ctx is cancelled. Batches are never
+	// empty and never exceed Ctx.BatchSize records.
+	Next(ctx context.Context) (*Batch, error)
 	// Close releases resources (temporaries, iterators) and closes the
 	// children. Close is idempotent.
 	Close() error
@@ -90,6 +95,11 @@ type Ctx struct {
 	Factory      storage.Factory
 	MemoryBudget int64
 	Parallelism  int
+	// BatchSize is the records-per-batch window of the run's operators;
+	// 0 means DefaultBatchSize. 1 degenerates to record-at-a-time
+	// execution — same output, same simulated device traffic, none of
+	// the amortization.
+	BatchSize int
 	// Stats supplies per-table column statistics to the physical planner
 	// (selectivities, group counts, join cardinalities, join ordering).
 	// Nil planning falls back to the textbook defaults.
@@ -115,7 +125,18 @@ func (c *Ctx) validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("exec: parallelism must be non-negative, got %d", c.Parallelism)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("exec: batch size must be non-negative, got %d", c.BatchSize)
+	}
 	return nil
+}
+
+// batchSize resolves the run's records-per-batch window.
+func (c *Ctx) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
 }
 
 // init counts the blocking stages of the tree rooted at op so StageEnv
@@ -275,27 +296,24 @@ func RunCtx(ctx context.Context, ec *Ctx, root Operator, out storage.Collection)
 	return out.Close()
 }
 
-// drain pulls op until EOF, feeding each record to emit and polling ctx
-// between batches of records.
+// drain pulls op until EOF, feeding each record of each batch to emit
+// and polling ctx once per batch.
 func drain(ctx context.Context, op Operator, emit func(rec []byte) error) error {
-	n := 0
 	for {
-		n++
-		if n >= algo.PollInterval {
-			n = 0
-			if err := ctx.Err(); err != nil {
-				return err
-			}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		rec, err := op.Next(ctx)
+		b, err := op.Next(ctx)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
-		if err := emit(rec); err != nil {
-			return err
+		for _, rec := range b.Recs {
+			if err := emit(rec); err != nil {
+				return err
+			}
 		}
 	}
 }

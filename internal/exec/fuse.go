@@ -29,7 +29,7 @@ func fuseView(op Operator) (storage.Collection, bool, error) {
 		if !ok || err != nil {
 			return nil, ok, err
 		}
-		v := &filterView{base: base, pred: o.pred}
+		v := &filterView{base: base, pred: o.pred, match: o.pred.matcher()}
 		n, err := v.count()
 		if err != nil {
 			return nil, false, err
@@ -99,11 +99,14 @@ func (it *projectIterator) Close() error { return it.it.Close() }
 
 // filterView is the fused form of Filter. Length is counted once at
 // construction; positional scans re-read the base from the start and
-// discard the skipped prefix (reads, never writes).
+// discard the skipped prefix (reads, never writes). The predicate's
+// comparison switch is specialized once (see Predicate.matcher), so the
+// per-record work of every scan is one load and one compare.
 type filterView struct {
-	base storage.Collection
-	pred Predicate
-	n    int
+	base  storage.Collection
+	pred  Predicate
+	match func(rec []byte) bool
+	n     int
 }
 
 func (v *filterView) Append([]byte) error { return readOnly("append", v.Name()) }
@@ -129,7 +132,7 @@ func (v *filterView) count() (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if v.pred.Eval(rec) {
+		if v.match(rec) {
 			n++
 		}
 	}
@@ -138,13 +141,13 @@ func (v *filterView) count() (int, error) {
 func (v *filterView) Scan() storage.Iterator { return v.ScanFrom(0) }
 
 func (v *filterView) ScanFrom(start int) storage.Iterator {
-	return &filterIterator{it: v.base.Scan(), pred: v.pred, skip: start}
+	return &filterIterator{it: v.base.Scan(), match: v.match, skip: start}
 }
 
 type filterIterator struct {
-	it   storage.Iterator
-	pred Predicate
-	skip int
+	it    storage.Iterator
+	match func(rec []byte) bool
+	skip  int
 }
 
 func (it *filterIterator) Next() ([]byte, error) {
@@ -153,7 +156,7 @@ func (it *filterIterator) Next() ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		if !it.pred.Eval(rec) {
+		if !it.match(rec) {
 			continue
 		}
 		if it.skip > 0 {

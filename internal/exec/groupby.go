@@ -26,7 +26,7 @@ type GroupBy struct {
 	algo    sorts.Algorithm
 	rc      *runtimeChoice // planner handle: Open-time estimate clamping
 	grouped storage.Collection
-	it      storage.Iterator
+	sc      *batchScanner
 }
 
 // NewGroupBy returns a sort-based group-by over child aggregating attr.
@@ -72,7 +72,7 @@ func (g *GroupBy) Open(ctx context.Context, ec *Ctx) error {
 		return err
 	}
 	g.grouped = tmp
-	g.it = tmp.Scan()
+	g.sc = newBatchScanner(tmp.Scan(), record.Size, ec.batchSize())
 	return nil
 }
 
@@ -80,18 +80,26 @@ func (g *GroupBy) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) e
 	return g.groupInto(ctx, ec, out)
 }
 
-func (g *GroupBy) Next(context.Context) ([]byte, error) {
-	if g.it == nil {
+func (g *GroupBy) Next(context.Context) (*Batch, error) {
+	if g.sc == nil {
 		return nil, io.EOF
 	}
-	return g.it.Next()
+	return g.sc.next()
+}
+
+// limitHint caps the reads of the grouped result; the aggregation ran
+// in full at Open, exactly like the record engine.
+func (g *GroupBy) limitHint(n int) {
+	if g.sc != nil {
+		g.sc.limit(n)
+	}
 }
 
 func (g *GroupBy) Close() error {
 	var first error
-	if g.it != nil {
-		first = g.it.Close()
-		g.it = nil
+	if g.sc != nil {
+		first = g.sc.Close()
+		g.sc = nil
 	}
 	if g.grouped != nil {
 		if err := g.grouped.Destroy(); err != nil && first == nil {
@@ -125,12 +133,12 @@ type HashAggregate struct {
 	groups map[uint64]*aggState
 	keys   []uint64
 	pos    int
-	buf    []byte
+	out    *Batch // in-memory result batches, rendered from the table
 
 	env    *algo.Env            // stage share; owns the spill runs
 	spills []storage.Collection // sorted partial-aggregate runs
 	merged storage.Collection   // merged result when the table spilled
-	it     storage.Iterator
+	sc     *batchScanner        // streams merged when the table spilled
 }
 
 type aggState struct {
@@ -232,7 +240,7 @@ func (h *HashAggregate) Open(ctx context.Context, ec *Ctx) error {
 	if len(h.spills) == 0 {
 		h.keys = h.sortedKeys()
 		h.pos = 0
-		h.buf = make([]byte, record.Size)
+		h.out = newBatch(record.Size, ec.batchSize())
 		return nil
 	}
 	merged, err := ec.tempEnv().CreateTemp("hashagg.merged", record.Size)
@@ -244,7 +252,7 @@ func (h *HashAggregate) Open(ctx context.Context, ec *Ctx) error {
 		return err
 	}
 	h.merged = merged
-	h.it = merged.Scan()
+	h.sc = newBatchScanner(merged.Scan(), record.Size, ec.batchSize())
 	return nil
 }
 
@@ -441,18 +449,30 @@ func fillAggRecord(buf []byte, key uint64, st *aggState) {
 	record.SetAttr(buf, aggregate.AttrMax, st.max)
 }
 
-func (h *HashAggregate) Next(context.Context) ([]byte, error) {
-	if h.it != nil {
-		return h.it.Next()
+func (h *HashAggregate) Next(context.Context) (*Batch, error) {
+	if h.sc != nil {
+		return h.sc.next()
 	}
-	if h.pos >= len(h.keys) {
+	if h.out == nil || h.pos >= len(h.keys) {
 		return nil, io.EOF
 	}
-	k := h.keys[h.pos]
-	st := h.groups[k]
-	h.pos++
-	fillAggRecord(h.buf, k, st)
-	return h.buf, nil
+	n := 0
+	for n < len(h.out.views) && h.pos < len(h.keys) {
+		k := h.keys[h.pos]
+		fillAggRecord(h.out.views[n], k, h.groups[k])
+		h.pos++
+		n++
+	}
+	h.out.Recs = h.out.views[:n]
+	return h.out, nil
+}
+
+// limitHint caps the reads of the merged spill result; the in-memory
+// path serves from DRAM and needs no cap.
+func (h *HashAggregate) limitHint(n int) {
+	if h.sc != nil {
+		h.sc.limit(n)
+	}
 }
 
 // source exposes the merged spill result to blocking parents so they
@@ -463,9 +483,9 @@ func (h *HashAggregate) source() (storage.Collection, bool) { return h.merged, h
 
 func (h *HashAggregate) Close() error {
 	var first error
-	if h.it != nil {
-		first = h.it.Close()
-		h.it = nil
+	if h.sc != nil {
+		first = h.sc.Close()
+		h.sc = nil
 	}
 	if h.merged != nil {
 		if err := h.merged.Destroy(); err != nil && first == nil {

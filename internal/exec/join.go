@@ -19,7 +19,7 @@ type Join struct {
 	algo        joins.Algorithm
 	rc          *runtimeChoice // planner handle: Open-time estimate clamping
 	joined      storage.Collection
-	it          storage.Iterator
+	sc          *batchScanner
 }
 
 // NewJoin returns a join of left ⋈ right with the given algorithm (the
@@ -75,7 +75,7 @@ func (j *Join) Open(ctx context.Context, ec *Ctx) error {
 		return err
 	}
 	j.joined = tmp
-	j.it = tmp.Scan()
+	j.sc = newBatchScanner(tmp.Scan(), tmp.RecordSize(), ec.batchSize())
 	return nil
 }
 
@@ -83,18 +83,26 @@ func (j *Join) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) erro
 	return j.joinInto(ctx, ec, out)
 }
 
-func (j *Join) Next(context.Context) ([]byte, error) {
-	if j.it == nil {
+func (j *Join) Next(context.Context) (*Batch, error) {
+	if j.sc == nil {
 		return nil, io.EOF
 	}
-	return j.it.Next()
+	return j.sc.next()
+}
+
+// limitHint caps the reads of the joined result; the join itself ran in
+// full at Open, exactly like the record engine.
+func (j *Join) limitHint(n int) {
+	if j.sc != nil {
+		j.sc.limit(n)
+	}
 }
 
 func (j *Join) Close() error {
 	var first error
-	if j.it != nil {
-		first = j.it.Close()
-		j.it = nil
+	if j.sc != nil {
+		first = j.sc.Close()
+		j.sc = nil
 	}
 	if j.joined != nil {
 		if err := j.joined.Destroy(); err != nil && first == nil {

@@ -19,7 +19,7 @@ import (
 type Materialize struct {
 	child Operator
 	tmp   storage.Collection
-	it    storage.Iterator
+	sc    *batchScanner
 }
 
 // NewMaterialize returns a materialization barrier over child.
@@ -47,22 +47,30 @@ func (m *Materialize) Open(ctx context.Context, ec *Ctx) error {
 		return err
 	}
 	m.tmp = tmp
-	m.it = tmp.Scan()
+	m.sc = newBatchScanner(tmp.Scan(), tmp.RecordSize(), ec.batchSize())
 	return nil
 }
 
-func (m *Materialize) Next(context.Context) ([]byte, error) {
-	if m.it == nil {
+func (m *Materialize) Next(context.Context) (*Batch, error) {
+	if m.sc == nil {
 		return nil, io.EOF
 	}
-	return m.it.Next()
+	return m.sc.next()
+}
+
+// limitHint caps the reads of the materialized temporary; the child is
+// drained in full at Open regardless, exactly like the record engine.
+func (m *Materialize) limitHint(n int) {
+	if m.sc != nil {
+		m.sc.limit(n)
+	}
 }
 
 func (m *Materialize) Close() error {
 	var first error
-	if m.it != nil {
-		first = m.it.Close()
-		m.it = nil
+	if m.sc != nil {
+		first = m.sc.Close()
+		m.sc = nil
 	}
 	if m.tmp != nil {
 		if err := m.tmp.Destroy(); err != nil && first == nil {

@@ -15,12 +15,11 @@ import (
 // if the child is not already a collection, and — at the plan root —
 // sorts straight into the output collection.
 type OrderBy struct {
-	child   Operator
-	algo    sorts.Algorithm
-	rc      *runtimeChoice // planner handle: Open-time estimate clamping
-	sorted  storage.Collection
-	it      storage.Iterator
-	cleanup func() error
+	child  Operator
+	algo   sorts.Algorithm
+	rc     *runtimeChoice // planner handle: Open-time estimate clamping
+	sorted storage.Collection
+	sc     *batchScanner
 }
 
 // NewOrderBy returns an order-by over child using the given sort
@@ -64,7 +63,7 @@ func (o *OrderBy) Open(ctx context.Context, ec *Ctx) error {
 		return err
 	}
 	o.sorted = tmp
-	o.it = tmp.Scan()
+	o.sc = newBatchScanner(tmp.Scan(), tmp.RecordSize(), ec.batchSize())
 	return nil
 }
 
@@ -72,18 +71,26 @@ func (o *OrderBy) emitTo(ctx context.Context, ec *Ctx, out storage.Collection) e
 	return o.sortInto(ctx, ec, out)
 }
 
-func (o *OrderBy) Next(context.Context) ([]byte, error) {
-	if o.it == nil {
+func (o *OrderBy) Next(context.Context) (*Batch, error) {
+	if o.sc == nil {
 		return nil, io.EOF
 	}
-	return o.it.Next()
+	return o.sc.next()
+}
+
+// limitHint caps the reads of the sorted result; the sort itself ran in
+// full at Open, exactly like the record engine.
+func (o *OrderBy) limitHint(n int) {
+	if o.sc != nil {
+		o.sc.limit(n)
+	}
 }
 
 func (o *OrderBy) Close() error {
 	var first error
-	if o.it != nil {
-		first = o.it.Close()
-		o.it = nil
+	if o.sc != nil {
+		first = o.sc.Close()
+		o.sc = nil
 	}
 	if o.sorted != nil {
 		if err := o.sorted.Destroy(); err != nil && first == nil {

@@ -27,6 +27,11 @@ type CompileOptions struct {
 	// disables Open-time share re-splitting — the baseline the budget
 	// experiment and the byte-identity tests compare against.
 	EvenBudgetSplit bool
+	// BatchSize overrides the context's records-per-batch window for
+	// this compilation (0 keeps the context's setting; see
+	// Ctx.BatchSize). 1 yields record-at-a-time execution with
+	// identical output and device traffic.
+	BatchSize int
 }
 
 var errNilPlan = fmt.Errorf("exec: nil plan")
@@ -63,6 +68,7 @@ type Explain struct {
 	PlanCost    float64 // predicted plan cost at StageShares (buffer-read units)
 	EvenCost    float64 // predicted plan cost at the even split
 	Lambda      float64
+	BatchSize   int  // records per operator pull (the vectorization window)
 	Reordered   bool // the planner rebuilt a join chain smallest-build-first
 	Choices     []*Choice
 }
@@ -77,6 +83,9 @@ func (e *Explain) String() string {
 	}
 	fmt.Fprintf(&b, "memory  %d B across %d blocking stage(s), %s shares %s (λ=%.1f, predicted %.4g vs %.4g even)\n",
 		e.TotalBudget, e.Stages, split, fmtShares(e.StageShares), e.Lambda, e.PlanCost, e.EvenCost)
+	if e.BatchSize > 0 {
+		fmt.Fprintf(&b, "batch   %d records per operator pull\n", e.BatchSize)
+	}
 	if e.Reordered {
 		fmt.Fprintf(&b, "joins   reordered smallest-build-first from the cardinality estimates (compensating projection restores the written column order)\n")
 	}
@@ -148,6 +157,9 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 	if p.err != nil {
 		return nil, nil, p.err
 	}
+	if opts.BatchSize > 0 {
+		ctx.BatchSize = opts.BatchSize
+	}
 	c := &compiler{
 		opts:      opts,
 		lambda:    ctx.Factory.Device().Lambda(),
@@ -200,6 +212,7 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 		PlanCost:    alloc.Cost,
 		EvenCost:    alloc.EvenCost,
 		Lambda:      c.lambda,
+		BatchSize:   ctx.batchSize(),
 		Reordered:   c.reordered,
 		Choices:     c.choices,
 	}

@@ -11,12 +11,14 @@ import (
 
 // --- Scan ---
 
-// Scan streams a base collection. It is the only leaf operator; its
-// output "materialization" is the collection itself, so blocking parents
-// consume it without any copying.
+// Scan streams a base collection in batches. It is the only leaf
+// operator; its output "materialization" is the collection itself, so
+// blocking parents consume it without any copying. When the collection's
+// iterator supports chunked reads the batches alias the iterator's block
+// buffer — zero per-record copies.
 type Scan struct {
 	c  storage.Collection
-	it storage.Iterator
+	sc *batchScanner
 }
 
 // NewScan returns a scan over c.
@@ -26,25 +28,31 @@ func (s *Scan) Name() string         { return fmt.Sprintf("Scan(%s)", s.c.Name()
 func (s *Scan) RecordSize() int      { return s.c.RecordSize() }
 func (s *Scan) Children() []Operator { return nil }
 
-func (s *Scan) Open(context.Context, *Ctx) error {
-	s.it = s.c.Scan()
+func (s *Scan) Open(_ context.Context, ec *Ctx) error {
+	s.sc = newBatchScanner(s.c.Scan(), s.c.RecordSize(), ec.batchSize())
 	return nil
 }
 
-func (s *Scan) Next(context.Context) ([]byte, error) {
-	if s.it == nil {
+func (s *Scan) Next(context.Context) (*Batch, error) {
+	if s.sc == nil {
 		return nil, io.EOF
 	}
-	return s.it.Next()
+	return s.sc.next()
+}
+
+func (s *Scan) limitHint(n int) {
+	if s.sc != nil {
+		s.sc.limit(n)
+	}
 }
 
 func (s *Scan) Close() error {
-	if s.it == nil {
+	if s.sc == nil {
 		return nil
 	}
-	it := s.it
-	s.it = nil
-	return it.Close()
+	sc := s.sc
+	s.sc = nil
+	return sc.Close()
 }
 
 func (s *Scan) source() (storage.Collection, bool) { return s.c, true }
@@ -99,6 +107,41 @@ func (p Predicate) Eval(rec []byte) bool {
 	return false
 }
 
+// matcher specializes the predicate to a single-comparison closure: the
+// operator switch is resolved once, so per-record evaluation in batch
+// loops and fused views is one attribute load and one compare.
+func (p Predicate) matcher() func(rec []byte) bool {
+	a, v := p.Attr, p.Value
+	switch p.Op {
+	case Eq:
+		return func(rec []byte) bool { return record.Attr(rec, a) == v }
+	case Ne:
+		return func(rec []byte) bool { return record.Attr(rec, a) != v }
+	case Lt:
+		return func(rec []byte) bool { return record.Attr(rec, a) < v }
+	case Le:
+		return func(rec []byte) bool { return record.Attr(rec, a) <= v }
+	case Gt:
+		return func(rec []byte) bool { return record.Attr(rec, a) > v }
+	case Ge:
+		return func(rec []byte) bool { return record.Attr(rec, a) >= v }
+	}
+	return func([]byte) bool { return false }
+}
+
+// selectInto appends the records of recs that satisfy match to dst and
+// returns it: the selection-vector form of filtering. The comparison
+// branches once per batch (see Predicate.matcher); the per-record loop
+// is a tight load-compare-append with no early returns.
+func selectInto(dst [][]byte, recs [][]byte, match func(rec []byte) bool) [][]byte {
+	for _, rec := range recs {
+		if match(rec) {
+			dst = append(dst, rec)
+		}
+	}
+	return dst
+}
+
 // Selectivity is the planner's fraction-of-rows-surviving estimate. With
 // no value statistics the engine uses the textbook defaults: equality is
 // selective, inequality barely filters, ranges halve.
@@ -122,11 +165,17 @@ func (p Predicate) validate(recSize int) error {
 
 // --- Filter ---
 
-// Filter streams the records of its child that satisfy a predicate.
-// Non-blocking: it touches no device lines of its own.
+// Filter streams the records of its child that satisfy a predicate,
+// using a selection vector: each output batch aliases the surviving
+// records of one child batch. Non-blocking: it touches no device lines
+// of its own.
 type Filter struct {
 	child Operator
 	pred  Predicate
+	match func(rec []byte) bool
+	out   Batch
+	sel   [][]byte
+	need  int // records the parent still wants under a limit hint; -1 none
 }
 
 // NewFilter returns a filter over child.
@@ -142,18 +191,45 @@ func (f *Filter) Open(ctx context.Context, ec *Ctx) error {
 	if err := f.pred.validate(f.child.RecordSize()); err != nil {
 		return err
 	}
+	f.match = f.pred.matcher()
+	f.need = -1
 	return f.child.Open(ctx, ec)
 }
 
-func (f *Filter) Next(ctx context.Context) ([]byte, error) {
+// limitHint bounds read-ahead under a Limit: the filter re-hints its
+// child before every pull with the records still needed, narrowing the
+// child's fetches as matches accumulate. Selectivity is unknown, so the
+// bound is per-pull, not exact — the child may fetch up to one hinted
+// batch past the lazy record-at-a-time stopping point.
+func (f *Filter) limitHint(n int) { f.need = n }
+
+func (f *Filter) Next(ctx context.Context) (*Batch, error) {
 	for {
-		rec, err := f.child.Next(ctx)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if f.need >= 0 {
+			if f.need == 0 {
+				return nil, io.EOF
+			}
+			hintLimit(f.child, f.need)
+		}
+		cb, err := f.child.Next(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if f.pred.Eval(rec) {
-			return rec, nil
+		f.sel = selectInto(f.sel[:0], cb.Recs, f.match)
+		if len(f.sel) == 0 {
+			continue
 		}
+		if f.need > 0 {
+			f.need -= len(f.sel)
+			if f.need < 0 {
+				f.need = 0
+			}
+		}
+		f.out.Recs = f.sel
+		return &f.out, nil
 	}
 }
 
@@ -163,11 +239,11 @@ func (f *Filter) Close() error { return f.child.Close() }
 
 // Project re-arranges each record to the chosen 8-byte attributes, in
 // order (duplicates allowed). Non-blocking; the output record width is
-// 8·len(attrs).
+// 8·len(attrs). Output batches are owned (projection copies).
 type Project struct {
 	child Operator
 	attrs []int
-	buf   []byte
+	out   *Batch
 }
 
 // NewProject returns a projection of child to attrs.
@@ -191,30 +267,46 @@ func (p *Project) Open(ctx context.Context, ec *Ctx) error {
 			return fmt.Errorf("exec: projected attribute a%d outside %d-byte record", a, in)
 		}
 	}
-	p.buf = make([]byte, p.RecordSize())
+	p.out = newBatch(p.RecordSize(), ec.batchSize())
 	return p.child.Open(ctx, ec)
 }
 
-func (p *Project) Next(ctx context.Context) ([]byte, error) {
-	rec, err := p.child.Next(ctx)
+// limitHint propagates 1:1 to the child.
+func (p *Project) limitHint(n int) { hintLimit(p.child, n) }
+
+func (p *Project) Next(ctx context.Context) (*Batch, error) {
+	cb, err := p.child.Next(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for i, a := range p.attrs {
-		copy(p.buf[i*record.AttrSize:(i+1)*record.AttrSize], rec[a*record.AttrSize:(a+1)*record.AttrSize])
+	n := len(cb.Recs)
+	if n > len(p.out.views) {
+		// Children never exceed the run's batch size; guard anyway.
+		n = len(p.out.views)
 	}
-	return p.buf, nil
+	for i := 0; i < n; i++ {
+		rec, buf := cb.Recs[i], p.out.views[i]
+		for j, a := range p.attrs {
+			copy(buf[j*record.AttrSize:(j+1)*record.AttrSize], rec[a*record.AttrSize:(a+1)*record.AttrSize])
+		}
+	}
+	p.out.Recs = p.out.views[:n]
+	return p.out, nil
 }
 
 func (p *Project) Close() error { return p.child.Close() }
 
 // --- Limit ---
 
-// Limit passes through the first n records. Non-blocking.
+// Limit passes through the first n records, slicing the final child
+// batch at the cut. Non-blocking. At Open it hints the bound down the
+// chain (see limitHinted) so hinted producers fetch no input past the
+// n-th record.
 type Limit struct {
 	child Operator
 	n     int
 	seen  int
+	out   Batch
 }
 
 // NewLimit returns a limit of n records over child.
@@ -229,19 +321,34 @@ func (l *Limit) Open(ctx context.Context, ec *Ctx) error {
 		return fmt.Errorf("exec: negative limit %d", l.n)
 	}
 	l.seen = 0
-	return l.child.Open(ctx, ec)
+	if err := l.child.Open(ctx, ec); err != nil {
+		return err
+	}
+	hintLimit(l.child, l.n)
+	return nil
 }
 
-func (l *Limit) Next(ctx context.Context) ([]byte, error) {
+func (l *Limit) limitHint(n int) {
+	if n < l.n-l.seen {
+		hintLimit(l.child, n)
+	}
+}
+
+func (l *Limit) Next(ctx context.Context) (*Batch, error) {
 	if l.seen >= l.n {
 		return nil, io.EOF
 	}
-	rec, err := l.child.Next(ctx)
+	cb, err := l.child.Next(ctx)
 	if err != nil {
 		return nil, err
 	}
-	l.seen++
-	return rec, nil
+	k := len(cb.Recs)
+	if rest := l.n - l.seen; k > rest {
+		k = rest
+	}
+	l.seen += k
+	l.out.Recs = cb.Recs[:k]
+	return &l.out, nil
 }
 
 func (l *Limit) Close() error { return l.child.Close() }

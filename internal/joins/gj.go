@@ -75,7 +75,7 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 		envs = []*algo.Env{env}
 	}
 	subs := make([][]storage.Collection, w) // [worker][partition]
-	err := algo.RunWorkers(w, func(i int) error {
+	err := env.RunWorkers(w, func(i int) error {
 		mine := make([]storage.Collection, x)
 		for p := range mine {
 			c, err := envs[i].CreateTemp(fmt.Sprintf("%s%d", prefix, p), src.RecordSize())

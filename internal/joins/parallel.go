@@ -148,7 +148,7 @@ func parallelProbe(env *algo.Env, srcs []storage.Collection, table *hashTable, f
 		return probeOne(srcs[0], em.emit)
 	}
 	ts := algo.NewTurnstile(len(srcs))
-	return algo.RunWorkers(len(srcs), func(i int) error {
+	return env.RunWorkers(len(srcs), func(i int) error {
 		oe := newOrderedEmit(em, ts, i)
 		defer oe.release()
 		if err := probeOne(srcs[i], oe.emit); err != nil {

@@ -88,6 +88,8 @@ type Device struct {
 	bytesRead  atomic.Uint64
 	bytesWrite atomic.Uint64
 	simIONanos atomic.Int64
+	ovlNanos   atomic.Int64 // overlap clock: latency ÷ concurrently active workers
+	active     atomic.Int64 // workers inside an EnterWorker/LeaveWorker bracket
 	softNanos  atomic.Int64
 
 	readLat  atomic.Int64 // current latencies, mutable for sweeps
@@ -215,6 +217,11 @@ const spinSleepThreshold = 100 * time.Microsecond
 func (d *Device) charge(n uint64, lat time.Duration) {
 	total := time.Duration(n) * lat
 	d.simIONanos.Add(int64(total))
+	if w := d.active.Load(); w > 1 {
+		d.ovlNanos.Add(int64(total) / w)
+	} else {
+		d.ovlNanos.Add(int64(total))
+	}
 	if !d.cfg.Spin || total <= 0 {
 		return
 	}
@@ -227,6 +234,18 @@ func (d *Device) charge(n uint64, lat time.Duration) {
 		runtime.Gosched()
 	}
 }
+
+// EnterWorker registers the calling goroutine as one worker of a
+// parallel phase: while k workers are inside an Enter/Leave bracket,
+// every charged latency advances the overlap clock (Stats.SimIOOverlap)
+// by 1/k of its nominal cost, modelling k device accesses in flight at
+// once. Serial execution (no bracket, or a single worker) leaves the
+// overlap clock equal to SimIOTime. Pair every EnterWorker with a
+// LeaveWorker (defer is fine).
+func (d *Device) EnterWorker() { d.active.Add(1) }
+
+// LeaveWorker undoes one EnterWorker.
+func (d *Device) LeaveWorker() { d.active.Add(-1) }
 
 // ChargeSoftware adds software-path overhead (filesystem call costs,
 // copies) to the simulated clock. The persistence-layer backends use this
@@ -248,6 +267,7 @@ type Stats struct {
 	BytesRead    uint64
 	BytesWritten uint64
 	SimIOTime    time.Duration // Σ accesses × latency
+	SimIOOverlap time.Duration // Σ accesses × latency ÷ active workers (≤ SimIOTime)
 	SoftTime     time.Duration // accumulated software-path overhead
 }
 
@@ -261,6 +281,7 @@ func (s Stats) Sub(o Stats) Stats {
 		BytesRead:    s.BytesRead - o.BytesRead,
 		BytesWritten: s.BytesWritten - o.BytesWritten,
 		SimIOTime:    s.SimIOTime - o.SimIOTime,
+		SimIOOverlap: s.SimIOOverlap - o.SimIOOverlap,
 		SoftTime:     s.SoftTime - o.SoftTime,
 	}
 }
@@ -275,6 +296,7 @@ func (s Stats) Add(o Stats) Stats {
 		BytesRead:    s.BytesRead + o.BytesRead,
 		BytesWritten: s.BytesWritten + o.BytesWritten,
 		SimIOTime:    s.SimIOTime + o.SimIOTime,
+		SimIOOverlap: s.SimIOOverlap + o.SimIOOverlap,
 		SoftTime:     s.SoftTime + o.SoftTime,
 	}
 }
@@ -293,6 +315,7 @@ func (d *Device) Stats() Stats {
 		BytesRead:    d.bytesRead.Load(),
 		BytesWritten: d.bytesWrite.Load(),
 		SimIOTime:    time.Duration(d.simIONanos.Load()),
+		SimIOOverlap: time.Duration(d.ovlNanos.Load()),
 		SoftTime:     time.Duration(d.softNanos.Load()),
 	}
 }
@@ -333,6 +356,7 @@ func (d *Device) ResetStats() {
 	d.bytesRead.Store(0)
 	d.bytesWrite.Store(0)
 	d.simIONanos.Store(0)
+	d.ovlNanos.Store(0)
 	d.softNanos.Store(0)
 	for i := range d.wear {
 		atomic.StoreUint32(&d.wear[i], 0)

@@ -130,6 +130,46 @@ func TestSimIOTime(t *testing.T) {
 	}
 }
 
+func TestSimIOOverlap(t *testing.T) {
+	d := MustOpen(Config{Capacity: 4096, ReadLatency: 10 * time.Nanosecond, WriteLatency: 150 * time.Nanosecond})
+
+	// Serial: overlap clock tracks the serial clock exactly.
+	if err := d.WriteAt(make([]byte, 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.SimIOOverlap != st.SimIOTime {
+		t.Errorf("serial SimIOOverlap = %v, want SimIOTime %v", st.SimIOOverlap, st.SimIOTime)
+	}
+
+	// Two registered workers: each charge advances the overlap clock by
+	// half its latency.
+	d.ResetStats()
+	d.EnterWorker()
+	d.EnterWorker()
+	if err := d.ReadAt(make([]byte, 256), 0); err != nil { // 4 lines
+		t.Fatal(err)
+	}
+	d.LeaveWorker()
+	d.LeaveWorker()
+	st = d.Stats()
+	if want := 4 * 10 * time.Nanosecond; st.SimIOTime != want {
+		t.Fatalf("SimIOTime = %v, want %v", st.SimIOTime, want)
+	}
+	if want := st.SimIOTime / 2; st.SimIOOverlap != want {
+		t.Errorf("SimIOOverlap under 2 workers = %v, want %v", st.SimIOOverlap, want)
+	}
+
+	// Brackets closed: back to serial accounting.
+	if err := d.ReadAt(make([]byte, 64), 0); err != nil { // 1 line
+		t.Fatal(err)
+	}
+	st2 := d.Stats()
+	if got, want := st2.SimIOOverlap-st.SimIOOverlap, 10*time.Nanosecond; got != want {
+		t.Errorf("post-bracket overlap delta = %v, want %v", got, want)
+	}
+}
+
 func TestSetLatencies(t *testing.T) {
 	d := testDevice(t, 4096)
 	d.SetLatencies(10*time.Nanosecond, 50*time.Nanosecond)

@@ -29,7 +29,7 @@ func formRuns(env *algo.Env, in storage.Collection, recSize int) ([]storage.Coll
 	}
 	children := env.Split(w)
 	perWorker := make([][]storage.Collection, w)
-	err := algo.RunWorkers(w, func(i int) error {
+	err := env.RunWorkers(w, func(i int) error {
 		lo, hi := algo.SplitRange(in.Len(), w, i)
 		it := storage.Slice(in, lo, hi).Scan()
 		defer it.Close()
@@ -324,7 +324,7 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 		children = []*algo.Env{env}
 	}
 	nextGen := make([]storage.Collection, nGroups)
-	workErr := algo.RunWorkers(w, func(wi int) error {
+	workErr := env.RunWorkers(w, func(wi int) error {
 		child := children[wi]
 		for g := wi; g < nGroups; g += w {
 			lo := g * groupFan

@@ -168,8 +168,9 @@ type baseIterator struct {
 	abs   int64 // absolute offset of the next byte to consume
 	total int64
 	rec   []byte
-	block []byte // current fetched chunk
-	boff  int    // consume offset within block
+	block []byte   // current fetched chunk
+	boff  int      // consume offset within block
+	views [][]byte // NextChunk result backing, reused per call
 	done  bool
 }
 
@@ -196,16 +197,69 @@ func (it *baseIterator) Next() ([]byte, error) {
 	return it.rec, nil
 }
 
+// NextChunk implements ChunkIterator: it serves every complete record
+// already buffered, refilling the buffer with a multi-block fetch when
+// empty. The fetch issues the same per-block store reads the
+// record-at-a-time path would — one ReadBlock per aligned block, each
+// block read exactly once — so device counters are independent of the
+// consumer's batching. A record straddling the buffered range falls back
+// to the copying Next path (one record for that call).
+func (it *baseIterator) NextChunk(max int) ([][]byte, error) {
+	if max < 1 {
+		max = 1
+	}
+	if it.done || it.abs >= it.total {
+		it.done = true
+		return nil, io.EOF
+	}
+	if it.c.destroyed {
+		return nil, fmt.Errorf("storage: scan of destroyed collection %q", it.c.name)
+	}
+	rs := it.c.recSize
+	if it.boff >= len(it.block) {
+		blocks := (max*rs + it.c.blockSize - 1) / it.c.blockSize
+		if err := it.fetchN(blocks); err != nil {
+			return nil, err
+		}
+	}
+	it.views = it.views[:0]
+	for len(it.views) < max && it.boff+rs <= len(it.block) && it.abs+int64(rs) <= it.total {
+		it.views = append(it.views, it.block[it.boff:it.boff+rs])
+		it.boff += rs
+		it.abs += int64(rs)
+	}
+	if len(it.views) > 0 {
+		return it.views, nil
+	}
+	// Buffered bytes end mid-record: assemble one record through the
+	// copying path (the previous call's views have been consumed, so the
+	// refill inside Next may reuse the buffer).
+	rec, err := it.Next()
+	if err != nil {
+		return nil, err
+	}
+	it.views = append(it.views, rec)
+	return it.views, nil
+}
+
 // fetch loads the next chunk starting at it.abs.
-func (it *baseIterator) fetch() error {
+func (it *baseIterator) fetch() error { return it.fetchN(1) }
+
+// fetchN loads up to n store blocks starting at it.abs, one ReadBlock
+// per aligned block (identical offsets and lengths to n single-block
+// fetches), or the DRAM tail once the flushed range is consumed.
+func (it *baseIterator) fetchN(n int) error {
 	if it.abs >= it.total {
 		return fmt.Errorf("storage: collection %q: stream ended mid-record", it.c.name)
 	}
+	if n < 1 {
+		n = 1
+	}
 	bs := int64(it.c.blockSize)
 	if it.abs < it.c.flushed {
-		// Fetch one block-aligned chunk from the store.
+		// Fetch block-aligned chunks from the store.
 		start := it.abs / bs * bs
-		end := start + bs
+		end := start + int64(n)*bs
 		if end > it.c.flushed {
 			end = it.c.flushed
 		}
@@ -214,8 +268,14 @@ func (it *baseIterator) fetch() error {
 		} else {
 			it.block = it.block[:n]
 		}
-		if err := it.c.store.ReadBlock(start, it.block); err != nil {
-			return err
+		for off := start; off < end; off += bs {
+			stop := off + bs
+			if stop > end {
+				stop = end
+			}
+			if err := it.c.store.ReadBlock(off, it.block[off-start:stop-start]); err != nil {
+				return err
+			}
 		}
 		it.boff = int(it.abs - start)
 		return nil
@@ -237,5 +297,6 @@ func (it *baseIterator) fetch() error {
 func (it *baseIterator) Close() error {
 	it.done = true
 	it.block = nil
+	it.views = nil
 	return nil
 }

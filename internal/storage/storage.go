@@ -66,6 +66,19 @@ type Iterator interface {
 	Close() error
 }
 
+// ChunkIterator is the optional batched form of Iterator, implemented by
+// iterators that can hand out several whole records per call without
+// per-record copies. NextChunk returns between 1 and max records in
+// stream order, or io.EOF when exhausted; the views (and their backing
+// bytes) are only valid until the following NextChunk/Next call. A
+// chunked consumer performs exactly the same device reads as a
+// record-at-a-time consumer of the same prefix: blocks are fetched once
+// each, in order, at the same offsets and lengths — batching is a DRAM
+// interpretation change, never an I/O change.
+type ChunkIterator interface {
+	NextChunk(max int) ([][]byte, error)
+}
+
 // Factory creates collections on a shared device. Factory names are the
 // experiment-facing backend identifiers ("blocked", "dynarray", "ramdisk",
 // "pmfs").

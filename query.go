@@ -145,6 +145,7 @@ func (q *Query) Limit(n int) *Query {
 // statistics catalog — and compiles the plan with the physical planner.
 func (q *Query) compile(memoryBudget int64, opts exec.CompileOptions) (exec.Operator, *QueryExplain, *exec.Ctx, error) {
 	ec := exec.NewCtx(q.sys.fac, memoryBudget, q.sys.par)
+	ec.BatchSize = q.sys.batch
 	ec.Stats = q.sys.stats
 	root, ex, err := exec.CompileWith(ec, q.plan, opts)
 	if err != nil {

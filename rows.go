@@ -30,6 +30,7 @@ type Rows struct {
 	ctx    context.Context
 	ec     *exec.Ctx
 	root   exec.Operator
+	cur    *exec.Cursor // record-level view over the root's batches
 	ex     *QueryExplain
 	grant  *broker.Grant
 	stop   func() bool // cancels the context watcher
@@ -77,7 +78,7 @@ func (q *Query) openRows(ctx context.Context, budget int64, grant *broker.Grant,
 		ec.SweepTemps() //nolint:errcheck // best-effort cleanup after failure
 		return nil, err
 	}
-	r := &Rows{ctx: ctx, ec: ec, root: root, ex: ex, grant: grant}
+	r := &Rows{ctx: ctx, ec: ec, root: root, cur: exec.NewCursor(root), ex: ex, grant: grant}
 	if grant != nil {
 		// Release the memory grant the moment the context dies, whether or
 		// not the consumer gets around to Close (Release is idempotent).
@@ -99,7 +100,7 @@ func (r *Rows) Next() bool {
 		r.err = err
 		return false
 	}
-	rec, err := r.root.Next(r.ctx)
+	rec, err := r.cur.Next(r.ctx)
 	if err == io.EOF {
 		r.done = true
 		return false

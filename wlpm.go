@@ -153,6 +153,7 @@ type sysConfig struct {
 	trackWear     bool
 	spin          bool
 	parallelism   int
+	batchSize     int
 	noAutoCollect bool
 	memoryBudget  int64
 }
@@ -186,6 +187,12 @@ func WithSpin() Option { return func(c *sysConfig) { c.spin = true } }
 // output is byte-identical to the serial run at any P.
 func WithParallelism(n int) Option { return func(c *sysConfig) { c.parallelism = n } }
 
+// WithBatchSize sets the records-per-batch window of the vectorized
+// executor (default 1024). Batch size changes only how many records move
+// per operator pull: output and simulated device traffic are identical
+// at any setting, and 1 degenerates to record-at-a-time execution.
+func WithBatchSize(n int) Option { return func(c *sysConfig) { c.batchSize = n } }
+
 // WithAutoCollect controls whether queries collect missing table
 // statistics on first use (default true). With it disabled the planner
 // only sees statistics gathered explicitly through System.Collect.
@@ -210,6 +217,7 @@ type System struct {
 	dev   *pmem.Device
 	fac   storage.Factory
 	par   int
+	batch int
 	stats *stats.Cache
 	mem   *broker.Broker
 	def   *Session // implicit session backing System.Query(...).Rows
@@ -250,7 +258,7 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{dev: dev, fac: fac, par: cfg.parallelism, stats: stats.NewCache(!cfg.noAutoCollect), mem: mem}
+	s := &System{dev: dev, fac: fac, par: cfg.parallelism, batch: cfg.batchSize, stats: stats.NewCache(!cfg.noAutoCollect), mem: mem}
 	s.def = s.Session()
 	return s, nil
 }
@@ -267,6 +275,10 @@ func (s *System) Backend() string { return s.fac.Name() }
 // Parallelism reports the configured worker count (0 and 1 both mean
 // serial execution).
 func (s *System) Parallelism() int { return s.par }
+
+// BatchSize reports the configured records-per-batch window (0 means
+// the executor default).
+func (s *System) BatchSize() int { return s.batch }
 
 // Create makes a collection of benchmark-schema records.
 func (s *System) Create(name string) (Collection, error) {

@@ -217,8 +217,8 @@ func TestCostFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := wlpm.Experiments()
-	if len(ids) != 15 {
-		t.Fatalf("got %d experiments, want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("got %d experiments, want 16", len(ids))
 	}
 	reps, err := wlpm.RunExperiment("table2", wlpm.ExperimentConfig{Scale: 0.001})
 	if err != nil {
