@@ -17,7 +17,7 @@ import (
 	"strings"
 	"time"
 
-	"wlpm/internal/bench"
+	"wlpm"
 	"wlpm/internal/cliutil"
 )
 
@@ -35,6 +35,7 @@ func main() {
 		par      = flag.Int("p", 0, "operator worker parallelism (0/1 = serial; the scaling experiment sweeps its own)")
 		batch    = flag.Int("batch", 0, "operator batch size for the engine experiments (0 = engine default 1024; 1 = record-at-a-time)")
 		batchOut = flag.String("batch-json", "BENCH_batch.json", "path where the batch experiment writes its JSON result (empty = don't write)")
+		serveOut = flag.String("serve-json", "BENCH_serve.json", "path where the serve experiment writes its JSON result (empty = don't write)")
 		sessions = flag.Int("sessions", 0, "K concurrent sessions for the concurrency experiment (0 = its default of 4)")
 		spin     = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
 		budget   = flag.Bool("budget", false, "shorthand for -run budget: even vs cost-driven stage shares vs grant bidding")
@@ -44,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range bench.Experiments() {
+		for _, id := range wlpm.Experiments() {
 			fmt.Println(id)
 		}
 		return
@@ -60,7 +61,7 @@ func main() {
 		cliutil.Usage(cmd, "-batch must be non-negative, got %d", *batch)
 	}
 
-	cfg := bench.Config{
+	cfg := wlpm.ExperimentConfig{
 		Scale:        *scale,
 		Backend:      *backend,
 		BlockSize:    *block,
@@ -69,6 +70,7 @@ func main() {
 		Parallelism:  *par,
 		BatchSize:    *batch,
 		BatchJSON:    *batchOut,
+		ServeJSON:    *serveOut,
 		Sessions:     *sessions,
 		Spin:         *spin,
 		Verbose:      *verbose,
@@ -85,16 +87,16 @@ func main() {
 	}
 
 	known := map[string]bool{}
-	for _, id := range bench.Experiments() {
+	for _, id := range wlpm.Experiments() {
 		known[id] = true
 	}
-	ids := bench.Experiments()
+	ids := wlpm.Experiments()
 	if *runIDs != "all" {
 		ids = strings.Split(*runIDs, ",")
 		for i, id := range ids {
 			ids[i] = strings.TrimSpace(id)
 			if !known[ids[i]] {
-				cliutil.Usage(cmd, "unknown experiment %q (have %s)", ids[i], strings.Join(bench.Experiments(), " "))
+				cliutil.Usage(cmd, "unknown experiment %q (have %s)", ids[i], strings.Join(wlpm.Experiments(), " "))
 			}
 		}
 	} else if *budget {
@@ -111,7 +113,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		reps, err := bench.Run(id, cfg)
+		reps, err := wlpm.RunExperiment(id, cfg)
 		if err != nil {
 			cliutil.Fatal(cmd, fmt.Errorf("%s: %w", id, err))
 		}

@@ -23,6 +23,12 @@
 //	wlquery -table dim=20000 -table fact=200000:dim \
 //	    -plan 'scan(dim) | join(scan(fact)) | project(a0,a1,a12,a13,a14,a5,a16,a7,a18,a9) | groupby(a3) | orderby' \
 //	    -mem 0.05 -p 4 -explain
+//
+// With -addr the plan runs on a wlserved instance instead: tables live
+// server-side (declared when the server started), results stream back
+// over HTTP, and Ctrl-C cancels the remote cursor:
+//
+//	wlquery -addr localhost:8080 -tenant alice -plan 'scan(dim) | orderby'
 package main
 
 import (
@@ -32,45 +38,22 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"time"
 
 	"wlpm"
+	"wlpm/client"
 	"wlpm/internal/cliutil"
 	"wlpm/internal/record"
 )
 
 const cmd = "wlquery"
 
-// tableSpec is one -table flag: name=rows or name=rows:parent.
-type tableSpec struct {
-	name   string
-	rows   int
-	parent string
-}
-
-type tableFlags []tableSpec
-
-func (t *tableFlags) String() string { return fmt.Sprintf("%v", []tableSpec(*t)) }
-
-func (t *tableFlags) Set(s string) error {
-	name, spec, ok := strings.Cut(s, "=")
-	if !ok || name == "" {
-		return fmt.Errorf("want name=rows or name=rows:parent, got %q", s)
-	}
-	rowsStr, parent, _ := strings.Cut(spec, ":")
-	rows, err := strconv.Atoi(rowsStr)
-	if err != nil || rows <= 0 {
-		return fmt.Errorf("bad row count in %q", s)
-	}
-	*t = append(*t, tableSpec{name: name, rows: rows, parent: parent})
-	return nil
-}
-
 func main() {
-	var tables tableFlags
+	var tables cliutil.TableFlags
 	var (
+		addr        = flag.String("addr", "", "run the plan on a wlserved instance at this address instead of in-process")
+		tenant      = flag.String("tenant", "", "tenant name for -addr (open-mode servers; default tenant when empty)")
+		token       = flag.String("token", "", "bearer token for -addr (servers with configured tenants)")
 		planSrc     = flag.String("plan", "", "plan DSL (required)")
 		mem         = flag.Float64("mem", 0.05, "plan memory budget as a fraction of the largest table")
 		backend     = flag.String("backend", "blocked", "blocked|pmfs|ramdisk|dynarray")
@@ -92,6 +75,10 @@ func main() {
 
 	if *planSrc == "" {
 		cliutil.Usage(cmd, "-plan is required")
+	}
+	if *addr != "" {
+		runRemote(*addr, *tenant, *token, *planSrc, *explain, *show, *timeout)
+		return
 	}
 	if len(tables) == 0 {
 		cliutil.Usage(cmd, "at least one -table is required")
@@ -121,27 +108,8 @@ func main() {
 		defer cancel()
 	}
 
-	maxRows := 0
-	byName := map[string]tableSpec{}
-	for _, spec := range tables {
-		if _, dup := byName[spec.name]; dup {
-			cliutil.Usage(cmd, "duplicate table %q", spec.name)
-		}
-		if spec.parent != "" {
-			if _, ok := byName[spec.parent]; !ok {
-				cliutil.Usage(cmd, "table %q references unknown parent %q (declare the parent first)", spec.name, spec.parent)
-			}
-		}
-		byName[spec.name] = spec
-		if spec.rows > maxRows {
-			maxRows = spec.rows
-		}
-	}
-
-	payload := int64(0)
-	for _, spec := range tables {
-		payload += int64(spec.rows) * record.Size
-	}
+	byName, maxRows := cliutil.ValidateTables(cmd, tables)
+	payload := cliutil.TablesPayload(tables)
 	budget := int64(*mem * float64(maxRows) * record.Size)
 	if budget < record.Size {
 		budget = record.Size
@@ -168,19 +136,11 @@ func main() {
 	// Generate the tables in declaration order so parents exist first.
 	cols := map[string]wlpm.Collection{}
 	for _, spec := range tables {
-		c, err := sys.Create(spec.name)
+		c, err := sys.Create(spec.Name)
 		if err != nil {
 			cliutil.Fatal(cmd, err)
 		}
-		if spec.parent == "" {
-			err = record.Generate(spec.rows, *seed, c.Append)
-		} else {
-			// Keys drawn from the parent's 0..rows-1 domain, the join
-			// microbenchmark's foreign-key shape. The parent rows were
-			// generated from the same domain, so every key matches.
-			err = generateChild(spec.rows, byName[spec.parent].rows, *seed, c.Append)
-		}
-		if err != nil {
+		if err := cliutil.GenerateTable(spec, byName[spec.Parent].Rows, *seed, c.Append); err != nil {
 			cliutil.Fatal(cmd, err)
 		}
 		if err := c.Close(); err != nil {
@@ -193,7 +153,7 @@ func main() {
 				cliutil.Fatal(cmd, err)
 			}
 		}
-		cols[spec.name] = c
+		cols[spec.Name] = c
 	}
 
 	lookup := wlpm.CollectionLookup(cols)
@@ -286,9 +246,82 @@ func main() {
 	}
 }
 
-// generateChild emits rows records whose keys cycle through the parent's
-// 0..parentRows-1 domain in permuted order.
-func generateChild(rows, parentRows int, seed uint64, emit func(rec []byte) error) error {
-	var sink func(rec []byte) error = func([]byte) error { return nil }
-	return record.GenerateJoin(parentRows, rows, seed, sink, emit)
+// runRemote executes the plan on a wlserved instance through the client
+// package, streaming the result back and printing the same summary the
+// in-process path prints.
+func runRemote(addr, tenant, token, planSrc string, explain bool, show int, timeout time.Duration) {
+	if timeout < 0 {
+		cliutil.Usage(cmd, "-timeout must be non-negative, got %v", timeout)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var opts []client.SessionOption
+	if token != "" {
+		opts = append(opts, client.WithToken(token))
+	}
+	sess := client.Dial(addr).Session(tenant, opts...)
+	q := sess.Query(planSrc)
+	if explain {
+		doc, err := q.Explain(ctx)
+		if err != nil {
+			cliutil.Fatal(cmd, err)
+		}
+		fmt.Print(doc.Explain.String())
+	}
+
+	start := time.Now()
+	rows, err := q.Rows(ctx)
+	if err != nil {
+		cliutil.Fatal(cmd, err)
+	}
+	defer rows.Close()
+	var first [][]byte
+	n := int64(0)
+	for rows.Next() {
+		if len(first) < show {
+			first = append(first, append([]byte(nil), rows.Record()...))
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			cliutil.Fatal(cmd, fmt.Errorf("query aborted: -timeout %v exceeded (server cancelled the cursor)", timeout))
+		case errors.Is(err, context.Canceled):
+			cliutil.Fatal(cmd, fmt.Errorf("query canceled (server cancelled the cursor)"))
+		}
+		cliutil.Fatal(cmd, err)
+	}
+	wall := time.Since(start)
+
+	end := rows.Explain()
+	if explain && end != nil && end.Explain != nil {
+		fmt.Println("after run (estimated vs actual rows):")
+		fmt.Print(end.Explain.String())
+		fmt.Println()
+	}
+	fmt.Printf("mode           remote via %s\n", addr)
+	fmt.Printf("result         %d records × %d B\n", n, rows.RecordSize())
+	fmt.Printf("response       %v (client wall; includes admission and streaming)\n", wall.Round(time.Microsecond))
+
+	if show > 0 && len(first) > 0 {
+		fmt.Printf("\nfirst %d record(s):\n", len(first))
+		for _, rec := range first {
+			attrs := len(rec) / record.AttrSize
+			fmt.Printf("  [")
+			for a := 0; a < attrs; a++ {
+				if a > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%d", record.Attr(rec, a))
+			}
+			fmt.Println("]")
+		}
+	}
 }

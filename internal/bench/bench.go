@@ -59,6 +59,10 @@ type Config struct {
 	// writes its machine-readable result (BENCH_batch.json). Other
 	// experiments ignore it.
 	BatchJSON string
+	// ServeJSON, when non-empty, is the path where the serve experiment
+	// writes its machine-readable result (BENCH_serve.json). Other
+	// experiments ignore it.
+	ServeJSON string
 	// Spin injects device latencies as real (overlappable) delays instead
 	// of only accounting them, like the paper's idle-loop
 	// instrumentation. The scaling experiment forces it on: overlapping
@@ -181,6 +185,12 @@ var registry = map[string]Runner{
 	"budget":      Budget,
 	"batch":       BatchExec,
 }
+
+// Register adds an experiment living outside this package — the serve
+// experiment, whose runner needs the façade and client layers this
+// package sits below, registers itself through it from the façade's
+// init. Registering an existing id replaces it.
+func Register(id string, r Runner) { registry[id] = r }
 
 // Experiments lists the registered experiment ids in presentation order.
 func Experiments() []string {

@@ -16,7 +16,10 @@
 // AcquireBest adds grant bidding on top of the FIFO: a query names every
 // grant size it is willing to run at (descending), and the broker admits
 // the largest that currently fits — raising utilization without letting
-// any bidder overtake requests queued ahead of it.
+// any bidder overtake requests queued ahead of it. AcquireBestFunc makes
+// the bid live: queued bids are re-priced on every grant release (not
+// just at enqueue), so a shrunken queue admits right-sized waiters
+// sooner.
 package broker
 
 import (
@@ -66,6 +69,7 @@ type Broker struct {
 
 type waiter struct {
 	cands   []int64       // acceptable grant sizes, descending
+	reprice Repricer      // optional: recomputes cands at each release
 	granted int64         // the candidate admit charged, set before ready closes
 	ready   chan struct{} // closed by admit with the grant charged
 }
@@ -125,6 +129,19 @@ func (b *Broker) Acquire(ctx context.Context, bytes int64, p Policy) (*Grant, er
 	return b.AcquireBest(ctx, []int64{bytes}, p)
 }
 
+// Repricer recomputes a queued bid's acceptable grant sizes against the
+// budget currently free. The broker consults it on every grant release
+// while the bid waits at the head of the queue — not just at enqueue —
+// so a bid priced when the queue (and the free budget) looked different
+// can right-size itself to the memory actually available and start
+// sooner. Returning nil (or no positive candidate) keeps the bid's
+// previous candidate list.
+//
+// The broker calls the repricer with its own lock held: it must be a
+// pure computation (walking a plan's cost curves is fine) and must not
+// call back into the broker.
+type Repricer func(free int64) []int64
+
 // AcquireBest is multi-candidate admission — the grant-bidding half of
 // cost-driven memory planning. The caller names every grant size it is
 // willing to run at (a session prices its plan at several budgets first
@@ -139,6 +156,15 @@ func (b *Broker) Acquire(ctx context.Context, bytes int64, p Policy) (*Grant, er
 // system budget are dropped (an error if none survive). All must be
 // positive.
 func (b *Broker) AcquireBest(ctx context.Context, candidates []int64, p Policy) (*Grant, error) {
+	return b.AcquireBestFunc(ctx, candidates, nil, p)
+}
+
+// AcquireBestFunc is AcquireBest with a live bid: reprice, when non-nil,
+// recomputes the queued bid's candidate sizes on every grant release
+// while the request waits (see Repricer). The initial candidates decide
+// immediate admission and the FailFast outcome; repricing only affects a
+// request that queued.
+func (b *Broker) AcquireBestFunc(ctx context.Context, candidates []int64, reprice Repricer, p Policy) (*Grant, error) {
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("broker: grant request needs at least one candidate size")
 	}
@@ -173,7 +199,7 @@ func (b *Broker) AcquireBest(ctx context.Context, candidates []int64, p Policy) 
 		b.mu.Unlock()
 		return nil, fmt.Errorf("%w (requested %d B, %d B of %d B in use)", ErrAdmission, cands[0], used, b.total)
 	}
-	w := &waiter{cands: cands, ready: make(chan struct{})}
+	w := &waiter{cands: cands, reprice: reprice, ready: make(chan struct{})}
 	b.waiters = append(b.waiters, w)
 	b.mu.Unlock()
 
@@ -211,13 +237,23 @@ func (b *Broker) charge(bytes int64) {
 
 // release returns bytes to the budget and admits queued waiters, in
 // order, while any of their candidate sizes fit (largest first per
-// waiter). The head waiter still gates the queue — a small bidder never
-// overtakes a large request queued ahead of it. Caller holds b.mu.
+// waiter). A waiter with a repricer first recomputes its candidates
+// against the free budget — the wake-and-reprice path — so a bid sized
+// when the queue looked different admits at today's right size instead
+// of waiting for yesterday's. The head waiter still gates the queue — a
+// small bidder never overtakes a large request queued ahead of it.
+// Caller holds b.mu.
 func (b *Broker) release(bytes int64) {
 	b.used -= bytes
 	for len(b.waiters) > 0 {
 		w := b.waiters[0]
-		g := w.fit(b.total - b.used)
+		free := b.total - b.used
+		if w.reprice != nil {
+			if cands := normalizeCands(w.reprice(free), b.total); len(cands) > 0 {
+				w.cands = cands
+			}
+		}
+		g := w.fit(free)
 		if g == 0 {
 			break
 		}
@@ -226,6 +262,19 @@ func (b *Broker) release(bytes int64) {
 		b.waiters = b.waiters[1:]
 		close(w.ready)
 	}
+}
+
+// normalizeCands drops non-positive and over-budget candidates and sorts
+// the survivors descending.
+func normalizeCands(cands []int64, total int64) []int64 {
+	out := cands[:0]
+	for _, c := range cands {
+		if c > 0 && c <= total {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
 }
 
 // Grant is one admitted share of the broker's budget.

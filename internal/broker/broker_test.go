@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -392,5 +393,158 @@ func TestAcquireBestChurnNoStarvation(t *testing.T) {
 	}
 	if wting := b.Waiting(); wting != 0 {
 		t.Fatalf("Waiting = %d after churn, want 0", wting)
+	}
+}
+
+// TestAcquireBestFuncRepricesOnRelease is the wake-and-reprice path: a
+// bid queued with candidates sized for yesterday's queue is re-priced at
+// every release, so it admits at the budget actually free instead of
+// waiting for its original ask.
+func TestAcquireBestFuncRepricesOnRelease(t *testing.T) {
+	b := mustNew(t, 100)
+	g1, err := b.Acquire(context.Background(), 40, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Acquire(context.Background(), 60, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	admitted := make(chan *Grant)
+	go func() {
+		// Static candidates would wait for 80 B free; the repricer
+		// accepts whatever is free once at least 30 B opened up.
+		g, err := b.AcquireBestFunc(context.Background(), []int64{80},
+			func(free int64) []int64 {
+				calls.Add(1)
+				if free < 30 {
+					return nil
+				}
+				return []int64{free}
+			}, Block)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- g
+	}()
+
+	// The bid must queue: 0 B free, and the repricer is not consulted at
+	// enqueue time.
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("repricer called %d times before any release", n)
+	}
+
+	// First release frees 40 B — short of the static 80 B ask, but the
+	// repricer right-sizes the bid to the free budget.
+	g1.Release()
+	select {
+	case g := <-admitted:
+		if g.Bytes() != 40 {
+			t.Fatalf("admitted at %d B, want the repriced free budget 40", g.Bytes())
+		}
+		g.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("repriced bid not admitted after release freed 40 B")
+	}
+	if n := calls.Load(); n == 0 {
+		t.Fatal("repricer never consulted on release")
+	}
+	g2.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
+	}
+}
+
+// TestAcquireBestFuncRepriceKeepsCandsOnNil keeps the previous candidate
+// list when the repricer declines (returns nil): the bid still admits
+// once an original candidate fits.
+func TestAcquireBestFuncRepriceKeepsCandsOnNil(t *testing.T) {
+	b := mustNew(t, 100)
+	g1, err := b.Acquire(context.Background(), 70, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.Acquire(context.Background(), 30, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan *Grant)
+	go func() {
+		g, err := b.AcquireBestFunc(context.Background(), []int64{60, 30},
+			func(int64) []int64 { return nil }, Block)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- g
+	}()
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g2.Release() // 30 B free: the declined reprice leaves {60, 30}; 30 fits
+	select {
+	case g := <-admitted:
+		if g.Bytes() != 30 {
+			t.Fatalf("admitted at %d B, want the original candidate 30", g.Bytes())
+		}
+		g.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("bid not admitted from its original candidates")
+	}
+	g1.Release()
+}
+
+// TestAcquireBestFuncRepricePreservesFIFO: a repricing bidder at the
+// head of the queue does not let later arrivals overtake it, and a
+// repricing bidder behind a fixed request cannot jump the queue.
+func TestAcquireBestFuncRepricePreservesFIFO(t *testing.T) {
+	b := mustNew(t, 100)
+	g1, err := b.Acquire(context.Background(), 100, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First in line: a fixed 90 B request.
+	first := make(chan *Grant)
+	go func() {
+		g, err := b.Acquire(context.Background(), 90, Block)
+		if err != nil {
+			t.Error(err)
+		}
+		first <- g
+	}()
+	for b.Waiting() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Second: a repricing bidder that would happily take anything free.
+	second := make(chan *Grant)
+	go func() {
+		g, err := b.AcquireBestFunc(context.Background(), []int64{90},
+			func(free int64) []int64 { return []int64{free} }, Block)
+		if err != nil {
+			t.Error(err)
+		}
+		second <- g
+	}()
+	for b.Waiting() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	g1.Release() // 100 B free: head takes 90, bidder reprices to the 10 left
+	g := <-first
+	select {
+	case g2 := <-second:
+		if g2.Bytes() != 10 {
+			t.Fatalf("queued bidder admitted at %d B, want the repriced remainder 10", g2.Bytes())
+		}
+		g2.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued bidder not admitted behind the drained head")
+	}
+	g.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse = %d, want 0", got)
 	}
 }

@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wlpm/internal/record"
+)
+
+// TableSpec is one -table flag: name=rows generates unique permuted
+// keys 0..rows-1; name=rows:parent draws keys from parent's key domain
+// (the paper's join microbenchmark shape). Shared by wlquery and
+// wlserved so the local and remote CLIs generate identical workloads
+// from identical flags.
+type TableSpec struct {
+	Name   string
+	Rows   int
+	Parent string
+}
+
+// TableFlags collects repeated -table flags in declaration order.
+type TableFlags []TableSpec
+
+func (t *TableFlags) String() string { return fmt.Sprintf("%v", []TableSpec(*t)) }
+
+// Set parses name=rows or name=rows:parent.
+func (t *TableFlags) Set(s string) error {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=rows or name=rows:parent, got %q", s)
+	}
+	rowsStr, parent, _ := strings.Cut(spec, ":")
+	rows, err := strconv.Atoi(rowsStr)
+	if err != nil || rows <= 0 {
+		return fmt.Errorf("bad row count in %q", s)
+	}
+	*t = append(*t, TableSpec{Name: name, Rows: rows, Parent: parent})
+	return nil
+}
+
+// ValidateTables checks the spec list — unique names, parents declared
+// before children — exiting with a usage error otherwise, and returns
+// the specs by name plus the largest row count (the budget base).
+func ValidateTables(cmd string, tables []TableSpec) (byName map[string]TableSpec, maxRows int) {
+	byName = map[string]TableSpec{}
+	for _, spec := range tables {
+		if _, dup := byName[spec.Name]; dup {
+			Usage(cmd, "duplicate table %q", spec.Name)
+		}
+		if spec.Parent != "" {
+			if _, ok := byName[spec.Parent]; !ok {
+				Usage(cmd, "table %q references unknown parent %q (declare the parent first)", spec.Name, spec.Parent)
+			}
+		}
+		byName[spec.Name] = spec
+		if spec.Rows > maxRows {
+			maxRows = spec.Rows
+		}
+	}
+	return byName, maxRows
+}
+
+// GenerateTable emits spec's records: unique permuted keys for root
+// tables, keys cycling through the parent's 0..parentRows-1 domain for
+// child tables. parentRows is ignored for root tables.
+func GenerateTable(spec TableSpec, parentRows int, seed uint64, emit func(rec []byte) error) error {
+	if spec.Parent == "" {
+		return record.Generate(spec.Rows, seed, emit)
+	}
+	// The parent rows were generated from the same domain, so every
+	// child key matches.
+	sink := func([]byte) error { return nil }
+	return record.GenerateJoin(parentRows, spec.Rows, seed, sink, emit)
+}
+
+// TablesPayload is the total byte size of the generated tables.
+func TablesPayload(tables []TableSpec) int64 {
+	var payload int64
+	for _, spec := range tables {
+		payload += int64(spec.Rows) * record.Size
+	}
+	return payload
+}

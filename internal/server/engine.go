@@ -1,0 +1,82 @@
+// Package server is the network-facing multi-tenant query service: an
+// HTTP front over the session/broker/cursor machinery. It accepts the
+// plan DSL over POST /v1/query and streams result batches back as
+// NDJSON with backpressure (a stalled or disconnected client cancels
+// the cursor through the ordinary context plumbing, releasing its
+// memory grant and temporaries), returns compiled-plan explanations
+// from POST /v1/explain, and exposes broker, device and per-tenant
+// counters on GET /v1/metrics.
+//
+// Each authenticated tenant maps to one engine session with its own
+// working-memory budget and admission policy, and a queue-aware
+// admission gate (see FairGate) schedules broker entry with per-tenant
+// weighted fairness over the broker's FIFO, so one tenant's burst
+// cannot starve the others.
+//
+// The package talks to the engine through the Engine interface below —
+// implemented by the wlpm façade (System.ServeEngine) and injected at
+// construction — so it layers over the façade without importing it.
+package server
+
+import (
+	"context"
+
+	"wlpm/internal/exec"
+	"wlpm/internal/pmem"
+)
+
+// Engine is the query engine the server fronts.
+type Engine interface {
+	// OpenSession creates the execution session of one tenant: its
+	// queries request grants of the given budget (0 = engine default)
+	// under blocking admission, or fail-fast when failFast is set;
+	// bidSlack > 0 turns on grant bidding with that accepted slowdown.
+	OpenSession(tenant string, budget int64, failFast bool, bidSlack float64) (EngineSession, error)
+	// BrokerStats snapshots the memory broker's admission counters.
+	BrokerStats() BrokerStats
+	// DeviceStats snapshots the simulated device's counters.
+	DeviceStats() pmem.Stats
+}
+
+// BrokerStats is the broker's admission telemetry: the rationed total,
+// the outstanding grants, the high-water mark and the FIFO queue depth.
+type BrokerStats struct {
+	Total     int64 `json:"total_bytes"`
+	InUse     int64 `json:"in_use_bytes"`
+	HighWater int64 `json:"high_water_bytes"`
+	Waiting   int   `json:"waiting"`
+}
+
+// EngineSession is one tenant's handle on the engine. Implementations
+// must be safe for concurrent use — the server runs many requests of
+// one tenant at a time.
+type EngineSession interface {
+	// Query parses the plan DSL against the server's table catalog.
+	Query(dsl string) (EngineQuery, error)
+	Close() error
+}
+
+// EngineQuery is one parsed query, ready to explain or execute.
+type EngineQuery interface {
+	// Explain compiles the plan at the session's grant size without
+	// running it.
+	Explain() (*exec.Explain, error)
+	// Rows admits the query through the memory broker and returns its
+	// streaming cursor. Cancelling ctx aborts both the admission wait
+	// and the stream, releasing the grant and destroying temporaries.
+	Rows(ctx context.Context) (RowStream, error)
+}
+
+// RowStream is a streaming result cursor, the server-side face of the
+// façade's Rows.
+type RowStream interface {
+	Next() bool
+	// Record is the current record; valid until the following Next.
+	Record() []byte
+	RecordSize() int
+	Err() error
+	// Explain describes the compiled plan (with actuals after the
+	// stream is drained).
+	Explain() *exec.Explain
+	Close() error
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// FairGate is the queue-aware admission wrapper layered over the memory
+// broker's FIFO: queries wait in per-tenant queues and are released
+// toward broker admission one at a time, in start-time-fair-queueing
+// order — each tenant accumulates virtual time in proportion to 1/weight
+// per admitted query, and the gate always picks the backlogged tenant
+// with the least virtual time. A tenant bursting a hundred queries
+// therefore interleaves with, instead of walling off, every other
+// tenant's traffic: without the gate the burst would occupy a hundred
+// consecutive slots of the broker's FIFO queue.
+//
+// The protocol is Enter → (acquire the broker grant) → Exit: only one
+// query at a time sits between Enter and Exit, so the broker's FIFO
+// sees queries in exactly the gate's weighted order. Exit must be
+// called exactly once per successful Enter, whether or not the broker
+// admission succeeded. A cancelled Enter cleans up after itself.
+type FairGate struct {
+	mu     sync.Mutex
+	busy   bool // a query holds the Enter→Exit critical section
+	vtime  float64
+	pass   map[string]float64
+	queues map[string][]*gateWaiter
+	depth  int
+}
+
+type gateWaiter struct {
+	tenant string
+	weight int
+	ready  chan struct{}
+}
+
+// NewFairGate returns an empty gate.
+func NewFairGate() *FairGate {
+	return &FairGate{
+		pass:   make(map[string]float64),
+		queues: make(map[string][]*gateWaiter),
+	}
+}
+
+// Enter blocks until the gate schedules this tenant's turn to proceed
+// to broker admission (or ctx is cancelled). weight < 1 counts as 1.
+func (g *FairGate) Enter(ctx context.Context, tenant string, weight int) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if !g.busy && g.depth == 0 {
+		g.admitLocked(tenant, weight)
+		g.mu.Unlock()
+		return nil
+	}
+	w := &gateWaiter{tenant: tenant, weight: weight, ready: make(chan struct{})}
+	if len(g.queues[tenant]) == 0 {
+		// A newly backlogged tenant starts at the current virtual time:
+		// idling must not bank credit it can later burst through.
+		if g.pass[tenant] < g.vtime {
+			g.pass[tenant] = g.vtime
+		}
+	}
+	g.queues[tenant] = append(g.queues[tenant], w)
+	g.depth++
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		select {
+		case <-w.ready:
+			// Lost race: scheduled between Done and the lock. We own the
+			// critical section — hand it to the next waiter.
+			g.exitLocked()
+			g.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		q := g.queues[tenant]
+		for i, cand := range q {
+			if cand == w {
+				g.queues[tenant] = append(q[:i], q[i+1:]...)
+				g.depth--
+				break
+			}
+		}
+		if len(g.queues[tenant]) == 0 {
+			delete(g.queues, tenant)
+		}
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Exit releases the critical section and schedules the next waiter.
+func (g *FairGate) Exit() {
+	g.mu.Lock()
+	g.exitLocked()
+	g.mu.Unlock()
+}
+
+// exitLocked picks the backlogged tenant with the least virtual time
+// (ties broken by name for determinism) and wakes its head waiter.
+// Caller holds g.mu.
+func (g *FairGate) exitLocked() {
+	g.busy = false
+	best := ""
+	for t, q := range g.queues {
+		if len(q) == 0 {
+			continue
+		}
+		if best == "" || g.pass[t] < g.pass[best] || (g.pass[t] == g.pass[best] && t < best) {
+			best = t
+		}
+	}
+	if best == "" {
+		return
+	}
+	w := g.queues[best][0]
+	if len(g.queues[best]) == 1 {
+		delete(g.queues, best)
+	} else {
+		g.queues[best] = g.queues[best][1:]
+	}
+	g.depth--
+	g.admitLocked(best, w.weight)
+	close(w.ready)
+}
+
+// admitLocked charges tenant's virtual time for one admission and marks
+// the critical section busy. Caller holds g.mu.
+func (g *FairGate) admitLocked(tenant string, weight int) {
+	if g.pass[tenant] < g.vtime {
+		g.pass[tenant] = g.vtime
+	}
+	g.vtime = g.pass[tenant]
+	g.pass[tenant] += 1 / float64(weight)
+	g.busy = true
+}
+
+// Depth reports the number of queries waiting at the gate.
+func (g *FairGate) Depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.depth
+}
+
+// QueueDepths reports the waiting queries per tenant (absent = none).
+func (g *FairGate) QueueDepths() map[string]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]int, len(g.queues))
+	for t, q := range g.queues {
+		if len(q) > 0 {
+			out[t] = len(q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeFairGateWeightedOrder pins the stride schedule: with tenant b
+// at weight 2 and tenant a at weight 1, a fully backlogged gate admits
+// b twice per a admission.
+func TestServeFairGateWeightedOrder(t *testing.T) {
+	g := NewFairGate()
+	// Occupy the critical section so every later Enter queues.
+	if err := g.Enter(context.Background(), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(tenant string, weight, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := g.Enter(context.Background(), tenant, weight); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, tenant)
+				mu.Unlock()
+				g.Exit()
+			}()
+			// Serialize arrivals so per-tenant FIFO positions are fixed.
+			waitDepth(t, g, 1+i+map[string]int{"a": 0, "b": 4}[tenant])
+		}
+	}
+	enqueue("a", 1, 4)
+	enqueue("b", 2, 4)
+	waitDepth(t, g, 8)
+
+	g.Exit() // release the holder; the cascade drains the queue
+	wg.Wait()
+
+	want := []string{"a", "b", "b", "a", "b", "b", "a", "a"}
+	if len(order) != len(want) {
+		t.Fatalf("admitted %d, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("admission order %v, want %v", order, want)
+		}
+	}
+	if d := g.Depth(); d != 0 {
+		t.Fatalf("depth %d after drain, want 0", d)
+	}
+}
+
+// TestServeFairGateCancel removes a cancelled waiter without disturbing
+// the schedule.
+func TestServeFairGateCancel(t *testing.T) {
+	g := NewFairGate()
+	if err := g.Enter(context.Background(), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Enter(ctx, "a", 1) }()
+	waitDepth(t, g, 1)
+
+	admitted := make(chan struct{})
+	go func() {
+		if err := g.Enter(context.Background(), "b", 1); err != nil {
+			t.Error(err)
+			return
+		}
+		close(admitted)
+	}()
+	waitDepth(t, g, 2)
+
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Enter returned %v", err)
+	}
+	if d := g.Depth(); d != 1 {
+		t.Fatalf("depth %d after cancel, want 1", d)
+	}
+	if q := g.QueueDepths(); q["a"] != 0 || q["b"] != 1 {
+		t.Fatalf("queue depths %v, want only b:1", q)
+	}
+
+	g.Exit()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("b never admitted after cancel + exit")
+	}
+	g.Exit()
+	if d := g.Depth(); d != 0 {
+		t.Fatalf("depth %d, want 0", d)
+	}
+}
+
+// TestServeFairGateIdleNoCredit pins virtual-time catch-up: a tenant
+// idle through many admissions does not bank credit to burst with.
+func TestServeFairGateIdleNoCredit(t *testing.T) {
+	g := NewFairGate()
+	// Advance virtual time with a lone tenant.
+	for i := 0; i < 100; i++ {
+		if err := g.Enter(context.Background(), "a", 1); err != nil {
+			t.Fatal(err)
+		}
+		g.Exit()
+	}
+	// Hold the section, backlog one a and two late-arriving b.
+	if err := g.Enter(context.Background(), "a", 1); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	spawn := func(tenant string, after int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Enter(context.Background(), tenant, 1); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, tenant)
+			mu.Unlock()
+			g.Exit()
+		}()
+		waitDepth(t, g, after)
+	}
+	spawn("a", 1)
+	spawn("b", 2)
+	spawn("b", 3)
+	g.Exit()
+	wg.Wait()
+	// b starts at the current virtual time, not at 0: it alternates with
+	// a instead of burning its "saved up" 100 admissions first.
+	if order[0] != "a" && order[1] != "a" {
+		t.Fatalf("admission order %v: the idle tenant burst past the active one", order)
+	}
+}
+
+func waitDepth(t *testing.T, g *FairGate, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Depth() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate depth stuck at %d, want %d", g.Depth(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wlpm/internal/pmem"
+)
+
+// tenantCounters accumulates one tenant's traffic. All fields are
+// atomics: the streaming handlers bump them without a lock.
+type tenantCounters struct {
+	queries   atomic.Int64 // accepted (parsed, past auth)
+	completed atomic.Int64 // streamed to the end marker
+	errored   atomic.Int64 // failed after acceptance (parse errors excluded)
+	cancelled atomic.Int64 // aborted by client disconnect or shutdown
+	rows      atomic.Int64
+	bytes     atomic.Int64 // result payload bytes (records, pre-encoding)
+	active    atomic.Int64 // streaming right now
+	gateWait  atomic.Int64 // ns spent waiting at the fairness gate
+	admitWait atomic.Int64 // ns from gate exit to broker grant
+}
+
+// TenantMetrics is the wire form of one tenant's counters.
+type TenantMetrics struct {
+	Queries     int64 `json:"queries"`
+	Completed   int64 `json:"completed"`
+	Errors      int64 `json:"errors"`
+	Cancelled   int64 `json:"cancelled"`
+	Rows        int64 `json:"rows"`
+	Bytes       int64 `json:"bytes"`
+	Active      int64 `json:"active"`
+	Queued      int   `json:"queued"` // waiting at the fairness gate now
+	GateWaitMs  int64 `json:"gate_wait_ms"`
+	AdmitWaitMs int64 `json:"admit_wait_ms"`
+	Weight      int   `json:"weight"`
+}
+
+// metricsRegistry holds the per-tenant counters, keyed by tenant name.
+type metricsRegistry struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{tenants: make(map[string]*tenantCounters)}
+}
+
+func (m *metricsRegistry) tenant(name string) *tenantCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tc, ok := m.tenants[name]
+	if !ok {
+		tc = &tenantCounters{}
+		m.tenants[name] = tc
+	}
+	return tc
+}
+
+// snapshot renders every tenant's counters, merging in the gate's queue
+// depths and the configured weights.
+func (m *metricsRegistry) snapshot(queued map[string]int, weight func(string) int) map[string]TenantMetrics {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.tenants))
+	for name := range m.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]TenantMetrics, len(names))
+	for _, name := range names {
+		tc := m.tenants[name]
+		out[name] = TenantMetrics{
+			Queries:     tc.queries.Load(),
+			Completed:   tc.completed.Load(),
+			Errors:      tc.errored.Load(),
+			Cancelled:   tc.cancelled.Load(),
+			Rows:        tc.rows.Load(),
+			Bytes:       tc.bytes.Load(),
+			Active:      tc.active.Load(),
+			Queued:      queued[name],
+			GateWaitMs:  tc.gateWait.Load() / int64(time.Millisecond),
+			AdmitWaitMs: tc.admitWait.Load() / int64(time.Millisecond),
+			Weight:      weight(name),
+		}
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// DeviceMetrics is the wire form of the simulated device counters.
+type DeviceMetrics struct {
+	Reads        uint64 `json:"cacheline_reads"`
+	Writes       uint64 `json:"cacheline_writes"`
+	ReadOps      uint64 `json:"read_ops"`
+	WriteOps     uint64 `json:"write_ops"`
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+	SimIOMs      int64  `json:"sim_io_ms"`
+	SimOverlapMs int64  `json:"sim_io_overlap_ms"`
+	SoftMs       int64  `json:"soft_ms"`
+}
+
+func deviceMetrics(s pmem.Stats) DeviceMetrics {
+	return DeviceMetrics{
+		Reads:        s.Reads,
+		Writes:       s.Writes,
+		ReadOps:      s.ReadOps,
+		WriteOps:     s.WriteOps,
+		BytesRead:    s.BytesRead,
+		BytesWritten: s.BytesWritten,
+		SimIOMs:      int64(s.SimIOTime / time.Millisecond),
+		SimOverlapMs: int64(s.SimIOOverlap / time.Millisecond),
+		SoftMs:       int64(s.SoftTime / time.Millisecond),
+	}
+}
+
+// Metrics is the GET /v1/metrics document.
+type Metrics struct {
+	UptimeMs  int64                    `json:"uptime_ms"`
+	InFlight  int64                    `json:"in_flight"`
+	GateDepth int                      `json:"gate_depth"`
+	Broker    BrokerStats              `json:"broker"`
+	Device    DeviceMetrics            `json:"device"`
+	Tenants   map[string]TenantMetrics `json:"tenants"`
+}

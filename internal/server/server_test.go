@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wlpm/internal/exec"
+	"wlpm/internal/pmem"
+)
+
+// fakeEngine serves plans of the form "rows(N)": N records of two
+// little-endian uint64 attrs, (i, i*i). It lets the handler tests run
+// without a storage rig.
+type fakeEngine struct {
+	sessions atomic.Int64
+	closed   atomic.Int64
+}
+
+func (e *fakeEngine) OpenSession(tenant string, budget int64, failFast bool, bidSlack float64) (EngineSession, error) {
+	e.sessions.Add(1)
+	return &fakeSession{eng: e, tenant: tenant}, nil
+}
+
+func (e *fakeEngine) BrokerStats() BrokerStats {
+	return BrokerStats{Total: 1 << 20, InUse: 1 << 10, HighWater: 1 << 11, Waiting: 3}
+}
+
+func (e *fakeEngine) DeviceStats() pmem.Stats { return pmem.Stats{Reads: 7, Writes: 5} }
+
+type fakeSession struct {
+	eng    *fakeEngine
+	tenant string
+}
+
+func (s *fakeSession) Query(dsl string) (EngineQuery, error) {
+	var n int
+	if _, err := fmt.Sscanf(dsl, "rows(%d)", &n); err != nil {
+		return nil, fmt.Errorf("bad plan %q", dsl)
+	}
+	return &fakeQuery{n: n}, nil
+}
+
+func (s *fakeSession) Close() error { s.eng.closed.Add(1); return nil }
+
+type fakeQuery struct{ n int }
+
+func (q *fakeQuery) Explain() (*exec.Explain, error) {
+	return &exec.Explain{Root: "fake", RecordSize: 16}, nil
+}
+
+func (q *fakeQuery) Rows(ctx context.Context) (RowStream, error) {
+	return &fakeStream{n: q.n, ctx: ctx, rec: make([]byte, 16)}, nil
+}
+
+type fakeStream struct {
+	n, i int
+	ctx  context.Context
+	rec  []byte
+	err  error
+}
+
+func (st *fakeStream) Next() bool {
+	if st.err != nil || st.i >= st.n {
+		return false
+	}
+	if err := st.ctx.Err(); err != nil {
+		st.err = err
+		return false
+	}
+	binary.LittleEndian.PutUint64(st.rec[0:], uint64(st.i))
+	binary.LittleEndian.PutUint64(st.rec[8:], uint64(st.i*st.i))
+	st.i++
+	return true
+}
+
+func (st *fakeStream) Record() []byte         { return st.rec }
+func (st *fakeStream) RecordSize() int        { return 16 }
+func (st *fakeStream) Err() error             { return st.err }
+func (st *fakeStream) Explain() *exec.Explain { return &exec.Explain{Root: "fake", RecordSize: 16} }
+func (st *fakeStream) Close() error           { return nil }
+
+func newTestServer(t *testing.T, tenants ...Tenant) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{Engine: &fakeEngine{}, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	return s, hs
+}
+
+func postQuery(t *testing.T, url, plan string, hdr map[string]string) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(QueryRequest{Plan: plan})
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestServeHandlerStreamsRows checks the NDJSON stream shape end to end:
+// header, attr-array rows in order, terminal end with the row count.
+func TestServeHandlerStreamsRows(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp := postQuery(t, hs.URL+"/v1/query", "rows(100)", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var rows int
+	var sawHeader, sawEnd bool
+	for sc.Scan() {
+		var line Line
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Header != nil:
+			if rows > 0 || sawHeader {
+				t.Fatal("header not first")
+			}
+			sawHeader = true
+			if line.Header.RecordSize != 16 || line.Header.Attrs != 2 {
+				t.Fatalf("header %+v", line.Header)
+			}
+		case line.Row != nil:
+			if want := uint64(rows); line.Row[0] != want || line.Row[1] != want*want {
+				t.Fatalf("row %d = %v", rows, line.Row)
+			}
+			rows++
+		case line.End != nil:
+			sawEnd = true
+			if line.End.Rows != 100 {
+				t.Fatalf("end rows %d", line.End.Rows)
+			}
+			if line.End.Explain == nil || line.End.Explain.Root != "fake" {
+				t.Fatalf("end explain %+v", line.End.Explain)
+			}
+		case line.Error != "":
+			t.Fatalf("stream error: %s", line.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawHeader || rows != 100 || !sawEnd {
+		t.Fatalf("header=%v rows=%d end=%v", sawHeader, rows, sawEnd)
+	}
+}
+
+// TestServeHandlerAuth pins the tenant resolution matrix with a
+// configured tenant set: token → tenant, token-less tenant by header,
+// unknown token and missing credentials → 401.
+func TestServeHandlerAuth(t *testing.T) {
+	_, hs := newTestServer(t,
+		Tenant{Name: "alpha", Token: "secret-a"},
+		Tenant{Name: "beta"}, // open: selected by header
+	)
+	cases := []struct {
+		name string
+		hdr  map[string]string
+		code int
+	}{
+		{"good token", map[string]string{"Authorization": "Bearer secret-a"}, http.StatusOK},
+		{"bad token", map[string]string{"Authorization": "Bearer nope"}, http.StatusUnauthorized},
+		{"bad scheme", map[string]string{"Authorization": "Basic abc"}, http.StatusUnauthorized},
+		{"open tenant by header", map[string]string{TenantHeader: "beta"}, http.StatusOK},
+		{"token tenant by header", map[string]string{TenantHeader: "alpha"}, http.StatusUnauthorized},
+		{"no credentials", nil, http.StatusUnauthorized},
+		{"unknown tenant", map[string]string{TenantHeader: "gamma"}, http.StatusUnauthorized},
+	}
+	for _, tc := range cases {
+		resp := postQuery(t, hs.URL+"/v1/query", "rows(1)", tc.hdr)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+// TestServeHandlerErrors pins the non-streaming error answers.
+func TestServeHandlerErrors(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp := postQuery(t, hs.URL+"/v1/query", "not a plan", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan: status %d", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("bad plan: error doc %+v, %v", e, err)
+	}
+	resp2, err := http.Get(hs.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET query: status %d", resp2.StatusCode)
+	}
+}
+
+// TestServeHandlerExplain checks POST /v1/explain returns the compiled
+// explanation as one JSON document.
+func TestServeHandlerExplain(t *testing.T) {
+	_, hs := newTestServer(t)
+	resp := postQuery(t, hs.URL+"/v1/explain", "rows(5)", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var doc ExplainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Explain == nil || doc.Explain.Root != "fake" || doc.Explain.RecordSize != 16 {
+		t.Fatalf("explain %+v", doc.Explain)
+	}
+}
+
+// TestServeHandlerMetrics checks the metrics document: broker stats pass
+// through, per-tenant counters accumulate.
+func TestServeHandlerMetrics(t *testing.T) {
+	_, hs := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		resp := postQuery(t, hs.URL+"/v1/query", "rows(10)", map[string]string{TenantHeader: "alice"})
+		drainBody(t, resp)
+	}
+	resp := postQuery(t, hs.URL+"/v1/query", "rows(4)", map[string]string{TenantHeader: "bob"})
+	drainBody(t, resp)
+
+	mresp, err := http.Get(hs.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", mresp.StatusCode)
+	}
+	var m Metrics
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Broker.Total != 1<<20 || m.Broker.Waiting != 3 {
+		t.Fatalf("broker %+v", m.Broker)
+	}
+	if m.Device.Reads != 7 || m.Device.Writes != 5 {
+		t.Fatalf("device %+v", m.Device)
+	}
+	alice, bob := m.Tenants["alice"], m.Tenants["bob"]
+	if alice.Queries != 3 || alice.Completed != 3 || alice.Rows != 30 || alice.Bytes != 480 {
+		t.Fatalf("alice %+v", alice)
+	}
+	if bob.Queries != 1 || bob.Rows != 4 {
+		t.Fatalf("bob %+v", bob)
+	}
+	if m.InFlight != 0 || m.GateDepth != 0 {
+		t.Fatalf("in_flight=%d gate_depth=%d after drain", m.InFlight, m.GateDepth)
+	}
+}
+
+// TestServeShutdownClosesSessions checks graceful shutdown closes the
+// opened engine sessions exactly once.
+func TestServeShutdownClosesSessions(t *testing.T) {
+	eng := &fakeEngine{}
+	s, err := New(Config{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	for _, tenant := range []string{"a", "b"} {
+		resp := postQuery(t, hs.URL+"/v1/query", "rows(1)", map[string]string{TenantHeader: tenant})
+		drainBody(t, resp)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.closed.Load(); got != eng.sessions.Load() || got != 2 {
+		t.Fatalf("closed %d of %d sessions", got, eng.sessions.Load())
+	}
+	select {
+	case <-s.base.Done():
+	default:
+		t.Fatal("base context not cancelled after Shutdown")
+	}
+}
+
+func drainBody(t *testing.T, resp *http.Response) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b := new(strings.Builder)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			b.WriteString(sc.Text())
+		}
+		t.Fatalf("status %d: %s", resp.StatusCode, b.String())
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var last Line
+	for sc.Scan() {
+		last = Line{}
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.End == nil {
+		t.Fatalf("stream did not end cleanly: %+v", last)
+	}
+}

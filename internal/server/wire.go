@@ -1,0 +1,58 @@
+package server
+
+import "wlpm/internal/exec"
+
+// Wire types of the /v1 protocol. POST /v1/query and /v1/explain take a
+// QueryRequest; /v1/explain answers with one ExplainResponse document,
+// while /v1/query streams NDJSON — one Line per text line, in order:
+//
+//	{"header":{...}}        exactly once, before any row
+//	{"row":[1,2,...]}       one per record: the 8-byte attrs as uint64s
+//	{"raw":"base64..."}     instead of "row" when the record size is not
+//	                        a multiple of the attribute size
+//	{"end":{...}}           terminal on success (row count + explain)
+//	{"error":"..."}         terminal on failure
+//
+// Records are little-endian fixed-size attribute arrays, so the row form
+// reconstructs the record bytes exactly; remote results are therefore
+// byte-identical to in-process execution.
+
+// QueryRequest is the body of POST /v1/query and POST /v1/explain.
+type QueryRequest struct {
+	// Plan is the query in the plan DSL (see cmd/wlquery).
+	Plan string `json:"plan"`
+}
+
+// Line is one NDJSON line of a query response stream. Exactly one of
+// the fields is set.
+type Line struct {
+	Header *Header  `json:"header,omitempty"`
+	Row    []uint64 `json:"row,omitempty"`
+	Raw    []byte   `json:"raw,omitempty"`
+	End    *End     `json:"end,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Header opens a query stream.
+type Header struct {
+	RecordSize int `json:"record_size"`
+	// Attrs is RecordSize / 8 when records are attribute arrays (rows
+	// stream as "row" lines), 0 when they stream as "raw" lines.
+	Attrs int `json:"attrs"`
+}
+
+// End closes a successful query stream.
+type End struct {
+	Rows    int64         `json:"rows"`
+	Explain *exec.Explain `json:"explain,omitempty"`
+}
+
+// ExplainResponse is the body of a POST /v1/explain answer.
+type ExplainResponse struct {
+	Explain *exec.Explain `json:"explain"`
+}
+
+// ErrorResponse is the JSON body of non-streaming error answers.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -184,6 +184,30 @@ func (q *Query) bidCandidates(full int64, slack float64) []int64 {
 	return cands
 }
 
+// repricer returns the broker callback that re-prices this query's
+// queued bid at the budget actually free (see broker.Repricer): when the
+// plan's predicted cost at the free budget stays within slack × the
+// full-budget prediction, the free budget becomes the bid, so the query
+// admits at today's right size instead of waiting for a static
+// candidate to fit. Declining (nil) keeps the static candidate list.
+func (q *Query) repricer(full int64, slack float64) broker.Repricer {
+	return func(free int64) []int64 {
+		if free <= 0 || free >= full {
+			return nil // the static candidates already cover this regime
+		}
+		ec := exec.NewCtx(q.sys.fac, full, q.sys.par)
+		ec.Stats = q.sys.stats
+		costs, err := exec.PlanCosts(ec, q.plan, []int64{full, free})
+		if err != nil {
+			return nil
+		}
+		if costs[1] <= slack*costs[0] {
+			return []int64{free}
+		}
+		return nil
+	}
+}
+
 // runInto compiles the plan at the given budget and executes it under
 // ctx, appending the result to out (blocking roots emit directly). The
 // grant, when non-nil, is released on return.

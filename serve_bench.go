@@ -1,0 +1,392 @@
+package wlpm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"wlpm/client"
+	"wlpm/internal/bench"
+	"wlpm/internal/record"
+	"wlpm/internal/server"
+)
+
+// The serve experiment: K clients streaming the join pipeline through
+// cmd/wlserved's HTTP layer versus the same K clients as in-process
+// sessions. Same tables, same plan, same broker ration (two grants, so
+// admission queues under both modes); the delta is what the network
+// front costs — and the identity check is what it must not cost:
+// remote results are byte-identical to in-process execution.
+//
+// The runner lives in the façade package (not internal/bench) because
+// it spans the layers bench sits below — the server and client packages
+// — and registers itself with the bench registry at init.
+
+func init() { bench.Register("serve", serveBench) }
+
+const (
+	serveBenchAdmit   = 2 // broker ration in grants, the concurrency bench's
+	serveBenchQueries = 2 // queries per client
+)
+
+// serveBenchPlan is the measured pipeline: grace join + external merge
+// sort, pinned so both modes compile identical physical plans.
+const serveBenchPlan = "scan(dim) | join(scan(fact); GJ) | orderby(ExMS)"
+
+type serveRunStats struct {
+	wall      time.Duration
+	latencies []time.Duration // per query, sorted
+	rows      int64           // total rows streamed
+	hash      uint64          // FNV-64a over every query's record bytes (order-checked per query)
+}
+
+func serveBench(cfg bench.Config) ([]*bench.Report, error) {
+	// Spin mode, like the concurrency experiment: charged device
+	// latencies are real delays, so concurrent streams genuinely overlap
+	// and tail latency means something.
+	cfg.Spin = true
+	k := cfg.Sessions
+	if k <= 0 {
+		k = 4
+	}
+	nDim, nFact := cfg.JoinRows()
+	grant := int64(0.05 * float64(nFact) * record.Size)
+	if grant < record.Size {
+		grant = record.Size
+	}
+
+	logf := func(format string, args ...any) {
+		if cfg.Verbose && cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	logf("serve: K=%d in-process sessions", k)
+	local, err := serveBenchLocal(cfg, nDim, nFact, grant, k)
+	if err != nil {
+		return nil, err
+	}
+	logf("serve: K=%d remote clients", k)
+	remote, met, err := serveBenchRemote(cfg, nDim, nFact, grant, k)
+	if err != nil {
+		return nil, err
+	}
+
+	identical := local.hash == remote.hash && local.rows == remote.rows
+	rep := &bench.Report{
+		ID: "serve",
+		Title: fmt.Sprintf("K=%d clients × %d queries, %s (%d ⋈ %d, backend=%s, admit %d grants)",
+			k, serveBenchQueries, serveBenchPlan, nDim, nFact, cfg.Backend, serveBenchAdmit),
+		Columns: []string{"mode", "wall (ms)", "queries/s", "rows/s", "p50 (ms)", "p95 (ms)", "p99 (ms)"},
+	}
+	for _, row := range []struct {
+		name string
+		s    serveRunStats
+	}{{"in-process", local}, {"remote (wlserved)", remote}} {
+		n := float64(k * serveBenchQueries)
+		rep.Rows = append(rep.Rows, []string{
+			row.name,
+			fmt.Sprintf("%.3f", float64(row.s.wall)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", n/row.s.wall.Seconds()),
+			fmt.Sprintf("%.0f", float64(row.s.rows)/row.s.wall.Seconds()),
+			pctileMs(row.s.latencies, 50), pctileMs(row.s.latencies, 95), pctileMs(row.s.latencies, 99),
+		})
+	}
+	if identical {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"remote results byte-identical to in-process execution (%d rows/query, FNV-64a %016x)",
+			local.rows/int64(k*serveBenchQueries), local.hash))
+	} else {
+		rep.Notes = append(rep.Notes, fmt.Sprintf(
+			"IDENTITY FAILURE: in-process %d rows hash %016x, remote %d rows hash %016x",
+			local.rows, local.hash, remote.rows, remote.hash))
+	}
+	var totalQueries int64
+	for _, tm := range met.Tenants {
+		totalQueries += tm.Queries
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"server metrics after the run: %d queries across %d tenants, broker high water %d B of %d B, gate depth %d",
+		totalQueries, len(met.Tenants), met.Broker.HighWater, met.Broker.Total, met.GateDepth))
+
+	if cfg.ServeJSON != "" {
+		if err := writeServeJSON(cfg.ServeJSON, k, local, remote, identical, met); err != nil {
+			return nil, err
+		}
+		rep.Notes = append(rep.Notes, fmt.Sprintf("machine-readable result: %s", cfg.ServeJSON))
+	}
+	if !identical {
+		return []*bench.Report{rep}, fmt.Errorf("serve: remote results diverged from in-process execution")
+	}
+	return []*bench.Report{rep}, nil
+}
+
+// serveBenchTenant numbers remote tenants t0..t{K-1}; metrics are
+// spot-checked against t0.
+const serveBenchTenant = "t0"
+
+// serveBenchRig builds one system with the benchmark tables, rationing
+// serveBenchAdmit grants of the given size.
+func serveBenchRig(cfg bench.Config, nDim, nFact int, grant int64) (*System, map[string]Collection, error) {
+	payload := int64(nDim+nFact) * record.Size
+	opts := []Option{
+		WithCapacity(payload*16 + (64 << 20)),
+		WithBackend(cfg.Backend),
+		WithBlockSize(cfg.BlockSize),
+		WithLatencies(cfg.ReadLatency, cfg.WriteLatency),
+		WithParallelism(cfg.Parallelism),
+		WithBatchSize(cfg.BatchSize),
+		WithMemoryBudget(serveBenchAdmit * grant),
+	}
+	if cfg.Spin {
+		opts = append(opts, WithSpin())
+	}
+	sys, err := New(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	dim, err := sys.Create("dim")
+	if err != nil {
+		return nil, nil, err
+	}
+	fact, err := sys.Create("fact")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := GenerateJoinInputs(nDim, nFact, 42, dim.Append, fact.Append); err != nil {
+		return nil, nil, err
+	}
+	if err := dim.Close(); err != nil {
+		return nil, nil, err
+	}
+	if err := fact.Close(); err != nil {
+		return nil, nil, err
+	}
+	cols := map[string]Collection{"dim": dim, "fact": fact}
+	for _, c := range cols {
+		if _, err := sys.Collect(c); err != nil {
+			return nil, nil, err
+		}
+	}
+	return sys, cols, nil
+}
+
+// serveBenchLocal runs K in-process sessions, each streaming the plan
+// serveBenchQueries times.
+func serveBenchLocal(cfg bench.Config, nDim, nFact int, grant int64, k int) (serveRunStats, error) {
+	sys, cols, err := serveBenchRig(cfg, nDim, nFact, grant)
+	if err != nil {
+		return serveRunStats{}, err
+	}
+	lookup := CollectionLookup(cols)
+	return serveBenchDrive(k, func(i, q int) (int64, uint64, time.Duration, error) {
+		sess := sys.Session(WithSessionBudget(grant))
+		query, err := sess.ParseQuery(serveBenchPlan, lookup)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		start := time.Now()
+		rows, err := query.Rows(context.Background())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		h := fnv.New64a()
+		var n int64
+		for rows.Next() {
+			h.Write(rows.Record())
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			rows.Close()
+			return 0, 0, 0, err
+		}
+		if err := rows.Close(); err != nil {
+			return 0, 0, 0, err
+		}
+		return n, h.Sum64(), time.Since(start), nil
+	})
+}
+
+// serveBenchRemote starts a real wlserved stack on a loopback listener
+// and runs K client-package tenants against it, then snapshots the
+// metrics endpoint.
+func serveBenchRemote(cfg bench.Config, nDim, nFact int, grant int64, k int) (serveRunStats, *server.Metrics, error) {
+	sys, cols, err := serveBenchRig(cfg, nDim, nFact, grant)
+	if err != nil {
+		return serveRunStats{}, nil, err
+	}
+	tenants := make([]server.Tenant, k)
+	for i := range tenants {
+		tenants[i] = server.Tenant{Name: fmt.Sprintf("t%d", i), Weight: 1, Budget: grant}
+	}
+	srv, err := server.New(server.Config{Engine: sys.ServeEngine(cols), Tenants: tenants})
+	if err != nil {
+		return serveRunStats{}, nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveRunStats{}, nil, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	addr := l.Addr().String()
+
+	stats, err := serveBenchDrive(k, func(i, q int) (int64, uint64, time.Duration, error) {
+		sess := client.Dial(addr).Session(fmt.Sprintf("t%d", i))
+		start := time.Now()
+		rows, err := sess.Query(serveBenchPlan).Rows(context.Background())
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		h := fnv.New64a()
+		var n int64
+		for rows.Next() {
+			h.Write(rows.Record())
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			rows.Close()
+			return 0, 0, 0, err
+		}
+		if err := rows.Close(); err != nil {
+			return 0, 0, 0, err
+		}
+		return n, h.Sum64(), time.Since(start), nil
+	})
+	if err != nil {
+		return serveRunStats{}, nil, err
+	}
+
+	met, err := client.Dial(addr).Session(serveBenchTenant).Metrics(context.Background())
+	if err != nil {
+		return serveRunStats{}, nil, err
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return serveRunStats{}, nil, err
+	}
+	if err := <-serveErr; err != nil {
+		return serveRunStats{}, nil, err
+	}
+	return stats, met, nil
+}
+
+// serveBenchDrive fans K clients × serveBenchQueries queries through
+// run, checking every query returns the same bytes, and aggregates the
+// run's wall time, per-query latencies and the common hash.
+func serveBenchDrive(k int, run func(client, query int) (rows int64, hash uint64, lat time.Duration, err error)) (serveRunStats, error) {
+	type result struct {
+		rows int64
+		hash uint64
+		lat  time.Duration
+		err  error
+	}
+	results := make([][]result, k)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		results[i] = make([]result, serveBenchQueries)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for q := 0; q < serveBenchQueries; q++ {
+				rows, hash, lat, err := run(i, q)
+				results[i][q] = result{rows, hash, lat, err}
+				if err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	stats := serveRunStats{wall: time.Since(start)}
+	h := fnv.New64a()
+	var refHash uint64
+	var refRows int64
+	for i := range results {
+		for q, r := range results[i] {
+			if r.err != nil {
+				return stats, fmt.Errorf("client %d query %d: %w", i, q, r.err)
+			}
+			if i == 0 && q == 0 {
+				refHash, refRows = r.hash, r.rows
+			} else if r.hash != refHash || r.rows != refRows {
+				return stats, fmt.Errorf("client %d query %d: %d rows hash %016x, want %d rows hash %016x",
+					i, q, r.rows, r.hash, refRows, refHash)
+			}
+			stats.rows += r.rows
+			stats.latencies = append(stats.latencies, r.lat)
+			// Fold every query's hash so the mode hash covers the run.
+			fmt.Fprintf(h, "%016x", r.hash)
+		}
+	}
+	sort.Slice(stats.latencies, func(a, b int) bool { return stats.latencies[a] < stats.latencies[b] })
+	stats.hash = h.Sum64()
+	return stats, nil
+}
+
+func pctileMs(sorted []time.Duration, p int) string {
+	if len(sorted) == 0 {
+		return "-"
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return fmt.Sprintf("%.3f", float64(sorted[idx])/float64(time.Millisecond))
+}
+
+// writeServeJSON emits the machine-readable artifact (BENCH_serve.json).
+func writeServeJSON(path string, k int, local, remote serveRunStats, identical bool, met *server.Metrics) error {
+	type mode struct {
+		Name    string  `json:"name"`
+		WallMs  float64 `json:"wall_ms"`
+		QPS     float64 `json:"queries_per_s"`
+		RowsPS  float64 `json:"rows_per_s"`
+		P50Ms   string  `json:"p50_ms"`
+		P95Ms   string  `json:"p95_ms"`
+		P99Ms   string  `json:"p99_ms"`
+		Rows    int64   `json:"rows"`
+		HashHex string  `json:"hash"`
+	}
+	mk := func(name string, s serveRunStats) mode {
+		n := float64(len(s.latencies))
+		return mode{
+			Name:    name,
+			WallMs:  float64(s.wall) / float64(time.Millisecond),
+			QPS:     n / s.wall.Seconds(),
+			RowsPS:  float64(s.rows) / s.wall.Seconds(),
+			P50Ms:   pctileMs(s.latencies, 50),
+			P95Ms:   pctileMs(s.latencies, 95),
+			P99Ms:   pctileMs(s.latencies, 99),
+			Rows:    s.rows,
+			HashHex: fmt.Sprintf("%016x", s.hash),
+		}
+	}
+	doc := struct {
+		Experiment string          `json:"experiment"`
+		K          int             `json:"k"`
+		Queries    int             `json:"queries_per_client"`
+		Plan       string          `json:"plan"`
+		Identical  bool            `json:"byte_identical"`
+		Modes      []mode          `json:"modes"`
+		Metrics    *server.Metrics `json:"server_metrics"`
+	}{
+		Experiment: "serve",
+		K:          k,
+		Queries:    serveBenchQueries,
+		Plan:       serveBenchPlan,
+		Identical:  identical,
+		Modes:      []mode{mk("in-process", local), mk("remote", remote)},
+		Metrics:    met,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

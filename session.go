@@ -85,21 +85,35 @@ func WithGrantBidding(maxSlowdown float64) SessionOption {
 	}
 }
 
+// WithTenant labels the session with a tenant name. The label prefixes
+// the session's collection namespace (so the collections of one tenant's
+// sessions are recognizable on the device) and identifies the session in
+// server-side metrics; it does not change admission behaviour.
+func WithTenant(name string) SessionOption {
+	return func(s *Session) { s.tenant = name }
+}
+
 // Session is one caller's handle on the System for concurrent query
 // execution. Sessions are cheap (no goroutines, no device state); create
 // one per logical client. A Session's methods are safe for concurrent
 // use, but each Query/Rows it produces remains single-owner.
 type Session struct {
 	sys      *System
+	id       int64
+	tenant   string
 	budget   int64
 	policy   AdmissionPolicy
 	bidSlack float64 // > 0: grant bidding on, with this accepted slowdown
 	closed   atomic.Bool
 }
 
+// sessionSeq numbers sessions so their collection namespaces are
+// disjoint even across tenants sharing a name.
+var sessionSeq atomic.Int64
+
 // Session opens a session on the system.
 func (s *System) Session(opts ...SessionOption) *Session {
-	se := &Session{sys: s, policy: AdmitBlock}
+	se := &Session{sys: s, id: sessionSeq.Add(1), policy: AdmitBlock}
 	se.budget = s.mem.Total() / 4
 	if se.budget < 1 {
 		se.budget = 1
@@ -115,6 +129,38 @@ func (se *Session) Budget() int64 { return se.budget }
 
 // Policy is the session's admission policy.
 func (se *Session) Policy() AdmissionPolicy { return se.policy }
+
+// Tenant is the session's tenant label ("" when unset).
+func (se *Session) Tenant() string { return se.tenant }
+
+// Namespace is the prefix of every collection this session creates:
+// unique per session, so concurrent sessions (and therefore tenants)
+// materializing the same plan never collide on Create names.
+func (se *Session) Namespace() string {
+	if se.tenant != "" {
+		return fmt.Sprintf("%s.s%d.", se.tenant, se.id)
+	}
+	return fmt.Sprintf("s%d.", se.id)
+}
+
+// Create makes a benchmark-schema collection inside the session's
+// namespace: the given name is prefixed with Namespace, so two sessions
+// may both Create("result") — materializing the same plan concurrently —
+// without colliding on the factory's unique-name rule. Use it for the
+// output collections of RunCtx/RunMaterializedCtx in concurrent code;
+// System.Create remains the way to make shared, globally-named tables.
+func (se *Session) Create(name string) (Collection, error) {
+	return se.CreateSized(name, RecordSize)
+}
+
+// CreateSized is Create with a custom record size (query outputs are
+// often projections narrower than the benchmark schema).
+func (se *Session) CreateSized(name string, recordSize int) (Collection, error) {
+	if se.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	return se.sys.fac.Create(se.Namespace()+name, recordSize)
+}
 
 // Query starts a plan with a scan of c, bound to this session: its
 // Rows/RunCtx executions are admitted through the memory broker.
@@ -175,7 +221,10 @@ func (se *Session) acquireFor(ctx context.Context, q *Query) (*broker.Grant, err
 	if len(cands) < 2 {
 		return se.acquire(ctx)
 	}
-	return se.sys.mem.AcquireBest(ctx, cands, se.policy)
+	// The bid stays live while queued: the broker re-prices it against
+	// the free budget on every grant release (wake-and-reprice), so the
+	// query can start at whatever right-sized grant frees up first.
+	return se.sys.mem.AcquireBestFunc(ctx, cands, q.repricer(se.budget, se.bidSlack), se.policy)
 }
 
 // CollectionLookup adapts a fixed name→collection map to the lookup

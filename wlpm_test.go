@@ -217,8 +217,15 @@ func TestCostFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := wlpm.Experiments()
-	if len(ids) != 16 {
-		t.Fatalf("got %d experiments, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("got %d experiments, want 17", len(ids))
+	}
+	found := false
+	for _, id := range ids {
+		found = found || id == "serve"
+	}
+	if !found {
+		t.Fatal("serve experiment not registered through the façade")
 	}
 	reps, err := wlpm.RunExperiment("table2", wlpm.ExperimentConfig{Scale: 0.001})
 	if err != nil {
