@@ -1,0 +1,47 @@
+// wlvet runs the engine's static-analysis suite (internal/analysis):
+// cancellation polling, temp-sweep hygiene, grant release, batch
+// ownership, and context threading.
+//
+// Standalone:
+//
+//	wlvet ./...            # exit 1 on any diagnostic
+//
+// As a go vet tool (unitchecker protocol):
+//
+//	go vet -vettool=$(which wlvet) ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	wlvet "wlpm/internal/analysis"
+	"wlpm/internal/analysis/driver"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		// go vet invokes the tool with -V=full (version probe) and
+		// -flags (flag discovery) before the per-package *.cfg calls.
+		if a == "-flags" || strings.HasPrefix(a, "-V") || strings.HasSuffix(a, ".cfg") {
+			unitchecker.Main(wlvet.All()...) // does not return
+		}
+	}
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := driver.Run(os.Stdout, wlvet.All(), patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlvet:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "wlvet: %d invariant violation(s)\n", n)
+		os.Exit(1)
+	}
+}

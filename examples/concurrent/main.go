@@ -125,8 +125,18 @@ func main() {
 		log.Fatal(err)
 	}
 	impatient := sys.Session(wlpm.WithAdmission(wlpm.AdmitFailFast))
-	if _, err := query(impatient).Rows(context.Background()); errors.Is(err, wlpm.ErrAdmission) {
+	bounce := func() error {
+		rows, err := query(impatient).Rows(context.Background())
+		if err != nil {
+			return err
+		}
+		rows.Close() //nolint:errcheck // unexpected admission: release before bailing
+		return errors.New("fail-fast session was admitted while the budget was held")
+	}
+	if err := bounce(); errors.Is(err, wlpm.ErrAdmission) {
 		fmt.Printf("\nfail-fast session while the budget is held: %v\n", err)
+	} else {
+		log.Fatal(err)
 	}
 	if err := held.Close(); err != nil {
 		log.Fatal(err)
@@ -137,7 +147,15 @@ func main() {
 	// query's spilled runs are destroyed.
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer cancel()
-	_, err = query(sys.Session(wlpm.WithSessionBudget(perQuery))).Rows(ctx)
+	deadline := func() error {
+		rows, err := query(sys.Session(wlpm.WithSessionBudget(perQuery))).Rows(ctx)
+		if err != nil {
+			return err
+		}
+		rows.Close() //nolint:errcheck // unexpected completion: release before bailing
+		return errors.New("expected a deadline error, got a row stream")
+	}
+	err = deadline()
 	fmt.Printf("\ncancelled query: %v (memory in use: %d B)\n", err, sys.MemoryInUse())
 	if !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatalf("expected a deadline error, got %v", err)

@@ -1,0 +1,89 @@
+package wlvet
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowRe matches the suppression comment the suite honors:
+//
+//	//lint:allow wlvet/<analyzer> <reason>
+//
+// The reason is mandatory — suppressions must say why the contract
+// does not apply at the site.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+wlvet/([A-Za-z0-9_]+)(?:\s+(.*))?$`)
+
+// suppressor indexes a package's //lint:allow comments for one
+// analyzer. A comment suppresses diagnostics on its own line and on
+// the line below it (so it can sit above the offending statement); an
+// allow in a function's doc comment covers the whole declaration.
+type suppressor struct {
+	name  string // analyzer short name, e.g. "ctxpoll"
+	lines map[string]map[int]bool
+	spans []allowSpan
+}
+
+type allowSpan struct{ pos, end token.Pos }
+
+func newSuppressor(pass *analysis.Pass, name string) *suppressor {
+	s := &suppressor{name: name, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != name {
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					pass.Reportf(c.Pos(), "lint:allow wlvet/%s needs a reason: //lint:allow wlvet/%s <why this site is exempt>", name, name)
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				fl := s.lines[p.Filename]
+				if fl == nil {
+					fl = make(map[int]bool)
+					s.lines[p.Filename] = fl
+				}
+				fl[p.Line] = true
+				fl[p.Line+1] = true
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if m := allowRe.FindStringSubmatch(c.Text); m != nil && m[1] == name && strings.TrimSpace(m[2]) != "" {
+					s.spans = append(s.spans, allowSpan{fd.Pos(), fd.End()})
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressor) allowed(pass *analysis.Pass, pos token.Pos) bool {
+	p := pass.Fset.Position(pos)
+	if s.lines[p.Filename][p.Line] {
+		return true
+	}
+	for _, sp := range s.spans {
+		if pos >= sp.pos && pos < sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// reportf reports unless the position carries an allow comment.
+func (s *suppressor) reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if s.allowed(pass, pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

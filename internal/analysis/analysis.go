@@ -1,0 +1,45 @@
+// Package wlvet is the engine's static-analysis suite: go/analysis
+// analyzers that machine-check the unwritten contracts PRs 4–7
+// introduced — cancellation polling in record loops, temp hygiene on
+// error paths, broker-grant release discipline, batch ownership, and
+// context threading. The cmd/wlvet binary runs them standalone
+// (`wlvet ./...`) or as a `go vet -vettool` plugin; CI fails on any
+// diagnostic.
+//
+// Legitimate exceptions are annotated in source with
+//
+//	//lint:allow wlvet/<analyzer> <reason>
+//
+// on the offending line, the line above it, or in the enclosing
+// function's doc comment. The reason is mandatory; an allow comment
+// without one is itself a diagnostic. Test files are exempt — suites
+// deliberately violate the invariants to probe the engine. See
+// INVARIANTS.md for the contract each analyzer enforces and the PR
+// that introduced it.
+package wlvet
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// inTestFile reports whether the position lies in a _test.go file.
+// The invariants bind library code only: suites deliberately discard
+// grants, drain iterators probe-free, and mint root contexts to put
+// the engine in the states under test.
+func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// All returns the full wlvet suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CtxPoll,
+		TempSweep,
+		GrantRelease,
+		BatchOwn,
+		CtxParam,
+	}
+}

@@ -1,0 +1,152 @@
+package wlvet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// BatchOwn enforces the PR 6 batch-ownership contract: a *exec.Batch
+// returned by Operator.Next (and the record views / selection vectors
+// reachable through it) is valid only until the producer's next
+// Next/Close call, so it must not be stored into fields, package
+// state, or other locations that outlive the call. Explicit deep
+// copies are exempt when made through a copy-named helper
+// (clone*/copy*/materialize*); deliberate aliasing (e.g. streaming
+// operators re-exposing a child's records) must carry a lint:allow
+// with the reason the alias cannot outlive the child's next pull.
+var BatchOwn = &analysis.Analyzer{
+	Name: "batchown",
+	Doc:  "batches returned by Next must not be retained beyond the call (PR 6 ownership contract)",
+	Run:  runBatchOwn,
+}
+
+// copyNameRe matches helpers that deep-copy batch data, breaking the
+// alias and with it the retention hazard.
+var copyNameRe = regexp.MustCompile(`(?i)^(clone|copy|materialize|dup)`)
+
+func runBatchOwn(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "batchown")
+	for _, file := range pass.Files {
+		if inTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, u := range unitsOf(pass, file) {
+			batchOwnUnit(pass, sup, u)
+		}
+	}
+	return nil, nil
+}
+
+// isBatchNext matches `x.Next(...)` calls whose first result is a
+// *Batch from an exec package.
+func isBatchNext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if calleeName(call) != "Next" {
+		return false
+	}
+	if _, ok := call.Fun.(*ast.SelectorExpr); !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(call)
+	if tup, ok := t.(*types.Tuple); ok && tup.Len() > 0 {
+		t = tup.At(0).Type()
+	}
+	named, ok := derefNamed(t)
+	if !ok || named.Obj().Name() != "Batch" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "exec")
+}
+
+func batchOwnUnit(pass *analysis.Pass, sup *suppressor, u funcUnit) {
+	// Batch-typed locals bound from Next calls in this unit.
+	tracked := make(map[types.Object]bool)
+	walkLocal(u.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBatchNext(pass, call) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if obj := objOf(pass, id); obj != nil {
+				tracked[obj] = true
+			}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// aliasesBatch reports whether the expression exposes a tracked
+	// batch's storage: mentions the batch variable outside of a
+	// copy-named call.
+	var aliasesBatch func(e ast.Expr) bool
+	aliasesBatch = func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok && copyNameRe.MatchString(calleeName(call)) {
+				return false // deep copy breaks the alias
+			}
+			if id, ok := m.(*ast.Ident); ok && tracked[objOf(pass, id)] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	walkLocal(u.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			} else {
+				continue
+			}
+			// Re-binding the batch variable itself is the producer loop's
+			// normal shape; storing it beyond the unit's locals is not.
+			if !escapesTarget(pass, u, lhs) {
+				continue
+			}
+			if id, ok := lhs.(*ast.Ident); ok && tracked[objOf(pass, id)] {
+				continue
+			}
+			if aliasesBatch(rhs) {
+				sup.reportf(pass, as.Pos(), "stores a view of a batch returned by Next into %s, which outlives the call: copy the records (clone*/copy* helper) or document the alias with lint:allow (wlvet/batchown)",
+					exprString(lhs))
+			}
+		}
+		return true
+	})
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "a non-local location"
+}

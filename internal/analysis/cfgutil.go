@@ -1,0 +1,269 @@
+package wlvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// funcUnit is one independently analyzed function body: a FuncDecl or
+// a FuncLit. Nested literals are units of their own, so each unit's
+// walks see only its local control flow — ownership that crosses a
+// closure boundary is modeled explicitly by the analyzers (captured
+// variables count as escapes, creator closures as creation sites).
+type funcUnit struct {
+	node ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body *ast.BlockStmt
+	sig  *types.Signature
+}
+
+// unitsOf returns every function unit in the file, outermost first.
+func unitsOf(pass *analysis.Pass, file *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body == nil {
+				return false
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				units = append(units, funcUnit{fn, fn.Body, obj.Type().(*types.Signature)})
+			}
+		case *ast.FuncLit:
+			if sig, ok := pass.TypesInfo.TypeOf(fn).(*types.Signature); ok {
+				units = append(units, funcUnit{fn, fn.Body, sig})
+			}
+		}
+		return true
+	})
+	return units
+}
+
+// walkLocal walks the unit body without descending into nested
+// function literals.
+func walkLocal(body *ast.BlockStmt, f func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// declaredWithin reports whether obj's declaration lies inside the
+// unit. Objects declared outside (captured variables, fields, package
+// state) are escape targets: assigning a tracked resource to one moves
+// ownership out of the unit.
+func declaredWithin(u funcUnit, obj types.Object) bool {
+	return obj != nil && obj.Pos() >= u.node.Pos() && obj.Pos() < u.node.End()
+}
+
+// errGuardRange returns the source range of the `if <err> != nil`
+// guard that immediately follows (or encloses) the statement binding a
+// resource, if any. Returns in that guard are exempt from leak checks:
+// the resource is nil on that path by the binding's own contract. The
+// suite assumes the engine convention of checking the error before
+// using the resource.
+func errGuardRange(pass *analysis.Pass, u funcUnit, bind ast.Stmt, errObj types.Object) (token.Pos, token.Pos, bool) {
+	if errObj == nil {
+		return 0, 0, false
+	}
+	isGuard := func(s ast.Stmt) (*ast.IfStmt, bool) {
+		ifs, ok := s.(*ast.IfStmt)
+		if !ok {
+			return nil, false
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ {
+			return nil, false
+		}
+		for _, side := range []ast.Expr{cond.X, cond.Y} {
+			if id, ok := side.(*ast.Ident); ok && objOf(pass, id) == errObj {
+				return ifs, true
+			}
+		}
+		return nil, false
+	}
+	var lo, hi token.Pos
+	found := false
+	walkLocal(u.body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		case *ast.IfStmt:
+			// `if x, err := bind(); err != nil { ... }`
+			if b.Init == bind {
+				if ifs, ok := isGuard(b); ok {
+					lo, hi, found = ifs.Body.Pos(), ifs.Body.End(), true
+				}
+				return false
+			}
+			return true
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == bind && i+1 < len(list) {
+				if ifs, ok := isGuard(list[i+1]); ok {
+					lo, hi, found = ifs.Body.Pos(), ifs.Body.End(), true
+				}
+				return false
+			}
+		}
+		return true
+	})
+	return lo, hi, found
+}
+
+// objOf resolves an identifier against the pass's type info.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// leakReturns walks the unit's control-flow graph from the statement
+// containing origin and collects the return statements reachable
+// without first passing a node for which barrier reports true. When
+// errorOnly is set, only error returns are collected (a return whose
+// last result is not the nil literal, in a unit whose final result is
+// an error); otherwise every reachable return counts. Returns inside
+// [exemptLo, exemptHi) are skipped.
+func leakReturns(u funcUnit, origin ast.Node, barrier func(ast.Node) bool, errorOnly bool, exemptLo, exemptHi token.Pos) []*ast.ReturnStmt {
+	g := cfg.New(u.body, func(*ast.CallExpr) bool { return true })
+
+	var startB *cfg.Block
+	startIdx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n.Pos() <= origin.Pos() && origin.End() <= n.End() {
+				startB, startIdx = b, i
+			}
+		}
+	}
+	if startB == nil {
+		return nil
+	}
+
+	var leaks []*ast.ReturnStmt
+	seenRet := make(map[token.Pos]bool)
+	record := func(ret *ast.ReturnStmt) {
+		if exemptLo.IsValid() && ret.Pos() >= exemptLo && ret.Pos() < exemptHi {
+			return
+		}
+		if errorOnly && !isErrorReturn(u, ret) {
+			return
+		}
+		if !seenRet[ret.Pos()] {
+			seenRet[ret.Pos()] = true
+			leaks = append(leaks, ret)
+		}
+	}
+
+	type visit struct {
+		b   *cfg.Block
+		idx int
+	}
+	seen := make(map[*cfg.Block]bool)
+	queue := []visit{{startB, startIdx + 1}}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		ended := false
+		for i := v.idx; i < len(v.b.Nodes); i++ {
+			n := v.b.Nodes[i]
+			if barrier(n) {
+				ended = true
+				break
+			}
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				record(ret)
+				ended = true
+				break
+			}
+		}
+		if ended {
+			continue
+		}
+		for _, s := range v.b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				queue = append(queue, visit{s, 0})
+			}
+		}
+	}
+	return leaks
+}
+
+// isErrorReturn reports whether ret is an error-carrying return: the
+// unit's last result is an error and the returned value for it is not
+// the nil literal. Naked returns (named results) are treated as
+// success returns — the suite cannot see the named value.
+func isErrorReturn(u funcUnit, ret *ast.ReturnStmt) bool {
+	res := u.sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ret.Results[len(ret.Results)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}
+
+func isErrorType(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	return ok && it.NumMethods() == 1 && it.Method(0).Name() == "Error"
+}
+
+// containsCall reports whether the node's subtree (excluding nested
+// function literals' bodies when skipLits is set) has a call matching
+// the predicate.
+func containsCall(n ast.Node, skipLits bool, pred func(*ast.CallExpr) bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if skipLits && m != n {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		if call, ok := m.(*ast.CallExpr); ok && pred(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

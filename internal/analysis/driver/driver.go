@@ -1,0 +1,204 @@
+// Package driver runs go/analysis analyzers over module packages
+// without golang.org/x/tools/go/packages (not vendored): it shells out
+// to `go list -deps -export -json` for the import graph and compiled
+// export data, typechecks the matched packages from source, and runs
+// the analyzers with their Requires graph. Facts are not supported —
+// the wlvet suite is intra-package by design.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the driver uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Run loads the packages matching patterns, applies the analyzers to
+// each non-dependency match, and prints diagnostics to w. It returns
+// the number of diagnostics, or an error for load/typecheck failures.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return 0, err
+	}
+
+	exports := make(map[string]string)
+	var roots []*listPackage
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	total := 0
+	for _, p := range roots {
+		diags, err := analyzePackage(fset, imp, p, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintf(w, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			total++
+		}
+	}
+	return total, nil
+}
+
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v", err)
+	}
+	return pkgs, nil
+}
+
+func analyzePackage(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return RunOnPackage(fset, files, pkg, info, analyzers)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// RunOnPackage applies the analyzers (and, transitively, their
+// Requires) to one typechecked package, returning the diagnostics in
+// position order. It is shared by the standalone driver and the
+// analyzertest golden harness.
+func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	running := make(map[*analysis.Analyzer]bool)
+
+	var run func(a *analysis.Analyzer, report bool) error
+	run = func(a *analysis.Analyzer, report bool) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		if running[a] {
+			return fmt.Errorf("analyzer dependency cycle at %s", a.Name)
+		}
+		running[a] = true
+		defer delete(running, a)
+		resultOf := make(map[*analysis.Analyzer]any)
+		for _, dep := range a.Requires {
+			if err := run(dep, false); err != nil {
+				return err
+			}
+			resultOf[dep] = results[dep]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if report {
+					diags = append(diags, d)
+				}
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		if len(a.FactTypes) > 0 {
+			return fmt.Errorf("analyzer %s uses facts; the wlvet driver does not support them", a.Name)
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path(), err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a, true); err != nil {
+			return diags, err
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

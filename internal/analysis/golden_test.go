@@ -1,0 +1,44 @@
+package wlvet
+
+import (
+	"strings"
+	"testing"
+
+	"wlpm/internal/analysis/analyzertest"
+)
+
+func TestCtxPollGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/ctxpoll", CtxPoll, "internal/sorts", "plain")
+}
+
+// TestCtxPollAllowNeedsReason: a reason-less allow comment is itself
+// diagnosed and suppresses nothing. Checked through raw diagnostics —
+// a want comment cannot annotate another comment's line.
+func TestCtxPollAllowNeedsReason(t *testing.T) {
+	msgs := analyzertest.Diagnostics(t, "testdata/ctxpoll", CtxPoll, "internal/sorts/badallow")
+	if len(msgs) != 2 {
+		t.Fatalf("got %d diagnostics %q, want 2 (the reason-less allow and the unsuppressed loop)", len(msgs), msgs)
+	}
+	if !strings.Contains(msgs[0], "needs a reason") {
+		t.Errorf("first diagnostic = %q, want the needs-a-reason complaint", msgs[0])
+	}
+	if !strings.Contains(msgs[1], "no cancellation probe") {
+		t.Errorf("second diagnostic = %q, want the loop diagnostic (allow must not suppress)", msgs[1])
+	}
+}
+
+func TestTempSweepGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/tempsweep", TempSweep, "tempsweep")
+}
+
+func TestGrantReleaseGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/grantrelease", GrantRelease, "grantrelease")
+}
+
+func TestBatchOwnGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/batchown", BatchOwn, "fakeexec")
+}
+
+func TestCtxParamGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/ctxparam", CtxParam, "ctxparam", "mainpkg")
+}

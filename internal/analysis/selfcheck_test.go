@@ -1,0 +1,32 @@
+package wlvet
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWlvetSelfCheck runs the full suite over the module itself: the
+// tree must stay diagnostic-free (true violations get fixed,
+// legitimate exceptions get a reasoned lint:allow).
+func TestWlvetSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs cmd/wlvet over the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+
+	cmd := exec.Command("go", "run", "./cmd/wlvet", "./...")
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("wlvet ./... failed: %v\n%s", err, buf.String())
+	}
+}

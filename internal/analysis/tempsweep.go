@@ -1,0 +1,279 @@
+package wlvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TempSweep enforces the PR 4 temp-hygiene contract: a function that
+// creates tracked temporaries (Env.CreateTemp, or a local closure that
+// wraps it) must not return an error while a temp it created is still
+// live — every error-return path needs a Destroy/SweepTemps-class
+// cleanup, or a deferred one. Temps whose ownership demonstrably
+// leaves the function (returned, or stored into captured/field state)
+// are the enclosing owner's problem and are exempt, as is the
+// `if err != nil` guard immediately after the create (the temp is nil
+// there).
+var TempSweep = &analysis.Analyzer{
+	Name: "tempsweep",
+	Doc:  "error-return paths must destroy or sweep live CreateTemp temporaries (PR 4 contract)",
+	Run:  runTempSweep,
+}
+
+// cleanupNameRe matches the verbs the engine uses to reclaim temps:
+// Destroy/SweepTemps methods and the destroyRuns/destroyAll/cleanup/
+// fail helper family.
+var cleanupNameRe = regexp.MustCompile(`(?i)^(destroy|sweep|clean|fail|abort)`)
+
+func isCleanupCall(call *ast.CallExpr) bool {
+	return cleanupNameRe.MatchString(calleeName(call))
+}
+
+func runTempSweep(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "tempsweep")
+	for _, file := range pass.Files {
+		if inTestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, u := range unitsOf(pass, file) {
+			tempSweepUnit(pass, sup, u)
+		}
+	}
+	return nil, nil
+}
+
+// creatorClosures returns the objects of local closures whose bodies
+// call CreateTemp — e.g. `openRun := func() error { ... CreateTemp ... }`.
+// Calling one is a creation site of the enclosing unit.
+func creatorClosures(pass *analysis.Pass, u funcUnit) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	walkLocal(u.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if containsCall(lit.Body, false, func(c *ast.CallExpr) bool { return calleeName(c) == "CreateTemp" }) {
+			if obj := objOf(pass, id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func tempSweepUnit(pass *analysis.Pass, sup *suppressor, u funcUnit) {
+	creators := creatorClosures(pass, u)
+
+	// A creation site plus the variable bound to the temp (nil for
+	// closure creators) and the error variable bound alongside it (for
+	// the immediate-guard exemption).
+	type site struct {
+		call   *ast.CallExpr
+		bind   ast.Stmt
+		obj    types.Object
+		errObj types.Object
+	}
+	var sites []site
+
+	classify := func(stmt ast.Stmt, as *ast.AssignStmt) {
+		// Find creation calls in this statement and decide whether the
+		// result stays local (tracked) or escapes the unit.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			direct := calleeName(call) == "CreateTemp"
+			viaClosure := false
+			if id, ok := call.Fun.(*ast.Ident); ok && creators[objOf(pass, id)] {
+				viaClosure = true
+			}
+			if !direct && !viaClosure {
+				return true
+			}
+			var obj, errObj types.Object
+			if direct {
+				// The result escapes if returned or assigned beyond the
+				// unit's own locals; closure creators store into captured
+				// state by construction and always charge this unit.
+				if _, ok := stmt.(*ast.ReturnStmt); ok {
+					return true
+				}
+				if as != nil {
+					if len(as.Lhs) >= 1 {
+						if escapesTarget(pass, u, as.Lhs[0]) {
+							return true
+						}
+						if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							obj = objOf(pass, id)
+						}
+					}
+					if len(as.Lhs) == 2 {
+						if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name != "_" {
+							errObj = objOf(pass, id)
+						}
+					}
+				}
+			} else if as != nil && len(as.Lhs) == 1 {
+				// `if err := openRun(); err != nil` style binding.
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					errObj = objOf(pass, id)
+				}
+			}
+			sites = append(sites, site{call, stmt, obj, errObj})
+			return true
+		})
+	}
+
+	walkLocal(u.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			classify(s, s)
+		case *ast.ExprStmt:
+			classify(s, nil)
+		case *ast.ReturnStmt:
+			classify(s, nil)
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// A deferred cleanup anywhere in the unit covers every return.
+	deferred := false
+	walkLocal(u.body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if isCleanupCall(d.Call) {
+				deferred = true
+			} else if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				if containsCall(lit.Body, false, isCleanupCall) {
+					deferred = true
+				}
+			}
+		}
+		return !deferred
+	})
+	if deferred {
+		return
+	}
+
+	for _, s := range sites {
+		s := s
+		// A path is safe once it cleans up, or — for a temp bound to a
+		// local — once that local's ownership demonstrably moves out of
+		// the unit (stored into a field or captured state, or returned):
+		// the new owner's sweep is responsible from there.
+		barrier := func(n ast.Node) bool {
+			if containsCall(n, false, isCleanupCall) {
+				return true
+			}
+			return s.obj != nil && tempHandsOff(pass, u, n, s.obj)
+		}
+		lo, hi := token.NoPos, token.NoPos
+		if s.errObj != nil {
+			if l, h, ok := errGuardRange(pass, u, s.bind, s.errObj); ok {
+				lo, hi = l, h
+			}
+		}
+		for _, ret := range leakReturns(u, s.call, barrier, true, lo, hi) {
+			sup.reportf(pass, ret.Pos(), "error return leaks the temp created at line %d: Destroy it or SweepTemps on this path, or defer a cleanup (wlvet/tempsweep)",
+				pass.Fset.Position(s.call.Pos()).Line)
+		}
+	}
+}
+
+// tempHandsOff reports whether the node moves the tracked temp's
+// ownership out of the unit: an assignment whose RHS mentions the temp
+// and whose LHS escapes (a field, captured variable, or a cell of
+// either), or a return mentioning it. Passing the temp to a call does
+// NOT hand it off — callees stream into temps they do not own.
+func tempHandsOff(pass *analysis.Pass, u funcUnit, n ast.Node, obj types.Object) bool {
+	usesObj := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			if id, ok := m.(*ast.Ident); ok && objOf(pass, id) == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		// Returns and assignments inside nested closures belong to the
+		// closure, not this unit — a scan callback's `return t.Append(r)`
+		// is not a hand-off.
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				if usesObj(r) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				var rhs ast.Expr
+				if len(m.Rhs) == len(m.Lhs) {
+					rhs = m.Rhs[i]
+				} else if len(m.Rhs) == 1 {
+					rhs = m.Rhs[0]
+				} else {
+					continue
+				}
+				if usesObj(rhs) && escapesTarget(pass, u, lhs) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// escapesTarget reports whether assigning to target moves ownership
+// out of the unit: a field/selector, an index into captured state, or
+// a variable declared outside the unit.
+func escapesTarget(pass *analysis.Pass, u funcUnit, target ast.Expr) bool {
+	switch t := target.(type) {
+	case *ast.Ident:
+		if t.Name == "_" {
+			return false
+		}
+		return !declaredWithin(u, objOf(pass, t))
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return escapesTarget(pass, u, t.X)
+	case *ast.StarExpr:
+		return escapesTarget(pass, u, t.X)
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+// Package fakeexec models the exec batch-ownership contract: the
+// import path ends in "exec" so Next results typed *Batch are
+// tracked, and views of them must not outlive the call.
+package fakeexec
+
+type Batch struct {
+	Recs [][]byte
+	Sel  []int
+}
+
+type Operator struct{}
+
+func (*Operator) Next() (*Batch, error) { return nil, nil }
+
+type sink struct {
+	b    *Batch
+	held [][]byte
+}
+
+// retain stores the whole batch into a field.
+func (s *sink) retain(op *Operator) error {
+	b, err := op.Next()
+	if err != nil {
+		return err
+	}
+	s.b = b // want "stores a view of a batch returned by Next into s.b"
+	return nil
+}
+
+// retainRecs stores a record view reachable through the batch.
+func (s *sink) retainRecs(op *Operator) error {
+	b, err := op.Next()
+	if err != nil {
+		return err
+	}
+	s.held = b.Recs[:1] // want "stores a view of a batch returned by Next into s.held"
+	return nil
+}
+
+// copies deep-copies through a clone-named helper: alias broken.
+func (s *sink) copies(op *Operator) error {
+	b, err := op.Next()
+	if err != nil {
+		return err
+	}
+	s.held = cloneRecs(b.Recs)
+	return nil
+}
+
+func cloneRecs(in [][]byte) [][]byte {
+	out := make([][]byte, len(in))
+	for i, r := range in {
+		out[i] = append([]byte(nil), r...)
+	}
+	return out
+}
+
+// consume re-binds a local each pull: the producer loop's normal
+// shape, not retention.
+func consume(op *Operator) (int, error) {
+	n := 0
+	var b *Batch
+	for {
+		nb, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if nb == nil {
+			break
+		}
+		b = nb
+		n += len(b.Recs)
+	}
+	return n, nil
+}
+
+// aliased documents a deliberate streaming alias.
+func (s *sink) aliased(op *Operator) error {
+	b, err := op.Next()
+	if err != nil {
+		return err
+	}
+	//lint:allow wlvet/batchown fixture view is re-pulled before the child's next Next
+	s.b = b
+	return nil
+}

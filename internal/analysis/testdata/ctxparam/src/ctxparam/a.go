@@ -1,0 +1,51 @@
+// Package ctxparam models the context-threading contract: exported
+// signatures take ctx first, and library code never mints its own
+// root context.
+package ctxparam
+
+import "context"
+
+// Process takes ctx in second position: flagged.
+func Process(n int, ctx context.Context) error { // want "context.Context must be the first parameter of exported Process"
+	_ = n
+	return ctx.Err()
+}
+
+// Run threads ctx first: fine.
+func Run(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// helper is unexported: position is the package's own business.
+func helper(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+func mint() context.Context {
+	return context.Background() // want "library code must not mint context.Background"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "library code must not mint context.TODO"
+}
+
+// fallback uses the documented nil-guard idiom: exempt.
+func fallback(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+//lint:allow wlvet/ctxparam fixture models a process-lifetime root
+var root = context.Background()
+
+func useAll(ctx context.Context) {
+	_ = helper(0, ctx)
+	_ = mint()
+	_ = todo()
+	_ = fallback(ctx)
+	_ = root
+}

@@ -1,0 +1,10 @@
+// Package main is exempt from the Background rule: binaries own the
+// process-lifetime root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

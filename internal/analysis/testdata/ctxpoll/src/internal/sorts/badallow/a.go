@@ -1,0 +1,18 @@
+// Package badallow is a fixture for the mandatory-reason rule: an
+// allow comment without a reason is itself diagnosed and suppresses
+// nothing. Checked through raw diagnostics (a want comment cannot
+// annotate another comment line).
+package badallow
+
+type iter struct{}
+
+func (iter) Next() ([]byte, error) { return nil, nil }
+
+func badAllow(it iter) error {
+	//lint:allow wlvet/ctxpoll
+	for {
+		if _, err := it.Next(); err != nil {
+			return err
+		}
+	}
+}

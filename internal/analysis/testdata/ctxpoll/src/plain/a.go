@@ -1,0 +1,16 @@
+// Package plain sits outside the kernel scope (no internal/algo|sorts|
+// joins|aggregate|exec in its path): ctxpoll must not fire here even on
+// a probe-less unbounded loop.
+package plain
+
+type iter struct{}
+
+func (iter) Next() ([]byte, error) { return nil, nil }
+
+func drain(it iter) error {
+	for {
+		if _, err := it.Next(); err != nil {
+			return err
+		}
+	}
+}

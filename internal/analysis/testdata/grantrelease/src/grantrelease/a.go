@@ -1,0 +1,109 @@
+// Package grantrelease models the two release protocols: broker
+// grants (Acquire* returning a Grant, released with Release) and row
+// streams (Rows returning a Close-able cursor).
+package grantrelease
+
+type Grant struct{}
+
+func (*Grant) Release() {}
+
+type Broker struct{}
+
+func (*Broker) Acquire(n int) (*Grant, error) { return &Grant{}, nil }
+
+type Stream struct{}
+
+func (*Stream) Close() error { return nil }
+
+type Query struct{}
+
+func (Query) Rows() (*Stream, error) { return &Stream{}, nil }
+
+// leakyGrant releases on success but not on the work-error path.
+func leakyGrant(b *Broker, work func() error) error {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return err // the immediate guard: g is nil here
+	}
+	if err := work(); err != nil {
+		return err // want "return leaks the broker grant acquired at line \d+"
+	}
+	g.Release()
+	return nil
+}
+
+// discard throws the grant away: a leak on every path.
+func discard(b *Broker) {
+	_, _ = b.Acquire(1) // want "broker grant from Acquire is discarded"
+}
+
+// deferredGrant covers every return with one deferred release.
+func deferredGrant(b *Broker, work func() error) error {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return err
+	}
+	defer g.Release()
+	return work()
+}
+
+// handOff returns the grant: the caller owns the release.
+func handOff(b *Broker) (*Grant, error) {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func park(func()) {}
+
+// armed hands the release method itself to another call (the
+// context.AfterFunc shape): ownership moved.
+func armed(b *Broker) error {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return err
+	}
+	park(g.Release)
+	return nil
+}
+
+type session struct{ g *Grant }
+
+// adopt stores the grant into longer-lived state: the session's
+// teardown owns the release.
+func (s *session) adopt(b *Broker) error {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return err
+	}
+	s.g = g
+	return nil
+}
+
+// leakyRows forgets the cursor on the work-error path.
+func leakyRows(q Query, work func() error) error {
+	rows, err := q.Rows()
+	if err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err // want "return leaks the row stream acquired at line \d+"
+	}
+	return rows.Close()
+}
+
+// allowedLeak documents a legitimate exception.
+func allowedLeak(b *Broker, work func() error) error {
+	g, err := b.Acquire(1)
+	if err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		//lint:allow wlvet/grantrelease fixture models a grant reclaimed by the caller's teardown
+		return err
+	}
+	g.Release()
+	return nil
+}

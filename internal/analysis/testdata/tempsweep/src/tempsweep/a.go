@@ -1,0 +1,118 @@
+// Package tempsweep models the Env.CreateTemp discipline: error
+// returns with a live temp must clean up (Destroy/SweepTemps-class
+// call or a deferred one) unless ownership demonstrably leaves the
+// function.
+package tempsweep
+
+type coll struct{}
+
+func (*coll) Append([]byte) error { return nil }
+func (*coll) Close() error        { return nil }
+func (*coll) Destroy() error      { return nil }
+
+type env struct{}
+
+func (*env) CreateTemp(width int) (*coll, error) { return &coll{}, nil }
+func (*env) SweepTemps()                         {}
+
+// leaky returns mid-function with the temp still live.
+func leaky(e *env, recs [][]byte) error {
+	t, err := e.CreateTemp(8)
+	if err != nil {
+		return err // the immediate guard: t is nil here
+	}
+	for _, r := range recs {
+		if err := t.Append(r); err != nil {
+			return err // want "error return leaks the temp created at line \d+"
+		}
+	}
+	return t.Destroy()
+}
+
+// sweeps reclaims on the error path before returning.
+func sweeps(e *env, recs [][]byte) error {
+	t, err := e.CreateTemp(8)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := t.Append(r); err != nil {
+			e.SweepTemps()
+			return err
+		}
+	}
+	return t.Close()
+}
+
+// deferred covers every return with one deferred sweep.
+func deferred(e *env, recs [][]byte) error {
+	t, err := e.CreateTemp(8)
+	if err != nil {
+		return err
+	}
+	defer e.SweepTemps()
+	for _, r := range recs {
+		if err := t.Append(r); err != nil {
+			return err
+		}
+	}
+	return t.Close()
+}
+
+type holder struct{ spill *coll }
+
+// adopt hands the temp to captured state: the new owner sweeps.
+func (h *holder) adopt(e *env) error {
+	t, err := e.CreateTemp(8)
+	if err != nil {
+		return err
+	}
+	h.spill = t
+	if err := t.Append(nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// spill creates through a local closure: the creation is charged to
+// the enclosing function, and the post-verify error path leaks.
+func spill(e *env, n int) error {
+	var runs []*coll
+	openRun := func() error {
+		t, err := e.CreateTemp(8)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, t)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := openRun(); err != nil {
+			return err // the immediate guard on the creating call
+		}
+	}
+	if err := verify(runs); err != nil {
+		return err // want "error return leaks the temp created at line \d+"
+	}
+	for _, t := range runs {
+		_ = t.Destroy()
+	}
+	return nil
+}
+
+func verify([]*coll) error { return nil }
+
+// allowed documents a legitimate exception.
+func allowed(e *env, recs [][]byte) error {
+	t, err := e.CreateTemp(8)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := t.Append(r); err != nil {
+			//lint:allow wlvet/tempsweep fixture models a temp owned by a pool that sweeps on close
+			return err
+		}
+	}
+	return t.Destroy()
+}

@@ -185,6 +185,7 @@ func measureBudgetContention(cfg Config, nDim, nFact int, perQuery int64, bid bo
 	waits := make([]time.Duration, budgetContenders)
 	runOne := func(i int) error {
 		t0 := time.Now()
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; measured queries must run to completion
 		g, err := b.AcquireBest(context.Background(), candidates, broker.Block)
 		if err != nil {
 			return err
@@ -196,6 +197,7 @@ func measureBudgetContention(cfg Config, nDim, nFact int, perQuery int64, bid bo
 		if err != nil {
 			return err
 		}
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; measured queries must run to completion
 		return exec.RunCtx(context.Background(), ec, root, outs[i])
 	}
 	r.dev.ResetStats()

@@ -134,6 +134,7 @@ func runSessions(cfg Config, nDim, nFact int, perQuery int64, k, admit int) (ses
 	}
 
 	runOne := func(out storage.Collection) error {
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; measured queries must run to completion
 		g, err := b.Acquire(context.Background(), perQuery, broker.Block)
 		if err != nil {
 			return err
@@ -147,6 +148,7 @@ func runSessions(cfg Config, nDim, nFact int, perQuery int64, k, admit int) (ses
 		if err != nil {
 			return err
 		}
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; measured queries must run to completion
 		return exec.RunCtx(context.Background(), ec, root, out)
 	}
 

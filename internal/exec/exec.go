@@ -248,6 +248,7 @@ func (c *Ctx) Bind(ctx context.Context, root Operator) error {
 // stream order) and closing both the tree and out. It is RunCtx without
 // cancellation.
 func Run(ec *Ctx, root Operator, out storage.Collection) error {
+	//lint:allow wlvet/ctxparam pre-context compat entry point; RunCtx is the real API
 	return RunCtx(context.Background(), ec, root, out)
 }
 
@@ -330,7 +331,7 @@ func inputCollection(ctx context.Context, ec *Ctx, child Operator) (storage.Coll
 	if err := child.Open(ctx, ec); err != nil {
 		return nil, nil, err
 	}
-	if c, ok, err := fuseView(child); err != nil {
+	if c, ok, err := fuseView(ctx, child); err != nil {
 		return nil, nil, err
 	} else if ok {
 		return c, func() error { return nil }, nil

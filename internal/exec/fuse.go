@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"wlpm/internal/algo"
 	"wlpm/internal/record"
 	"wlpm/internal/storage"
 )
@@ -21,15 +23,17 @@ import (
 // re-scannable view. The chain's operators must already be Open (their
 // blocking leaves hold the materialized collections). Counting a
 // filter's length costs one read-only scan, done eagerly here so Len
-// stays error-free.
-func fuseView(op Operator) (storage.Collection, bool, error) {
+// stays error-free. ctx bounds that scan and every later re-scan: a
+// filter view over a huge base with a selective predicate can walk
+// arbitrarily many records per Next, so its loops poll like any kernel.
+func fuseView(ctx context.Context, op Operator) (storage.Collection, bool, error) {
 	switch o := op.(type) {
 	case *Filter:
-		base, ok, err := fuseView(o.child)
+		base, ok, err := fuseView(ctx, o.child)
 		if !ok || err != nil {
 			return nil, ok, err
 		}
-		v := &filterView{base: base, pred: o.pred, match: o.pred.matcher()}
+		v := &filterView{ctx: ctx, base: base, pred: o.pred, match: o.pred.matcher()}
 		n, err := v.count()
 		if err != nil {
 			return nil, false, err
@@ -37,7 +41,7 @@ func fuseView(op Operator) (storage.Collection, bool, error) {
 		v.n = n
 		return v, true, nil
 	case *Project:
-		base, ok, err := fuseView(o.child)
+		base, ok, err := fuseView(ctx, o.child)
 		if !ok || err != nil {
 			return nil, ok, err
 		}
@@ -103,6 +107,7 @@ func (it *projectIterator) Close() error { return it.it.Close() }
 // comparison switch is specialized once (see Predicate.matcher), so the
 // per-record work of every scan is one load and one compare.
 type filterView struct {
+	ctx   context.Context // run-scoped: the view lives only within one Run (see fuseView)
 	base  storage.Collection
 	pred  Predicate
 	match func(rec []byte) bool
@@ -123,8 +128,14 @@ func (v *filterView) Len() int        { return v.n }
 func (v *filterView) count() (int, error) {
 	it := v.base.Scan()
 	defer it.Close()
-	n := 0
+	n, budget := 0, algo.PollInterval
 	for {
+		if budget--; budget <= 0 {
+			budget = algo.PollInterval
+			if err := v.ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		rec, err := it.Next()
 		if err == io.EOF {
 			return n, nil
@@ -141,17 +152,25 @@ func (v *filterView) count() (int, error) {
 func (v *filterView) Scan() storage.Iterator { return v.ScanFrom(0) }
 
 func (v *filterView) ScanFrom(start int) storage.Iterator {
-	return &filterIterator{it: v.base.Scan(), match: v.match, skip: start}
+	return &filterIterator{ctx: v.ctx, it: v.base.Scan(), match: v.match, skip: start}
 }
 
 type filterIterator struct {
+	ctx   context.Context
 	it    storage.Iterator
 	match func(rec []byte) bool
 	skip  int
 }
 
 func (it *filterIterator) Next() ([]byte, error) {
+	budget := algo.PollInterval
 	for {
+		if budget--; budget <= 0 {
+			budget = algo.PollInterval
+			if err := it.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rec, err := it.it.Next()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"wlpm/internal/record"
+)
+
+// The fused filter view walks arbitrarily many base records per call —
+// its count pass scans the whole base and a selective predicate makes a
+// single iterator Next unbounded — so both loops must poll the run's
+// context like any kernel loop (the wlvet/ctxpoll contract).
+
+// fuseFilter opens a Filter-over-Table plan and fuses it under ctx.
+func fuseFilter(t *testing.T, ctx context.Context, n int, pred Predicate) (*filterView, func()) {
+	t.Helper()
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(n, 21, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ec := r.ctx(int64(n)*record.Size, 1)
+	root, _, err := Compile(ec, Table(in).Filter(pred))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Open(context.Background(), ec); err != nil {
+		t.Fatal(err)
+	}
+	c, ok, err := fuseView(ctx, root)
+	if err != nil {
+		root.Close() //nolint:errcheck
+		t.Fatalf("fuseView: %v", err)
+	}
+	if !ok {
+		root.Close() //nolint:errcheck
+		t.Fatal("filter over a table did not fuse")
+	}
+	v, ok := c.(*filterView)
+	if !ok {
+		root.Close() //nolint:errcheck
+		t.Fatalf("fused collection is %T, want *filterView", c)
+	}
+	return v, func() { root.Close() } //nolint:errcheck
+}
+
+// TestFuseCountPollsCancellation: the eager count scan must stop once
+// the context is cancelled instead of reading the base to the end.
+func TestFuseCountPollsCancellation(t *testing.T) {
+	r := newRig(t)
+	in := r.create(t, "in", record.Size)
+	if err := record.Generate(4000, 21, in.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ec := r.ctx(4000*record.Size, 1)
+	root, _, err := Compile(ec, Table(in).Filter(Predicate{Attr: 1, Op: Gt, Value: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Open(context.Background(), ec); err != nil {
+		t.Fatal(err)
+	}
+	defer root.Close() //nolint:errcheck
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := fuseView(ctx, root); !errors.Is(err, context.Canceled) {
+		t.Fatalf("fuseView under a cancelled context: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFuseScanPollsCancellation: a fused view's iterator must surface
+// cancellation mid-scan even when the predicate never matches (the
+// unbounded-Next case).
+func TestFuseScanPollsCancellation(t *testing.T) {
+	// Predicate matching nothing: one Next call walks the entire base.
+	v, done := fuseFilter(t, context.Background(), 4000, Predicate{Attr: 1, Op: Gt, Value: 1 << 60})
+	defer done()
+	if v.Len() != 0 {
+		t.Fatalf("predicate unexpectedly matched %d records", v.Len())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	v.ctx = ctx // re-arm the view with a cancellable context for the scan
+	it := v.Scan()
+	defer it.Close() //nolint:errcheck
+	cancel()
+	if _, err := it.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next on a cancelled scan: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFuseScanCleanCompletion: polling must not disturb a clean scan.
+func TestFuseScanCleanCompletion(t *testing.T) {
+	v, done := fuseFilter(t, context.Background(), 1000, Predicate{Attr: 1, Op: Gt, Value: 1})
+	defer done()
+	it := v.Scan()
+	defer it.Close() //nolint:errcheck
+	n := 0
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != v.Len() {
+		t.Fatalf("scan yielded %d records, Len reports %d", n, v.Len())
+	}
+}

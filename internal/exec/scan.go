@@ -218,6 +218,7 @@ func (f *Filter) Next(ctx context.Context) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow wlvet/batchown PR 6 aliasing license: the selection vector is rebuilt from the child's fresh batch before every emit and never outlives it
 		f.sel = selectInto(f.sel[:0], cb.Recs, f.match)
 		if len(f.sel) == 0 {
 			continue
@@ -347,6 +348,7 @@ func (l *Limit) Next(ctx context.Context) (*Batch, error) {
 		k = rest
 	}
 	l.seen += k
+	//lint:allow wlvet/batchown PR 6 aliasing license: the truncated view is re-sliced from the child's fresh batch on every call and handed out under the same validity window
 	l.out.Recs = cb.Recs[:k]
 	return &l.out, nil
 }

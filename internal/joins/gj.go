@@ -31,11 +31,24 @@ func (j *Grace) Join(env *algo.Env, left, right, out storage.Collection) error {
 	}
 	k := partitionCount(env, left.Len(), left.RecordSize())
 
+	var lp, rp [][]storage.Collection
+	joined := false
+	defer func() {
+		if joined {
+			return
+		}
+		// Error exit: sweep every partition sub-collection still live.
+		// Destroy is idempotent, so partitions already reclaimed by the
+		// per-partition destroyAll are safe to sweep again.
+		destroyParts(lp)
+		destroyParts(rp)
+	}()
+
 	lp, err := partitionInto(env, left, k, k, "gjl")
 	if err != nil {
 		return err
 	}
-	rp, err := partitionInto(env, right, k, k, "gjr")
+	rp, err = partitionInto(env, right, k, k, "gjr")
 	if err != nil {
 		return err
 	}
@@ -51,6 +64,7 @@ func (j *Grace) Join(env *algo.Env, left, right, out storage.Collection) error {
 			return err
 		}
 	}
+	joined = true
 	return out.Close()
 }
 
@@ -77,6 +91,14 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 	subs := make([][]storage.Collection, w) // [worker][partition]
 	err := env.RunWorkers(w, func(i int) error {
 		mine := make([]storage.Collection, x)
+		ok := false
+		defer func() {
+			// Error exit: this worker sweeps its own sub-collections;
+			// they are published to subs only once fully closed.
+			if !ok {
+				destroySubs(mine)
+			}
+		}()
 		for p := range mine {
 			c, err := envs[i].CreateTemp(fmt.Sprintf("%s%d", prefix, p), src.RecordSize())
 			if err != nil {
@@ -84,7 +106,6 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 			}
 			mine[p] = c
 		}
-		subs[i] = mine
 		lo, hi := algo.SplitRange(src.Len(), w, i)
 		if err := scanInto(storage.Slice(src, lo, hi), pollRecords(envs[i], func(rec []byte) error {
 			if p := partitionOf(rec, k); p < x {
@@ -94,9 +115,17 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 		})); err != nil {
 			return err
 		}
-		return closeAll(mine)
+		if err := closeAll(mine); err != nil {
+			return err
+		}
+		subs[i] = mine
+		ok = true
+		return nil
 	})
 	if err != nil {
+		// Workers that failed swept their own temps; sweep the ones
+		// published by workers that finished before the failure.
+		destroyParts(subs)
 		return nil, err
 	}
 	parts := make([][]storage.Collection, x)

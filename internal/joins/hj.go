@@ -30,14 +30,29 @@ func (j *Hash) Join(env *algo.Env, left, right, out storage.Collection) error {
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
 
 	curT, curV := left, right
-	var tmpT, tmpV storage.Collection // owned temps backing curT/curV
+	var tmpT, tmpV storage.Collection   // owned temps backing curT/curV
+	var nextT, nextV storage.Collection // next iteration's intermediate inputs
+	joined := false
+	defer func() {
+		if joined {
+			return
+		}
+		// Error exit: sweep every live intermediate. Destroy is
+		// idempotent, so the aliases (tmpT==nextT after rotation) are
+		// safe to sweep twice.
+		for _, c := range []storage.Collection{tmpT, tmpV, nextT, nextV} {
+			if c != nil {
+				_ = c.Destroy()
+			}
+		}
+	}()
 	table := newHashTable(left.RecordSize(), buildCap(env, left.RecordSize()))
 
 	for p := 0; p < k; p++ {
 		last := p == k-1
 		table.reset()
 
-		var nextT, nextV storage.Collection
+		nextT, nextV = nil, nil
 		if !last {
 			var err error
 			if nextT, err = env.CreateTemp("hjt", left.RecordSize()); err != nil {
@@ -96,5 +111,6 @@ func (j *Hash) Join(env *algo.Env, left, right, out storage.Collection) error {
 		curT, curV = nextT, nextV
 		tmpT, tmpV = nextT, nextV
 	}
+	joined = true
 	return out.Close()
 }

@@ -35,14 +35,29 @@ func (j *LazyHash) Join(env *algo.Env, left, right, out storage.Collection) erro
 	table := newHashTable(left.RecordSize(), buildCap(env, left.RecordSize()))
 
 	curT, curV := left, right
-	var tmpT, tmpV storage.Collection // owned temps backing curT/curV
-	sinceMat := 1                     // iterations since the last materialization (Algorithm's n)
+	var tmpT, tmpV storage.Collection   // owned temps backing curT/curV
+	var nextT, nextV storage.Collection // next materialized intermediate inputs
+	joined := false
+	defer func() {
+		if joined {
+			return
+		}
+		// Error exit: sweep every live intermediate. Destroy is
+		// idempotent, so the aliases (tmpT==nextT after rotation) are
+		// safe to sweep twice.
+		for _, c := range []storage.Collection{tmpT, tmpV, nextT, nextV} {
+			if c != nil {
+				_ = c.Destroy()
+			}
+		}
+	}()
+	sinceMat := 1 // iterations since the last materialization (Algorithm's n)
 
 	for p := 0; p < k; p++ {
 		kRem := k - p
 		materialize := sinceMat >= cost.LazyHashJoinMaterializeIteration(kRem, lambda) && p < k-1
 
-		var nextT, nextV storage.Collection
+		nextT, nextV = nil, nil
 		if materialize {
 			var err error
 			if nextT, err = env.CreateTemp("lajt", left.RecordSize()); err != nil {
@@ -112,5 +127,6 @@ func (j *LazyHash) Join(env *algo.Env, left, right, out storage.Collection) erro
 			return err
 		}
 	}
+	joined = true
 	return out.Close()
 }

@@ -209,6 +209,25 @@ func destroyAll(subs []storage.Collection) error {
 	return nil
 }
 
+// destroySubs is the best-effort, nil-tolerant form of destroyAll used
+// by error-path sweeps: partially-built slices hold nils and the
+// original failure is the error worth reporting.
+func destroySubs(subs []storage.Collection) {
+	for _, c := range subs {
+		if c != nil {
+			c.Destroy() //nolint:errcheck // best-effort cleanup after failure
+		}
+	}
+}
+
+// destroyParts sweeps a [worker][partition] or [partition][worker]
+// matrix of sub-collections, tolerating nil rows and cells.
+func destroyParts(parts [][]storage.Collection) {
+	for _, subs := range parts {
+		destroySubs(subs)
+	}
+}
+
 // lenAll is the total record count of subs.
 func lenAll(subs []storage.Collection) int {
 	n := 0

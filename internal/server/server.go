@@ -121,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.FlushRows <= 0 {
 		cfg.FlushRows = 64
 	}
+	//lint:allow wlvet/ctxparam the server owns its lifetime root; per-request contexts derive from it and Shutdown cancels it
 	base, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -196,6 +197,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan error, 1)
 	if hs != nil {
+		//lint:allow wlvet/ctxparam graceful drain must outlive the request contexts being drained; DrainTimeout bounds it below
 		go func() { done <- hs.Shutdown(context.Background()) }()
 	} else {
 		// Handler-only use (tests): nothing accepts connections; just

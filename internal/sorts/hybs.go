@@ -57,6 +57,15 @@ func (s *HybridSort) Sort(env *algo.Env, in, out storage.Collection) error {
 	next := record.NewVec(recSize, rrCap)
 
 	var runs []storage.Collection
+	sorted := false
+	defer func() {
+		// Error exit: sweep every run temp opened so far. Destroy is
+		// idempotent, so runs already emptied or reclaimed by the merge
+		// are safe to sweep again.
+		if !sorted {
+			destroyRuns(runs)
+		}
+	}()
 	var run storage.Collection
 	openRun := func() error {
 		r, err := env.CreateTemp("hybrun", recSize)
@@ -207,5 +216,6 @@ func (s *HybridSort) Sort(env *algo.Env, in, out storage.Collection) error {
 	if err := mergeRuns(env, live, out, recSize); err != nil {
 		return err
 	}
+	sorted = true
 	return out.Close()
 }

@@ -38,15 +38,31 @@ func (s *LazySort) Sort(env *algo.Env, in, out storage.Collection) error {
 
 	cur := in                      // current input (in, or the latest materialized Ti)
 	var curTemp storage.Collection // owned temp backing cur, nil when cur == in
+	var ti storage.Collection      // this iteration's materialization target
 	var bound *ranked
 	poll := env.Poll()
 	n := 1 // iteration number on the current input (Algorithm 2's n)
 	emitted := 0
 
+	sorted := false
+	defer func() {
+		if sorted {
+			return
+		}
+		// Error exit: reclaim whichever temps are still live. Destroy is
+		// idempotent, so sweeping both is safe even when ti backs cur.
+		if ti != nil && ti != curTemp {
+			_ = ti.Destroy()
+		}
+		if curTemp != nil {
+			_ = curTemp.Destroy()
+		}
+	}()
+
 	for emitted < in.Len() {
 		materialize := n >= cost.LazySortMaterializeIteration(float64(cur.Len()), float64(budget), lambda)
 
-		var ti storage.Collection
+		ti = nil
 		var onSurvivor func(rec []byte) error
 		if materialize {
 			t, err := env.CreateTemp("lazyin", recSize)
@@ -95,5 +111,6 @@ func (s *LazySort) Sort(env *algo.Env, in, out storage.Collection) error {
 			return err
 		}
 	}
+	sorted = true
 	return out.Close()
 }

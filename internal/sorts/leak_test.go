@@ -1,0 +1,181 @@
+package sorts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// Algorithm-level leak discipline (the wlvet/tempsweep contract): a sort
+// that fails — cancellation or a device error — must destroy every
+// temporary it created before returning. These tests call Sort directly,
+// without SortCtx's outer SweepTemps, so the algorithms' own error-path
+// sweeps are what is under test.
+
+// countingCtx counts Err calls without ever cancelling (calibration).
+type countingCtx struct {
+	context.Context
+	calls atomic.Int64
+}
+
+func (c *countingCtx) Err() error {
+	c.calls.Add(1)
+	return c.Context.Err()
+}
+
+// countdownCtx reports Canceled from the n-th Err call onwards.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return c.Context.Err()
+}
+
+// TestSortCancelSweepsTemps cancels each cancellation-polling algorithm
+// at increasing depths — run formation, mid-run, merging — and asserts
+// the algorithm itself left no live temporaries.
+func TestSortCancelSweepsTemps(t *testing.T) {
+	for _, a := range []Algorithm{NewExternalMergeSort(), NewHybridSort(0.5), NewLazySort()} {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			const n, budget = 6000, 50
+			calib := &countingCtx{Context: context.Background()}
+			env := newEnv(t, "blocked", budget).WithContext(calib)
+			in := loadInput(t, env, n, 7)
+			out, err := env.Factory.Create("out", record.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Sort(env, in, out); err != nil {
+				t.Fatalf("calibration run: %v", err)
+			}
+			if live := env.LiveTemps(); live != 0 {
+				t.Fatalf("clean run left %d live temps", live)
+			}
+			total := calib.calls.Load()
+			if total < 4 {
+				t.Fatalf("algorithm polls cancellation only %d times; input too small to steer", total)
+			}
+
+			for _, frac := range []float64{0, 0.25, 0.5, 0.85} {
+				polls := int64(float64(total) * frac)
+				env := newEnv(t, "blocked", budget).WithContext(newCountdownCtx(polls))
+				in := loadInput(t, env, n, 7)
+				out, err := env.Factory.Create("out", record.Size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = a.Sort(env, in, out)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancel at poll %d/%d: err = %v, want context.Canceled", polls, total, err)
+				}
+				if live := env.LiveTemps(); live != 0 {
+					t.Fatalf("cancel at poll %d/%d leaked %d temp collections", polls, total, live)
+				}
+			}
+		})
+	}
+}
+
+// failingAppend wraps a collection whose Append starts failing after a
+// fixed number of records — an output-device error injected mid-sort.
+type failingAppend struct {
+	storage.Collection
+	remaining int
+}
+
+var errAppendInjected = errors.New("injected append failure")
+
+func (f *failingAppend) Append(rec []byte) error {
+	if f.remaining <= 0 {
+		return errAppendInjected
+	}
+	f.remaining--
+	return f.Collection.Append(rec)
+}
+
+// TestLazySortOutputErrorSweepsTemp forces LaS into its materializing
+// iteration (n=1 with T=100, M=60: Eq. 5 materializes immediately) and
+// fails the output append while the fresh intermediate input Ti is
+// live. The error must surface with zero temps left behind.
+func TestLazySortOutputErrorSweepsTemp(t *testing.T) {
+	env := newEnv(t, "blocked", 60)
+	in := loadInput(t, env, 100, 11)
+	out, err := env.Factory.Create("out", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = NewLazySort().Sort(env, in, &failingAppend{Collection: out, remaining: 10})
+	if !errors.Is(err, errAppendInjected) {
+		t.Fatalf("err = %v, want injected append failure", err)
+	}
+	if live := env.LiveTemps(); live != 0 {
+		t.Fatalf("failed sort leaked %d temp collections", live)
+	}
+}
+
+// TestMergePassErrorSweepsMerged steers cancellation into the merge
+// phase across a spread of poll depths and parallelism: whichever worker
+// holds a freshly created merge output when mergeInto fails must destroy
+// it (it is not yet published to the next generation).
+func TestMergePassErrorSweepsMerged(t *testing.T) {
+	const n, budget = 6000, 20 // tiny budget: many runs, several merge passes
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("p%d", par), func(t *testing.T) {
+			calib := &countingCtx{Context: context.Background()}
+			env := newParEnv(t, budget, par).WithContext(calib)
+			in := loadInput(t, env, n, 3)
+			out, err := env.Factory.Create("out", record.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := NewExternalMergeSort().Sort(env, in, out); err != nil {
+				t.Fatal(err)
+			}
+			total := calib.calls.Load()
+			// Late polls land inside mergeInto, after the pass created its
+			// merge output temps.
+			for _, frac := range []float64{0.5, 0.7, 0.9, 0.97} {
+				polls := int64(float64(total) * frac)
+				env := newParEnv(t, budget, par).WithContext(newCountdownCtx(polls))
+				in := loadInput(t, env, n, 3)
+				out, err := env.Factory.Create("out", record.Size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = NewExternalMergeSort().Sort(env, in, out)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("cancel at poll %d/%d: err = %v, want context.Canceled", polls, total, err)
+				}
+				if live := env.LiveTemps(); live != 0 {
+					t.Fatalf("cancel at poll %d/%d leaked %d temp collections", polls, total, live)
+				}
+			}
+		})
+	}
+}
+
+// newParEnv is newEnv with worker parallelism.
+func newParEnv(t testing.TB, budgetRecords, par int) *algo.Env {
+	t.Helper()
+	env := newEnv(t, "blocked", budgetRecords)
+	return algo.NewParallelEnv(env.Factory, env.MemoryBudget, par)
+}

@@ -342,9 +342,11 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 				return err
 			}
 			if err := mergeInto(child, group, merged); err != nil {
+				merged.Destroy() //nolint:errcheck // best-effort cleanup after failure
 				return err
 			}
 			if err := merged.Close(); err != nil {
+				merged.Destroy() //nolint:errcheck // best-effort cleanup after failure
 				return err
 			}
 			for _, r := range group {
@@ -435,6 +437,8 @@ func mergeIters(iters []storage.Iterator, emit func(rec []byte) error) error {
 }
 
 // verifySortedInvariant is a debugging helper used by tests.
+//
+//lint:allow wlvet/ctxpoll test-only invariant check over small fixtures, never run on a live query path
 func verifySortedInvariant(c storage.Collection) error {
 	it := c.Scan()
 	defer it.Close()

@@ -258,6 +258,7 @@ func (q *Query) Run(out Collection, memoryBudget int64) error {
 //
 // Deprecated: see Run; use RunCtx, which returns the same explanation.
 func (q *Query) RunExplained(out Collection, memoryBudget int64) (*QueryExplain, error) {
+	//lint:allow wlvet/ctxparam deprecated pre-context compat shim; RunExplainedCtx is the real API
 	return q.runInto(context.Background(), out, memoryBudget, nil, exec.CompileOptions{})
 }
 
@@ -269,6 +270,7 @@ func (q *Query) RunExplained(out Collection, memoryBudget int64) (*QueryExplain,
 // Deprecated: the fixed caller budget bypasses the memory broker. Use
 // RunMaterializedCtx.
 func (q *Query) RunMaterialized(out Collection, memoryBudget int64) error {
+	//lint:allow wlvet/ctxparam deprecated pre-context compat shim; RunMaterializedCtx is the real API
 	_, err := q.runInto(context.Background(), out, memoryBudget, nil, exec.CompileOptions{MaterializeEveryStep: true})
 	return err
 }

@@ -191,6 +191,7 @@ func serveBenchLocal(cfg bench.Config, nDim, nFact int, grant int64, k int) (ser
 			return 0, 0, 0, err
 		}
 		start := time.Now()
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; queries run to completion by design
 		rows, err := query.Rows(context.Background())
 		if err != nil {
 			return 0, 0, 0, err
@@ -239,6 +240,7 @@ func serveBenchRemote(cfg bench.Config, nDim, nFact int, grant int64, k int) (se
 	stats, err := serveBenchDrive(k, func(i, q int) (int64, uint64, time.Duration, error) {
 		sess := client.Dial(addr).Session(fmt.Sprintf("t%d", i))
 		start := time.Now()
+		//lint:allow wlvet/ctxparam bench harness owns the run lifetime; queries run to completion by design
 		rows, err := sess.Query(serveBenchPlan).Rows(context.Background())
 		if err != nil {
 			return 0, 0, 0, err
@@ -262,10 +264,12 @@ func serveBenchRemote(cfg bench.Config, nDim, nFact int, grant int64, k int) (se
 		return serveRunStats{}, nil, err
 	}
 
+	//lint:allow wlvet/ctxparam bench harness owns the run lifetime
 	met, err := client.Dial(addr).Session(serveBenchTenant).Metrics(context.Background())
 	if err != nil {
 		return serveRunStats{}, nil, err
 	}
+	//lint:allow wlvet/ctxparam bench teardown drains to completion; no caller context exists to thread
 	if err := srv.Shutdown(context.Background()); err != nil {
 		return serveRunStats{}, nil, err
 	}

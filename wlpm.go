@@ -296,6 +296,7 @@ func (s *System) CreateSized(name string, recordSize int) (Collection, error) {
 // concurrent callers can oversubscribe the system budget. Use SortCtx
 // (cancellable, leak-swept) or a Session query with OrderBy.
 func (s *System) Sort(a SortAlgorithm, in, out Collection, memoryBudget int64) error {
+	//lint:allow wlvet/ctxparam deprecated pre-context compat shim; SortCtx is the real API
 	return s.SortCtx(context.Background(), a, in, out, memoryBudget)
 }
 
@@ -318,6 +319,7 @@ func (s *System) SortCtx(ctx context.Context, a SortAlgorithm, in, out Collectio
 // Deprecated: the fixed caller budget bypasses the memory broker. Use
 // JoinCtx or a Session query with Join.
 func (s *System) Join(a JoinAlgorithm, left, right, out Collection, memoryBudget int64) error {
+	//lint:allow wlvet/ctxparam deprecated pre-context compat shim; JoinCtx is the real API
 	return s.JoinCtx(context.Background(), a, left, right, out, memoryBudget)
 }
 
@@ -349,6 +351,7 @@ func (s *System) NewEnv(memoryBudget int64) *Env {
 // Deprecated: the fixed caller budget bypasses the memory broker. Use
 // GroupByCtx or a Session query with GroupBy.
 func (s *System) GroupBy(a SortAlgorithm, in Collection, attr int, out Collection, memoryBudget int64) error {
+	//lint:allow wlvet/ctxparam deprecated pre-context compat shim; GroupByCtx is the real API
 	return s.GroupByCtx(context.Background(), a, in, attr, out, memoryBudget)
 }
 
