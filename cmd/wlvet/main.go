@@ -1,10 +1,13 @@
 // wlvet runs the engine's static-analysis suite (internal/analysis):
-// cancellation polling, temp-sweep hygiene, grant release, batch
-// ownership, and context threading.
+// the wave-1 resource contracts (cancellation polling, temp-sweep
+// hygiene, grant release, batch ownership, context threading) and the
+// wave-2 concurrency contracts (lock ordering, blocking under locks,
+// goroutine lifecycle, field synchronization).
 //
 // Standalone:
 //
 //	wlvet ./...            # exit 1 on any diagnostic
+//	wlvet -json ./...      # machine-readable findings + allow audit
 //
 // As a go vet tool (unitchecker protocol):
 //
@@ -12,9 +15,12 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"golang.org/x/tools/go/analysis/unitchecker"
 
@@ -22,25 +28,91 @@ import (
 	"wlpm/internal/analysis/driver"
 )
 
+// jsonReport is the -json output: every live finding, plus every
+// suppressed one with the reason its //lint:allow comment gave, so
+// suppressions stay auditable by the same tooling that consumes
+// findings.
+type jsonReport struct {
+	Diagnostics []jsonDiag  `json:"diagnostics"`
+	Allowed     []jsonAllow `json:"allowed"`
+	Packages    int         `json:"packages"`
+	ElapsedMS   int64       `json:"elapsed_ms"`
+	Workers     int         `json:"workers"`
+}
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonAllow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"allow_reason"`
+}
+
 func main() {
-	args := os.Args[1:]
-	for _, a := range args {
+	for _, a := range os.Args[1:] {
 		// go vet invokes the tool with -V=full (version probe) and
 		// -flags (flag discovery) before the per-package *.cfg calls.
 		if a == "-flags" || strings.HasPrefix(a, "-V") || strings.HasSuffix(a, ".cfg") {
 			unitchecker.Main(wlvet.All()...) // does not return
 		}
 	}
-	patterns := args
+
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON diagnostics on stdout")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	n, err := driver.Run(os.Stdout, wlvet.All(), patterns)
+
+	res, err := driver.Run(wlvet.All(), patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wlvet:", err)
 		os.Exit(2)
 	}
-	if n > 0 {
+	allowed := wlvet.TakeAllowLog()
+
+	if *jsonOut {
+		rep := jsonReport{
+			Diagnostics: []jsonDiag{},
+			Allowed:     []jsonAllow{},
+			Packages:    res.Reported,
+			ElapsedMS:   res.Elapsed.Milliseconds(),
+			Workers:     res.Workers,
+		}
+		for _, d := range res.Diags {
+			rep.Diagnostics = append(rep.Diagnostics, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, a := range allowed {
+			rep.Allowed = append(rep.Allowed, jsonAllow{
+				File: a.Pos.Filename, Line: a.Pos.Line,
+				Analyzer: a.Analyzer, Reason: a.Reason,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "wlvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintf(os.Stdout, "%s: %s\n", d.Pos, d.Message)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "wlvet: %d package(s) analyzed (%d total incl. deps) in %v with %d worker(s)\n",
+		res.Reported, res.Packages, res.Elapsed.Round(time.Millisecond), res.Workers)
+	if n := len(res.Diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "wlvet: %d invariant violation(s)\n", n)
 		os.Exit(1)
 	}

@@ -19,21 +19,41 @@
 package wlvet
 
 import (
+	"go/ast"
 	"go/token"
 	"strings"
 
 	"golang.org/x/tools/go/analysis"
 )
 
-// inTestFile reports whether the position lies in a _test.go file.
-// The invariants bind library code only: suites deliberately discard
-// grants, drain iterators probe-free, and mint root contexts to put
-// the engine in the states under test.
-func inTestFile(pass *analysis.Pass, pos token.Pos) bool {
-	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+// exemptPos reports whether the position lies in a file the suite does
+// not police: a _test.go file (suites deliberately discard grants,
+// drain iterators probe-free, and mint root contexts to put the engine
+// in the states under test) or a generated file per the standard
+// `// Code generated ... DO NOT EDIT.` convention (the generator, not
+// the generated text, is what a human can fix).
+func exemptPos(pass *analysis.Pass, pos token.Pos) bool {
+	if strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go") {
+		return true
+	}
+	f := fileOf(pass, pos)
+	return f != nil && ast.IsGenerated(f)
 }
 
-// All returns the full wlvet suite in reporting order.
+// fileOf returns the syntax file containing pos, or nil.
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// All returns the full wlvet suite in reporting order. Wave 1 (PR 8)
+// covers the resource contracts; wave 2 adds the concurrency
+// contracts: lock ordering, blocking under locks, goroutine lifecycle,
+// and field synchronization.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		CtxPoll,
@@ -41,5 +61,9 @@ func All() []*analysis.Analyzer {
 		GrantRelease,
 		BatchOwn,
 		CtxParam,
+		LockOrder,
+		LockBlock,
+		GoSpawn,
+		SyncField,
 	}
 }

@@ -153,20 +153,44 @@ func wantsOf(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 	return wants
 }
 
+// analyzeWithDeps runs the analyzer over path after analyzing every
+// testdata dependency (report-off, depth-first), so analysis facts
+// flow across fixture package boundaries exactly as they do in the
+// real driver. done memoizes which paths already contributed facts to
+// the shared store.
+func analyzeWithDeps(t *testing.T, l *loader, store *driver.FactStore, a *analysis.Analyzer, path string, done map[string]bool) []driver.Diagnostic {
+	t.Helper()
+	p, err := l.load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visit func(path string, p *loadedPackage, report bool) []driver.Diagnostic
+	visit = func(path string, p *loadedPackage, report bool) []driver.Diagnostic {
+		for _, imp := range p.pkg.Imports() {
+			if dep, ok := l.loaded[imp.Path()]; ok && !done[imp.Path()] {
+				visit(imp.Path(), dep, false)
+			}
+		}
+		if done[path] && !report {
+			return nil
+		}
+		done[path] = true
+		diags, err := driver.RunOnPackage(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a}, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	return visit(path, p, true)
+}
+
 // Diagnostics loads one testdata package and returns the analyzer's
 // raw diagnostic messages in position order — for cases a want comment
 // cannot express, like diagnostics reported at comment positions.
 func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, path string) []string {
 	t.Helper()
 	l := newLoader(testdata)
-	p, err := l.load(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := driver.RunOnPackage(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
-	}
+	diags := analyzeWithDeps(t, l, driver.NewFactStore([]*analysis.Analyzer{a}), a, path, make(map[string]bool))
 	msgs := make([]string, len(diags))
 	for i, d := range diags {
 		msgs[i] = d.Message
@@ -175,21 +199,19 @@ func Diagnostics(t *testing.T, testdata string, a *analysis.Analyzer, path strin
 }
 
 // Run applies the analyzer to each testdata package and compares
-// diagnostics against the packages' want annotations.
+// diagnostics against the packages' want annotations. Packages share
+// one loader and one fact store, so a fixture package may import a
+// sibling and observe its exported facts.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	l := newLoader(testdata)
+	store := driver.NewFactStore([]*analysis.Analyzer{a})
+	done := make(map[string]bool)
 	for _, path := range paths {
 		path := path
 		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
-			p, err := l.load(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			diags, err := driver.RunOnPackage(l.fset, p.files, p.pkg, p.info, []*analysis.Analyzer{a})
-			if err != nil {
-				t.Fatal(err)
-			}
+			diags := analyzeWithDeps(t, l, store, a, path, done)
+			p := l.loaded[path]
 			wants := wantsOf(t, l.fset, p.files)
 			sort.SliceStable(wants, func(i, j int) bool {
 				if wants[i].file != wants[j].file {
@@ -198,17 +220,16 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 				return wants[i].line < wants[j].line
 			})
 			for _, d := range diags {
-				pos := l.fset.Position(d.Pos)
 				matched := false
 				for _, w := range wants {
-					if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+					if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
 						w.hit = true
 						matched = true
 						break
 					}
 				}
 				if !matched {
-					t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+					t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
 				}
 			}
 			for _, w := range wants {

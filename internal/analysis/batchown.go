@@ -31,7 +31,7 @@ var copyNameRe = regexp.MustCompile(`(?i)^(clone|copy|materialize|dup)`)
 func runBatchOwn(pass *analysis.Pass) (any, error) {
 	sup := newSuppressor(pass, "batchown")
 	for _, file := range pass.Files {
-		if inTestFile(pass, file.Pos()) {
+		if exemptPos(pass, file.Pos()) {
 			continue
 		}
 		for _, u := range unitsOf(pass, file) {

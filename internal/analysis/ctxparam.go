@@ -32,7 +32,7 @@ func runCtxParam(pass *analysis.Pass) (any, error) {
 
 	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		fd := n.(*ast.FuncDecl)
-		if !fd.Name.IsExported() || inTestFile(pass, fd.Pos()) {
+		if !fd.Name.IsExported() || exemptPos(pass, fd.Pos()) {
 			return
 		}
 		pos := 0

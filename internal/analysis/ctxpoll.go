@@ -37,7 +37,7 @@ func runCtxPoll(pass *analysis.Pass) (any, error) {
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.Preorder([]ast.Node{(*ast.ForStmt)(nil)}, func(n ast.Node) {
 		loop := n.(*ast.ForStmt)
-		if loop.Cond != nil || inTestFile(pass, loop.Pos()) {
+		if loop.Cond != nil || exemptPos(pass, loop.Pos()) {
 			return
 		}
 		consumes, probes := false, false

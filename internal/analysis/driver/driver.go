@@ -1,9 +1,17 @@
 // Package driver runs go/analysis analyzers over module packages
 // without golang.org/x/tools/go/packages (not vendored): it shells out
 // to `go list -deps -export -json` for the import graph and compiled
-// export data, typechecks the matched packages from source, and runs
-// the analyzers with their Requires graph. Facts are not supported —
-// the wlvet suite is intra-package by design.
+// export data, typechecks every module package from source in
+// import-DAG order, and runs the analyzers with their Requires graph.
+//
+// Unlike the wave-1 driver, analysis facts propagate across the import
+// graph: after a package is analyzed, its exported facts are gob- and
+// objectpath-serialized exactly as the unitchecker protocol would ship
+// them between `go vet` actions, then decoded back against the live
+// type information for dependent packages to import. Packages whose
+// module dependencies are all analyzed run concurrently on a worker
+// pool; output order stays deterministic because diagnostics are
+// collected per package and emitted in import-path order at the end.
 package driver
 
 import (
@@ -20,6 +28,9 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"golang.org/x/tools/go/analysis"
 )
@@ -30,57 +41,209 @@ type listPackage struct {
 	Name       string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	DepOnly    bool
 	Standard   bool
 }
 
-// Run loads the packages matching patterns, applies the analyzers to
-// each non-dependency match, and prints diagnostics to w. It returns
-// the number of diagnostics, or an error for load/typecheck failures.
-func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns []string) (int, error) {
+// Diagnostic is one finding, resolved to a printable position and
+// tagged with the analyzer that produced it (for -json output and the
+// CI problem matcher).
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Result is one driver run: the findings of the matched packages plus
+// the run's shape for the wall-clock report.
+type Result struct {
+	Diags    []Diagnostic
+	Packages int           // packages analyzed (matched + module deps)
+	Reported int           // packages whose diagnostics were reported
+	Elapsed  time.Duration // wall clock of the analysis phase
+	Workers  int
+}
+
+// Run loads the packages matching patterns, analyzes every module
+// package in the import closure (dependencies first, so facts flow),
+// and returns the diagnostics of the matched ones in import-path and
+// position order.
+func Run(analyzers []*analysis.Analyzer, patterns []string) (*Result, error) {
+	modPath, err := goModulePath()
+	if err != nil {
+		return nil, err
+	}
 	pkgs, err := goList(patterns)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 
 	exports := make(map[string]string)
-	var roots []*listPackage
+	inModule := func(p *listPackage) bool {
+		return !p.Standard && (p.ImportPath == modPath || strings.HasPrefix(p.ImportPath, modPath+"/"))
+	}
+	// Every module package in the closure is analyzed so its facts
+	// exist; only non-DepOnly (pattern-matched) packages report.
+	var units []*unit
+	byPath := make(map[string]*unit)
 	for _, p := range pkgs {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
-			roots = append(roots, p)
+		if inModule(p) && len(p.GoFiles) > 0 {
+			u := &unit{pkg: p, report: !p.DepOnly}
+			units = append(units, u)
+			byPath[p.ImportPath] = u
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	for _, u := range units {
+		for _, imp := range u.pkg.Imports {
+			if dep, ok := byPath[imp]; ok {
+				u.deps = append(u.deps, dep)
+				dep.dependents = append(dep.dependents, u)
+			}
+		}
+	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	var impMu sync.Mutex
+	checked := make(map[string]*types.Package)
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
-
-	total := 0
-	for _, p := range roots {
-		diags, err := analyzePackage(fset, imp, p, analyzers)
-		if err != nil {
-			return total, err
+	// Module packages resolve to their source-checked form so facts and
+	// type identities line up; everything else comes from export data.
+	// The gc importer and its shared caches are not otherwise
+	// synchronized, so one mutex serializes all import requests.
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		impMu.Lock()
+		defer impMu.Unlock()
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
 		}
-		for _, d := range diags {
-			fmt.Fprintf(w, "%s: %s\n", fset.Position(d.Pos), d.Message)
-			total++
+		return gc.Import(path)
+	})
+
+	store := NewFactStore(analyzers)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Import-DAG scheduling: a unit becomes ready when its last module
+	// dependency finishes. Workers pull from the ready queue; the first
+	// error wins and drains the run.
+	var (
+		mu     sync.Mutex
+		cond   = sync.NewCond(&mu)
+		ready  []*unit
+		done   int
+		runErr error
+	)
+	for _, u := range units {
+		u.waiting = len(u.deps)
+		if u.waiting == 0 {
+			ready = append(ready, u)
 		}
 	}
-	return total, nil
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(ready) == 0 && done < len(units) && runErr == nil {
+					cond.Wait()
+				}
+				if runErr != nil || done == len(units) {
+					mu.Unlock()
+					return
+				}
+				u := ready[0]
+				ready = ready[1:]
+				mu.Unlock()
+
+				diags, pkg, err := analyzePackage(fset, imp, u.pkg, analyzers, store, u.report)
+
+				mu.Lock()
+				if err != nil && runErr == nil {
+					runErr = err
+				}
+				if err == nil {
+					u.diags = diags
+					impMu.Lock()
+					checked[u.pkg.ImportPath] = pkg
+					impMu.Unlock()
+					for _, d := range u.dependents {
+						d.waiting--
+						if d.waiting == 0 {
+							ready = append(ready, d)
+						}
+					}
+				}
+				done++
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{
+		Packages: len(units),
+		Elapsed:  time.Since(start),
+		Workers:  workers,
+	}
+	sort.Slice(units, func(i, j int) bool { return units[i].pkg.ImportPath < units[j].pkg.ImportPath })
+	for _, u := range units {
+		if !u.report {
+			continue
+		}
+		res.Reported++
+		res.Diags = append(res.Diags, u.diags...)
+	}
+	return res, nil
+}
+
+// unit is one module package in the run's dependency graph.
+type unit struct {
+	pkg        *listPackage
+	report     bool
+	deps       []*unit
+	dependents []*unit
+	waiting    int
+	diags      []Diagnostic
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func goModulePath() (string, error) {
+	out, err := exec.Command("go", "list", "-m").Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
 }
 
 func goList(patterns []string) ([]*listPackage, error) {
-	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard", "--"}, patterns...)
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,GoFiles,Imports,Export,DepOnly,Standard", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
@@ -107,12 +270,12 @@ func goList(patterns []string) ([]*listPackage, error) {
 	return pkgs, nil
 }
 
-func analyzePackage(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+func analyzePackage(fset *token.FileSet, imp types.Importer, p *listPackage, analyzers []*analysis.Analyzer, store *FactStore, report bool) ([]Diagnostic, *types.Package, error) {
 	var files []*ast.File
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -120,9 +283,16 @@ func analyzePackage(fset *token.FileSet, imp types.Importer, p *listPackage, ana
 	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
 	pkg, err := conf.Check(p.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		return nil, nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 	}
-	return RunOnPackage(fset, files, pkg, info, analyzers)
+	diags, err := RunOnPackage(fset, files, pkg, info, analyzers, store)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !report {
+		diags = nil
+	}
+	return diags, pkg, nil
 }
 
 func newInfo() *types.Info {
@@ -140,11 +310,18 @@ func newInfo() *types.Info {
 // RunOnPackage applies the analyzers (and, transitively, their
 // Requires) to one typechecked package, returning the diagnostics in
 // position order. It is shared by the standalone driver and the
-// analyzertest golden harness.
-func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
-	var diags []analysis.Diagnostic
+// analyzertest golden harness. store may be nil for fact-free suites;
+// with a store, facts exported here become importable by packages
+// analyzed later (after a serialization round-trip — see FactStore).
+func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer, store *FactStore) ([]Diagnostic, error) {
+	var diags []Diagnostic
 	results := make(map[*analysis.Analyzer]any)
 	running := make(map[*analysis.Analyzer]bool)
+
+	var pf *pkgFacts
+	if store != nil {
+		pf = store.open(pkg)
+	}
 
 	var run func(a *analysis.Analyzer, report bool) error
 	run = func(a *analysis.Analyzer, report bool) error {
@@ -163,6 +340,7 @@ func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			}
 			resultOf[dep] = results[dep]
 		}
+		name := a.Name
 		pass := &analysis.Pass{
 			Analyzer:   a,
 			Fset:       fset,
@@ -173,19 +351,32 @@ func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			ResultOf:   resultOf,
 			Report: func(d analysis.Diagnostic) {
 				if report {
-					diags = append(diags, d)
+					diags = append(diags, Diagnostic{
+						Pos:      fset.Position(d.Pos),
+						Analyzer: name,
+						Message:  d.Message,
+					})
 				}
 			},
-			ReadFile:          os.ReadFile,
-			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
-			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
-			ExportObjectFact:  func(types.Object, analysis.Fact) {},
-			ExportPackageFact: func(analysis.Fact) {},
-			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			ReadFile: os.ReadFile,
 		}
-		if len(a.FactTypes) > 0 {
-			return fmt.Errorf("analyzer %s uses facts; the wlvet driver does not support them", a.Name)
+		if pf != nil {
+			pass.ImportObjectFact = pf.importObjectFact
+			pass.ImportPackageFact = pf.importPackageFact
+			pass.ExportObjectFact = pf.exportObjectFact
+			pass.ExportPackageFact = pf.exportPackageFact
+			pass.AllObjectFacts = pf.allObjectFacts
+			pass.AllPackageFacts = pf.allPackageFacts
+		} else {
+			if len(a.FactTypes) > 0 {
+				return fmt.Errorf("analyzer %s uses facts but RunOnPackage was given no fact store", a.Name)
+			}
+			pass.ImportObjectFact = func(types.Object, analysis.Fact) bool { return false }
+			pass.ImportPackageFact = func(*types.Package, analysis.Fact) bool { return false }
+			pass.ExportObjectFact = func(types.Object, analysis.Fact) {}
+			pass.ExportPackageFact = func(analysis.Fact) {}
+			pass.AllObjectFacts = func() []analysis.ObjectFact { return nil }
+			pass.AllPackageFacts = func() []analysis.PackageFact { return nil }
 		}
 		res, err := a.Run(pass)
 		if err != nil {
@@ -199,6 +390,19 @@ func RunOnPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			return diags, err
 		}
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	if pf != nil {
+		if err := pf.seal(); err != nil {
+			return diags, fmt.Errorf("encode facts for %s: %v", pkg.Path(), err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Pos.Column < diags[j].Pos.Column
+	})
 	return diags, nil
 }

@@ -1,0 +1,157 @@
+package driver
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// markFact tags exported functions whose names start with "Mark".
+type markFact struct{ Tag string }
+
+func (*markFact) AFact() {}
+
+// TestFactPropagation drives RunOnPackage over two hand-typechecked
+// packages through one FactStore and asserts that an object fact
+// exported while analyzing the dependency survives the gob+objectpath
+// round-trip and is visible when the dependent imports it.
+func TestFactPropagation(t *testing.T) {
+	tagger := &analysis.Analyzer{
+		Name:      "tagger",
+		Doc:       "exports markFact on Mark* functions, reports callers of tagged functions",
+		FactTypes: []analysis.Fact{new(markFact)},
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					fd, ok := d.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+					if fn == nil {
+						continue
+					}
+					if strings.HasPrefix(fn.Name(), "Mark") {
+						pass.ExportObjectFact(fn, &markFact{Tag: "marked:" + fn.Name()})
+					}
+					ast.Inspect(fd, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						sel, ok := call.Fun.(*ast.SelectorExpr)
+						if !ok {
+							return true
+						}
+						callee, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+						if callee == nil || callee.Pkg() == pass.Pkg {
+							return true
+						}
+						var mf markFact
+						if pass.ImportObjectFact(callee, &mf) {
+							pass.Reportf(call.Pos(), "calls tagged %s (%s)", callee.Name(), mf.Tag)
+						}
+						return true
+					})
+				}
+			}
+			return nil, nil
+		},
+	}
+
+	fset := token.NewFileSet()
+	check := func(path, src string, imp types.Importer) (*types.Package, []*ast.File, *types.Info) {
+		t.Helper()
+		f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkg, []*ast.File{f}, info
+	}
+
+	depPkg, depFiles, depInfo := check("factdep", `package factdep
+func MarkDone() {}
+func Plain()    {}
+`, nil)
+
+	store := NewFactStore([]*analysis.Analyzer{tagger})
+	depDiags, err := RunOnPackage(fset, depFiles, depPkg, depInfo, []*analysis.Analyzer{tagger}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(depDiags) != 0 {
+		t.Fatalf("dependency diagnostics = %v, want none", depDiags)
+	}
+	if len(store.Blob("factdep")) == 0 {
+		t.Fatal("sealed fact blob for factdep is empty; facts would not survive a unitchecker run")
+	}
+
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "factdep" {
+			return depPkg, nil
+		}
+		return importer.Default().Import(path)
+	})
+	rootPkg, rootFiles, rootInfo := check("factroot", `package factroot
+import "factdep"
+func use() {
+	factdep.MarkDone()
+	factdep.Plain()
+}
+`, imp)
+
+	rootDiags, err := RunOnPackage(fset, rootFiles, rootPkg, rootInfo, []*analysis.Analyzer{tagger}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rootDiags) != 1 {
+		t.Fatalf("got %d diagnostics %v, want exactly the MarkDone call", len(rootDiags), rootDiags)
+	}
+	if want := "calls tagged MarkDone (marked:MarkDone)"; rootDiags[0].Message != want {
+		t.Errorf("diagnostic = %q, want %q", rootDiags[0].Message, want)
+	}
+}
+
+// TestFactStoreRoundTrip: only facts that survive encoding are
+// published — mirroring unitchecker, where facts travel as files.
+func TestFactStoreRoundTrip(t *testing.T) {
+	store := NewFactStore([]*analysis.Analyzer{{
+		Name:      "t",
+		FactTypes: []analysis.Fact{new(markFact)},
+	}})
+	pkg := types.NewPackage("roundtrip", "roundtrip")
+	fn := types.NewFunc(token.NoPos, pkg, "Exported", types.NewSignatureType(nil, nil, nil, nil, nil, false))
+	pkg.Scope().Insert(fn)
+	pkg.MarkComplete()
+
+	pf := store.open(pkg)
+	pf.exportObjectFact(fn, &markFact{Tag: "survives"})
+	if err := pf.seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got markFact
+	reader := store.open(types.NewPackage("other", "other"))
+	if !reader.importObjectFact(fn, &got) {
+		t.Fatal("fact on exported func did not survive seal/import")
+	}
+	if got.Tag != "survives" {
+		t.Errorf("Tag = %q, want %q", got.Tag, "survives")
+	}
+	if reflect.TypeOf(&got) != reflect.TypeOf(new(markFact)) {
+		t.Error("fact type mangled in round-trip")
+	}
+}

@@ -42,3 +42,29 @@ func TestBatchOwnGolden(t *testing.T) {
 func TestCtxParamGolden(t *testing.T) {
 	analyzertest.Run(t, "testdata/ctxparam", CtxParam, "ctxparam", "mainpkg")
 }
+
+func TestLockOrderGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/lockorder", LockOrder, "lockorder")
+}
+
+func TestLockBlockGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/lockblock", LockBlock, "lockblock")
+}
+
+func TestGoSpawnGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/gospawn", GoSpawn, "gospawn", "gospawnmain")
+}
+
+func TestSyncFieldGolden(t *testing.T) {
+	analyzertest.Run(t, "testdata/syncfield", SyncField, "syncfield")
+}
+
+// TestGeneratedFilesSkipped: generated files are invisible to both the
+// analyzers and the allow auditor — the probe-less loop and the
+// reason-less allow in the generated fixture draw no diagnostics.
+func TestGeneratedFilesSkipped(t *testing.T) {
+	msgs := analyzertest.Diagnostics(t, "testdata/ctxpoll", CtxPoll, "internal/sorts/generated")
+	if len(msgs) != 0 {
+		t.Fatalf("got %d diagnostics %q from a generated file, want 0", len(msgs), msgs)
+	}
+}

@@ -1,0 +1,146 @@
+package wlvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// GoSpawn requires every `go` statement in a library package to tie
+// the goroutine to a completion mechanism: a WaitGroup Done, a send or
+// close on a channel (turnstile, done channel, result channel), a
+// ctx-done receive, or a for-range over a channel (the goroutine ends
+// when its feed closes). A fire-and-forget goroutine has no owner: the
+// engine cannot drain it at Close, the server cannot wait for it at
+// shutdown, and the leak tests (PR 4/7) cannot see it finish. Only
+// package main is exempt — a process's own lifetime is its completion
+// mechanism.
+var GoSpawn = &analysis.Analyzer{
+	Name: "gospawn",
+	Doc:  "goroutines in library packages must be tied to a completion mechanism: WaitGroup, done/result channel, ctx-done, or a closable feed (PR 4/7 contract)",
+	Run:  runGoSpawn,
+}
+
+func runGoSpawn(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	sup := newSuppressor(pass, "gospawn")
+
+	// Bodies of package-local functions, so `go b.drain()` is judged by
+	// drain's body, not just its call site.
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd.Body
+				}
+			}
+		}
+	}
+
+	// hasMechanism: the body contains a completion signal. Nested
+	// literals count — they run (or are spawned) within the goroutine's
+	// dynamic extent. Same-package callees are followed transitively.
+	var hasMechanism func(body *ast.BlockStmt, visited map[*types.Func]bool) bool
+	hasMechanism = func(body *ast.BlockStmt, visited map[*types.Func]bool) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				found = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					found = true
+				}
+			case *ast.RangeStmt:
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Chan); ok {
+					found = true
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						found = true
+						return false
+					}
+				}
+				if fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func); ok {
+					if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && (fn.Name() == "Done" || fn.Name() == "Wait") {
+						found = true
+						return false
+					}
+					if fn.Pkg() == pass.Pkg && !visited[fn] {
+						visited[fn] = true
+						if b := bodies[fn]; b != nil && hasMechanism(b, visited) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// tied: judge one go statement. A spawn that threads a context,
+	// channel, or WaitGroup into an out-of-package callee is trusted —
+	// the mechanism crossed the boundary with the call.
+	tied := func(g *ast.GoStmt) bool {
+		call := g.Call
+		if lit, ok := call.Fun.(*ast.FuncLit); ok {
+			return hasMechanism(lit.Body, map[*types.Func]bool{})
+		}
+		if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok {
+			if b := bodies[fn]; b != nil {
+				return hasMechanism(b, map[*types.Func]bool{fn: true})
+			}
+		}
+		for _, arg := range call.Args {
+			t := pass.TypesInfo.TypeOf(arg)
+			if t == nil {
+				continue
+			}
+			if isContextType(t) {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Chan:
+				return true
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				if named, ok := p.Elem().(*types.Named); ok &&
+					named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+					return true
+				}
+			}
+		}
+		// Method value / bound receiver with no visible body and no
+		// mechanism-bearing argument: fire-and-forget.
+		return false
+	}
+
+	for _, file := range pass.Files {
+		if exemptPos(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !tied(g) {
+				sup.reportf(pass, g.Pos(), "fire-and-forget goroutine in a library package: tie it to a WaitGroup, done/result channel, or ctx-done select so an owner can wait for it (wlvet/gospawn)")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -49,7 +49,7 @@ var grantProtocols = []releaseProtocol{
 func runGrantRelease(pass *analysis.Pass) (any, error) {
 	sup := newSuppressor(pass, "grantrelease")
 	for _, file := range pass.Files {
-		if inTestFile(pass, file.Pos()) {
+		if exemptPos(pass, file.Pos()) {
 			continue
 		}
 		for _, u := range unitsOf(pass, file) {

@@ -1,0 +1,310 @@
+package wlvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"wlpm/internal/analysis/lockflow"
+)
+
+// LockBlock flags blocking operations on paths between Lock and
+// Unlock: channel sends and receives, select without a default,
+// WaitGroup.Wait, broker Acquire*, cursor Next, and time.Sleep. A
+// goroutine that blocks while holding a mutex stalls every contender
+// of that mutex behind an event the mutex does not order — under the
+// serving layer's fan-in (PR 7) that is a convoy, and if the event is
+// itself gated on the mutex, a deadlock. Blocking propagates through
+// static calls as an analysis fact, so a helper that receives from a
+// channel taints its callers across package boundaries. time.Sleep is
+// flagged only when it appears directly under a lock: the pmem device
+// sleeps to model hardware latency, and that simulation detail must
+// not taint every storage path that does device I/O.
+var LockBlock = &analysis.Analyzer{
+	Name:      "lockblock",
+	Doc:       "no blocking operations (chan ops, bare select, WaitGroup.Wait, Acquire*, cursor Next, time.Sleep) while holding a mutex (PR 4/7 contract)",
+	Run:       runLockBlock,
+	FactTypes: []analysis.Fact{new(blocksFact)},
+}
+
+// blocksFact marks a function that may block on an event not ordered
+// by the caller's locks. Why names the root operation.
+type blocksFact struct {
+	Why string
+}
+
+func (*blocksFact) AFact()           {}
+func (f *blocksFact) String() string { return "blocks(" + f.Why + ")" }
+
+func runLockBlock(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "lockblock")
+
+	// Select statements are lowered away by go/cfg: their comm-clause
+	// channel ops surface as ordinary block nodes. Pre-scan the syntax
+	// so those ops are attributed to their select — a select with a
+	// default never commits to blocking, one without is reported once,
+	// at the select.
+	type selectInfo struct {
+		sel        *ast.SelectStmt
+		hasDefault bool
+		comms      []ast.Stmt
+	}
+	var selects []selectInfo
+	goCalls := make(map[*ast.CallExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				info := selectInfo{sel: n}
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					if cc.Comm == nil {
+						info.hasDefault = true
+					} else {
+						info.comms = append(info.comms, cc.Comm)
+					}
+				}
+				selects = append(selects, info)
+			case *ast.GoStmt:
+				goCalls[n.Call] = true
+			}
+			return true
+		})
+	}
+	commOf := func(pos token.Pos) (selectInfo, bool) {
+		for _, info := range selects {
+			for _, comm := range info.comms {
+				if pos >= comm.Pos() && pos < comm.End() {
+					return info, true
+				}
+			}
+		}
+		return selectInfo{}, false
+	}
+
+	// Pass 1 per function: does the body itself block? Channel ops in
+	// select headers defer to the select's verdict; defers and nested
+	// literals run outside the function's own locked spans.
+	type fnInfo struct {
+		fn  *types.Func
+		why string
+	}
+	directWhy := make(map[*types.Func]string)
+	callsOf := make(map[*types.Func][]*types.Func)
+	var order []fnInfo
+
+	directBlock := func(n ast.Node) (string, bool) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if info, ok := commOf(n.Pos()); ok {
+				if info.hasDefault {
+					return "", false
+				}
+				return "select without default", true
+			}
+			return "channel send", true
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return "", false
+			}
+			if info, ok := commOf(n.Pos()); ok {
+				if info.hasDefault {
+					return "", false
+				}
+				return "select without default", true
+			}
+			return "channel receive", true
+		case *ast.CallExpr:
+			if goCalls[n] {
+				return "", false
+			}
+			why, ok := namedBlocker(pass, n)
+			if why == "time.Sleep" {
+				// Direct sites still report in pass 2; the simulation
+				// sleep in pmem must not taint callers transitively.
+				return "", false
+			}
+			return why, ok
+		}
+		return "", false
+	}
+
+	for _, file := range pass.Files {
+		if exemptPos(pass, file.Pos()) {
+			continue
+		}
+		for _, u := range unitsOf(pass, file) {
+			fd, ok := u.node.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			order = append(order, fnInfo{fn: fn})
+			walkLocal(u.body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					return false
+				}
+				if _, set := directWhy[fn]; !set {
+					if why, ok := directBlock(n); ok {
+						directWhy[fn] = why
+					}
+				}
+				if call, ok := n.(*ast.CallExpr); ok && !goCalls[call] {
+					if callee := typeutil.StaticCallee(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+						callsOf[fn] = append(callsOf[fn], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: a function that calls a blocker blocks. Cross-package
+	// callees contribute via imported facts at the call-site check, but
+	// must also taint local wrappers here.
+	blocksWhy := func(callee *types.Func) (string, bool) {
+		if why, ok := directWhy[callee]; ok {
+			return why, true
+		}
+		var f blocksFact
+		if callee.Pkg() != pass.Pkg && pass.ImportObjectFact(callee, &f) {
+			return f.Why, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range callsOf {
+			if _, ok := directWhy[fn]; ok {
+				continue
+			}
+			for _, callee := range callees {
+				if why, ok := blocksWhy(callee); ok {
+					directWhy[fn] = fmt.Sprintf("calls %s: %s", callee.Name(), why)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, fi := range order {
+		if why, ok := directWhy[fi.fn]; ok {
+			pass.ExportObjectFact(fi.fn, &blocksFact{Why: why})
+		}
+	}
+
+	// Pass 2: walk every unit's lock-held sites and report blocking
+	// ones. Selects report once each.
+	for _, file := range pass.Files {
+		if exemptPos(pass, file.Pos()) {
+			continue
+		}
+		selDone := make(map[*ast.SelectStmt]bool)
+		for _, u := range unitsOf(pass, file) {
+			flow := lockflow.Analyze(pass, u.body)
+			report := func(pos token.Pos, held []lockflow.Lock, what string) {
+				sup.reportf(pass, pos, "%s while %s is held: blocking under a lock stalls every contender (wlvet/lockblock)", what, heldNames(held))
+			}
+			chanOp := func(pos token.Pos, held []lockflow.Lock, what string) {
+				if info, ok := commOf(pos); ok {
+					if info.hasDefault || selDone[info.sel] {
+						return
+					}
+					// go/cfg lowers the select away, so the comm op's
+					// lockset stands in for the select's: no mutex op can
+					// sit between the keyword and its cases.
+					selDone[info.sel] = true
+					report(info.sel.Pos(), held, "select without default")
+					return
+				}
+				report(pos, held, what)
+			}
+			for _, site := range flow.Sites {
+				if len(site.Held) == 0 {
+					continue
+				}
+				switch n := site.Node.(type) {
+				case *ast.SendStmt:
+					chanOp(n.Pos(), site.Held, "channel send")
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						chanOp(n.Pos(), site.Held, "channel receive")
+					}
+				case *ast.CallExpr:
+					if goCalls[n] {
+						continue
+					}
+					if _, isMu := lockflow.MutexOp(pass, n); isMu {
+						continue // nesting is lockorder's domain
+					}
+					if why, ok := namedBlocker(pass, n); ok {
+						report(n.Pos(), site.Held, why)
+						continue
+					}
+					callee := typeutil.StaticCallee(pass.TypesInfo, n)
+					if callee == nil {
+						continue
+					}
+					if why, ok := blocksWhy(callee); ok {
+						report(n.Pos(), site.Held, fmt.Sprintf("call to %s (%s)", callee.Name(), why))
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// namedBlocker recognizes calls that block by contract, independent of
+// whether their bodies are visible: sync.WaitGroup.Wait, time.Sleep,
+// broker Acquire* (they queue on grant channels), and cursor
+// Next/NextChunk taking a context (they wait on device I/O and
+// admission). Interface calls resolve here too, via typeutil.Callee.
+func namedBlocker(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	obj := typeutil.Callee(pass.TypesInfo, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+		return "time.Sleep", true
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if named, ok := derefNamed(recv.Type()); ok && named.Obj().Name() == "WaitGroup" {
+				return "WaitGroup.Wait", true
+			}
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recvName := ""
+	if named, ok := derefNamed(sig.Recv().Type()); ok {
+		recvName = named.Obj().Name()
+	}
+	if strings.HasPrefix(fn.Name(), "Acquire") && strings.Contains(recvName, "Broker") {
+		return "broker " + fn.Name(), true
+	}
+	if (fn.Name() == "Next" || fn.Name() == "NextChunk") && sig.Params().Len() > 0 && isContextType(sig.Params().At(0).Type()) {
+		return "cursor " + fn.Name(), true
+	}
+	return "", false
+}
+
+func heldNames(held []lockflow.Lock) string {
+	names := make([]string, len(held))
+	for i, l := range held {
+		names[i] = l.Name
+	}
+	return strings.Join(names, ", ")
+}

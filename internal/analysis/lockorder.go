@@ -1,0 +1,313 @@
+package wlvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"wlpm/internal/analysis/lockflow"
+)
+
+// LockOrder builds the module-wide mutex acquisition-order graph and
+// flags cycles — the static shape of a deadlock. An edge A → B is
+// recorded whenever B is locked (directly, or transitively through a
+// statically resolved call) while A is held; edges propagate across
+// packages as analysis facts, so the cycle Broker.mu → Server.mu →
+// Broker.mu is caught even when each half lives in a different
+// package. A cycle is reported once, at an edge discovered in the
+// package under analysis. The module's sanctioned hierarchy is
+// documented in INVARIANTS.md; residual intentional edges carry a
+// reasoned lint:allow.
+var LockOrder = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "mutex acquisition order must form a module-wide hierarchy: cycles are potential deadlocks (PR 4/7 contract)",
+	Run:       runLockOrder,
+	FactTypes: []analysis.Fact{new(locksFact), new(lockGraphFact)},
+}
+
+// locksFact summarizes the mutexes a function may acquire, directly or
+// through the static calls it makes. Attached to exported functions and
+// methods so that callers in importing packages inherit the edges.
+type locksFact struct {
+	Keys  []string
+	Names []string
+}
+
+func (*locksFact) AFact() {}
+func (f *locksFact) String() string {
+	return fmt.Sprintf("acquires(%v)", f.Names)
+}
+
+// lockGraphFact is the accumulated acquisition-order graph: the
+// package's own edges merged with every direct import's graph, so the
+// module-wide relation reaches any package that (transitively) imports
+// the packages contributing a cycle's edges.
+type lockGraphFact struct {
+	Edges []lockEdge
+}
+
+func (*lockGraphFact) AFact() {}
+func (f *lockGraphFact) String() string {
+	return fmt.Sprintf("lockgraph(%d edges)", len(f.Edges))
+}
+
+// lockEdge records "To was acquired while From was held" with the
+// source position of the acquiring site, pre-rendered since positions
+// do not travel across packages.
+type lockEdge struct {
+	From, FromName string
+	To, ToName     string
+	Pos            string
+}
+
+// localEdge is an edge discovered in the package under analysis, with
+// a live position to report at.
+type localEdge struct {
+	lockEdge
+	pos token.Pos
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	sup := newSuppressor(pass, "lockorder")
+
+	// Pass 1: per-function direct acquisitions, static call sites with
+	// their held locksets, and direct held→lock edges.
+	direct := make(map[*types.Func][]lockflow.Lock) // defined funcs → locks acquired directly
+	type callSite struct {
+		callee *types.Func
+		held   []lockflow.Lock
+		pos    token.Pos
+	}
+	var calls []callSite
+	callsOf := make(map[*types.Func][]*types.Func) // intra-package static call graph
+	var edges []localEdge
+
+	addEdge := func(from lockflow.Lock, toKey, toName string, pos token.Pos) {
+		edges = append(edges, localEdge{
+			lockEdge: lockEdge{
+				From: from.Key, FromName: from.Name,
+				To: toKey, ToName: toName,
+				Pos: pass.Fset.Position(pos).String(),
+			},
+			pos: pos,
+		})
+	}
+
+	for _, file := range pass.Files {
+		if exemptPos(pass, file.Pos()) {
+			continue
+		}
+		for _, u := range unitsOf(pass, file) {
+			var fn *types.Func
+			if fd, ok := u.node.(*ast.FuncDecl); ok {
+				fn, _ = pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			}
+			flow := lockflow.Analyze(pass, u.body)
+			for _, site := range flow.Sites {
+				call, ok := site.Node.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if op, ok := lockflow.MutexOp(pass, call); ok {
+					if op.Kind != lockflow.OpLock && op.Kind != lockflow.OpRLock {
+						continue
+					}
+					if fn != nil {
+						direct[fn] = appendLock(direct[fn], lockflow.Lock{Key: op.Key, Name: op.Name})
+					}
+					for _, held := range site.Held {
+						addEdge(held, op.Key, op.Name, call.Pos())
+					}
+					continue
+				}
+				callee := typeutil.StaticCallee(pass.TypesInfo, call)
+				if callee == nil {
+					continue
+				}
+				if len(site.Held) > 0 {
+					calls = append(calls, callSite{callee, site.Held, call.Pos()})
+				}
+				if fn != nil && callee.Pkg() == pass.Pkg {
+					callsOf[fn] = append(callsOf[fn], callee)
+				}
+			}
+		}
+	}
+
+	// Pass 2: close the intra-package call graph so a function's
+	// summary covers the locks its (transitive) callees acquire.
+	// Cross-package callees contribute through imported facts.
+	summary := make(map[*types.Func][]lockflow.Lock, len(direct))
+	for fn, locks := range direct {
+		summary[fn] = append([]lockflow.Lock(nil), locks...)
+	}
+	imported := func(callee *types.Func) []lockflow.Lock {
+		var f locksFact
+		if !pass.ImportObjectFact(callee, &f) {
+			return nil
+		}
+		out := make([]lockflow.Lock, len(f.Keys))
+		for i := range f.Keys {
+			out[i] = lockflow.Lock{Key: f.Keys[i], Name: f.Names[i]}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range callsOf {
+			for _, callee := range callees {
+				for _, l := range summary[callee] {
+					if withLock := appendLock(summary[fn], l); len(withLock) != len(summary[fn]) {
+						summary[fn] = withLock
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 3: edges through calls — anything a callee may acquire is
+	// acquired while the caller's locks are held.
+	calleeLocks := func(callee *types.Func) []lockflow.Lock {
+		if callee.Pkg() == pass.Pkg {
+			return summary[callee]
+		}
+		return imported(callee)
+	}
+	for _, cs := range calls {
+		for _, acquired := range calleeLocks(cs.callee) {
+			for _, held := range cs.held {
+				if held.Key == acquired.Key {
+					continue // re-entry is its own self-edge, reported at the direct site
+				}
+				addEdge(held, acquired.Key, acquired.Name, cs.pos)
+			}
+		}
+	}
+
+	// Export per-function summaries (Encode prunes the ones invisible
+	// to importers) and the merged graph.
+	fns := make([]*types.Func, 0, len(summary))
+	for fn := range summary {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		locks := summary[fn]
+		if len(locks) == 0 {
+			continue
+		}
+		sort.Slice(locks, func(i, j int) bool { return locks[i].Key < locks[j].Key })
+		f := &locksFact{}
+		for _, l := range locks {
+			f.Keys = append(f.Keys, l.Key)
+			f.Names = append(f.Names, l.Name)
+		}
+		pass.ExportObjectFact(fn, f)
+	}
+
+	merged := make(map[[2]string]lockEdge)
+	for _, imp := range pass.Pkg.Imports() {
+		var gf lockGraphFact
+		if !pass.ImportPackageFact(imp, &gf) {
+			continue
+		}
+		for _, e := range gf.Edges {
+			k := [2]string{e.From, e.To}
+			if _, ok := merged[k]; !ok {
+				merged[k] = e
+			}
+		}
+	}
+	local := make(map[[2]string]bool)
+	for _, e := range edges {
+		k := [2]string{e.From, e.To}
+		local[k] = true
+		if _, ok := merged[k]; !ok {
+			merged[k] = e.lockEdge
+		}
+	}
+	var all []lockEdge
+	for _, e := range merged {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		return all[i].To < all[j].To
+	})
+	pass.ExportPackageFact(&lockGraphFact{Edges: all})
+
+	// Cycle check: report each local edge that closes a cycle in the
+	// merged module-wide graph, once, at its own acquisition site.
+	adj := make(map[string][]lockEdge)
+	for _, e := range all {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	reported := make(map[[2]string]bool)
+	for _, e := range edges {
+		k := [2]string{e.From, e.To}
+		if reported[k] {
+			continue
+		}
+		if e.From == e.To {
+			reported[k] = true
+			sup.reportf(pass, e.pos, "%s is acquired while %s is already held: same-type nesting self-deadlocks on one instance and needs an instance order on two (wlvet/lockorder)", e.ToName, e.FromName)
+			continue
+		}
+		if path := lockPath(adj, e.To, e.From); path != nil {
+			reported[k] = true
+			sup.reportf(pass, e.pos, "mutex acquisition order cycle: %s (wlvet/lockorder)", cycleString(e.lockEdge, path))
+		}
+	}
+	return nil, nil
+}
+
+// lockPath returns the edges of a path from → to in the graph, or nil.
+func lockPath(adj map[string][]lockEdge, from, to string) []lockEdge {
+	type state struct {
+		key  string
+		path []lockEdge
+	}
+	seen := map[string]bool{from: true}
+	queue := []state{{from, nil}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[s.key] {
+			path := append(append([]lockEdge(nil), s.path...), e)
+			if e.To == to {
+				return path
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, state{e.To, path})
+			}
+		}
+	}
+	return nil
+}
+
+// cycleString renders "A → B (here) → C (pkg/file.go:12) → A".
+func cycleString(closing lockEdge, back []lockEdge) string {
+	s := closing.FromName + " → " + closing.ToName + " (this edge)"
+	for _, e := range back {
+		s += fmt.Sprintf(" → %s (%s)", e.ToName, e.Pos)
+	}
+	return s
+}
+
+func appendLock(locks []lockflow.Lock, l lockflow.Lock) []lockflow.Lock {
+	for _, have := range locks {
+		if have.Key == l.Key {
+			return locks
+		}
+	}
+	return append(locks, l)
+}

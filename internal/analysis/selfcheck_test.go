@@ -21,12 +21,14 @@ func TestWlvetSelfCheck(t *testing.T) {
 	}
 	root := filepath.Dir(strings.TrimSpace(string(out)))
 
-	cmd := exec.Command("go", "run", "./cmd/wlvet", "./...")
-	cmd.Dir = root
-	var buf bytes.Buffer
-	cmd.Stdout = &buf
-	cmd.Stderr = &buf
-	if err := cmd.Run(); err != nil {
-		t.Fatalf("wlvet ./... failed: %v\n%s", err, buf.String())
+	for _, pattern := range []string{"./...", "./examples/..."} {
+		cmd := exec.Command("go", "run", "./cmd/wlvet", pattern)
+		cmd.Dir = root
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = &buf
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("wlvet %s failed: %v\n%s", pattern, err, buf.String())
+		}
 	}
 }

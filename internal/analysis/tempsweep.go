@@ -36,7 +36,7 @@ func isCleanupCall(call *ast.CallExpr) bool {
 func runTempSweep(pass *analysis.Pass) (any, error) {
 	sup := newSuppressor(pass, "tempsweep")
 	for _, file := range pass.Files {
-		if inTestFile(pass, file.Pos()) {
+		if exemptPos(pass, file.Pos()) {
 			continue
 		}
 		for _, u := range unitsOf(pass, file) {

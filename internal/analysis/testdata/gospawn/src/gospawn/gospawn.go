@@ -1,0 +1,97 @@
+// Package gospawn exercises the goroutine-lifecycle contract: every
+// spawn must be tied to a completion mechanism an owner can wait on.
+package gospawn
+
+import (
+	"context"
+	"sync"
+
+	"gospawndep"
+)
+
+func fire() {
+	go func() { // want "fire-and-forget goroutine"
+		println("orphan")
+	}()
+}
+
+func wgTied(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func closeTied(done chan struct{}) {
+	go func() {
+		defer close(done)
+		println("work")
+	}()
+}
+
+func sendTied(res chan int) {
+	go func() {
+		res <- 42
+	}()
+}
+
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func rangeTied(in chan int) {
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// A named spawn is judged by the callee's body.
+func spawnLoop() {
+	go loop() // want "fire-and-forget goroutine"
+}
+
+func loop() {
+	for i := 0; i < 10; i++ {
+		println(i)
+	}
+}
+
+func spawnDrain(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// The mechanism may sit one call deeper in the same package.
+func spawnIndirect(ch chan int) {
+	go outer(ch)
+}
+
+func outer(ch chan int) {
+	drain(ch)
+}
+
+// Out-of-package callees are trusted when the call threads a context,
+// channel, or WaitGroup in…
+func spawnDepCtx(ctx context.Context) {
+	go gospawndep.Run(ctx)
+}
+
+// …and flagged when it threads nothing an owner could wait on.
+func spawnDepOpaque() {
+	go gospawndep.Opaque(7) // want "fire-and-forget goroutine"
+}
+
+// A reasoned allow silences the spawn.
+func allowedFire() {
+	//lint:allow wlvet/gospawn fixture: process-lifetime janitor, owner documented in the package comment
+	go func() {
+		println("sanctioned")
+	}()
+}

@@ -1,0 +1,16 @@
+// Package gospawndep gives the gospawn fixtures an out-of-package
+// callee: its body is invisible to the analyzer, so spawns of Run are
+// judged by what the call threads in.
+package gospawndep
+
+import "context"
+
+// Run pretends to respect ctx.
+func Run(ctx context.Context) {
+	_ = ctx
+}
+
+// Opaque takes nothing an owner could wait on.
+func Opaque(n int) {
+	_ = n
+}

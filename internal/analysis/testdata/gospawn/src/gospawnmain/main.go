@@ -1,0 +1,10 @@
+// Command gospawnmain proves package main is exempt: a process's own
+// lifetime is its completion mechanism.
+package main
+
+func main() {
+	go func() {
+		println("fine here")
+	}()
+	select {}
+}

@@ -1,0 +1,14 @@
+// Package blockdep is the imported half of the lockblock cross-package
+// fixtures: Recv's channel receive travels to importers as a
+// blocksFact.
+package blockdep
+
+// Recv blocks on the channel.
+func Recv(ch chan int) int {
+	return <-ch
+}
+
+// Quick is non-blocking; callers under locks stay clean.
+func Quick(n int) int {
+	return n + 1
+}

@@ -1,0 +1,16 @@
+package lockblock
+
+import "blockdep"
+
+// The blocksFact on blockdep.Recv crosses the package boundary.
+func (s *S) crossRecv() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blockdep.Recv(s.ch) // want "call to Recv"
+}
+
+func (s *S) crossQuick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	blockdep.Quick(1)
+}

@@ -1,0 +1,121 @@
+// Package lockblock exercises the blocking-under-lock contract: chan
+// ops, selects, WaitGroup.Wait, sleeps, named blockers, transitive
+// taint, and the non-blocking shapes that must stay silent.
+package lockblock
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) sendUnder() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while S.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) recvUnder() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want "channel receive while S.mu is held"
+}
+
+func (s *S) selectUnder() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without default while S.mu is held"
+	case v := <-s.ch:
+		_ = v
+	case s.ch <- 2:
+	}
+}
+
+// A select with a default never commits to blocking.
+func (s *S) selectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *S) sleepUnder() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while S.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) waitUnder(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while S.mu is held"
+}
+
+// The same operations after Unlock are fine.
+func (s *S) afterUnlock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+	wg.Wait()
+}
+
+// Blocking taints callers transitively…
+func (s *S) drainOne() {
+	<-s.ch
+}
+
+func (s *S) viaHelper() {
+	s.mu.Lock()
+	s.drainOne() // want "call to drainOne"
+	s.mu.Unlock()
+}
+
+// …but time.Sleep does not: the pmem device models hardware latency
+// with sleeps, and device I/O under a catalog lock is priced, not
+// forbidden.
+func (s *S) sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *S) viaSleeper() {
+	s.mu.Lock()
+	s.sleeper()
+	s.mu.Unlock()
+}
+
+// Named blockers by contract: cursor Next and broker Acquire*.
+type cursor interface {
+	Next(ctx context.Context) ([]byte, error)
+}
+
+func (s *S) nextUnder(ctx context.Context, c cursor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Next(ctx) // want "cursor Next while S.mu is held"
+}
+
+type fakeBroker struct{}
+
+func (*fakeBroker) Acquire(n int64) {}
+
+func (s *S) acquireUnder(b *fakeBroker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.Acquire(1) // want "broker Acquire while S.mu is held"
+}
+
+// A reasoned allow silences the site.
+func (s *S) allowedSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow wlvet/lockblock fixture: the channel is buffered and private to this S, capacity proven by construction
+	s.ch <- 1
+}

@@ -1,0 +1,19 @@
+// Package lockdep is the imported half of the lockorder cross-package
+// fixtures: Bump's acquisition of Dep.Mu travels to importers as an
+// analysis fact.
+package lockdep
+
+import "sync"
+
+type Dep struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires Dep.Mu; importers calling it under their own locks
+// inherit the edge.
+func (d *Dep) Bump() {
+	d.Mu.Lock()
+	d.n++
+	d.Mu.Unlock()
+}

@@ -1,0 +1,28 @@
+package lockorder
+
+import (
+	"sync"
+
+	"lockdep"
+)
+
+// High vs lockdep.Dep: the High.mu → Dep.Mu edge comes from the
+// imported locksFact on Bump; Dep.Mu → High.mu is direct. Both close
+// the cross-package cycle.
+type High struct {
+	mu sync.Mutex
+	d  lockdep.Dep
+}
+
+func (h *High) highThenDep() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.d.Bump() // want "mutex acquisition order cycle"
+}
+
+func (h *High) depThenHigh() {
+	h.d.Mu.Lock()
+	defer h.d.Mu.Unlock()
+	h.mu.Lock() // want "mutex acquisition order cycle"
+	h.mu.Unlock()
+}

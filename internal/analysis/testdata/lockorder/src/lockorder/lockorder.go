@@ -1,0 +1,96 @@
+// Package lockorder exercises the acquisition-order graph: inverted
+// orders, transitive edges through calls, same-type nesting, and a
+// consistent hierarchy that must stay silent.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ab establishes A.mu → B.mu; with ba below, both edges close a cycle
+// and both sites report.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "mutex acquisition order cycle"
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "mutex acquisition order cycle"
+	a.mu.Unlock()
+}
+
+// C before D everywhere: a consistent hierarchy, no diagnostics.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func cd(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cdAgain(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// S nests two instances of one type: one key, a self-edge.
+type S struct{ mu sync.Mutex }
+
+func pair(x, y *S) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "same-type nesting"
+	y.mu.Unlock()
+}
+
+// G/H cycle through an intra-package call: lockG's summary taints the
+// call site under H.mu.
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+func lockG(g *G) {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+func gThenH(g *G, h *H) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h.mu.Lock() // want "mutex acquisition order cycle"
+	h.mu.Unlock()
+}
+
+func hThenG(g *G, h *H) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	lockG(g) // want "mutex acquisition order cycle"
+}
+
+// E/F cycle carries reasoned allows on both closing edges: silent.
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func ef(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:allow wlvet/lockorder fixture: sanctioned inversion, the F instance is private to this call
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+func fe(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	//lint:allow wlvet/lockorder fixture: sanctioned inversion, the E instance is private to this call
+	e.mu.Lock()
+	e.mu.Unlock()
+}

@@ -189,7 +189,7 @@ func (b *Broker) AcquireBestFunc(ctx context.Context, candidates []int64, repric
 	// the largest candidate the free budget covers.
 	if len(b.waiters) == 0 {
 		if g := (&waiter{cands: cands}).fit(b.total - b.used); g > 0 {
-			b.charge(g)
+			b.chargeLocked(g)
 			b.mu.Unlock()
 			return &Grant{b: b, bytes: g}, nil
 		}
@@ -211,7 +211,7 @@ func (b *Broker) AcquireBestFunc(ctx context.Context, candidates []int64, repric
 		// Lost race: admit may have fired between Done and the lock.
 		select {
 		case <-w.ready:
-			b.release(w.granted)
+			b.releaseLocked(w.granted)
 			b.mu.Unlock()
 			return nil, ctx.Err()
 		default:
@@ -227,23 +227,26 @@ func (b *Broker) AcquireBestFunc(ctx context.Context, candidates []int64, repric
 	}
 }
 
-// charge books bytes against the budget. Caller holds b.mu.
-func (b *Broker) charge(bytes int64) {
+// chargeLocked books bytes against the budget. The Locked suffix is the
+// engine's caller-holds-b.mu contract, machine-checked by
+// wlvet/syncfield at every call site.
+func (b *Broker) chargeLocked(bytes int64) {
 	b.used += bytes
 	if b.used > b.highWater {
 		b.highWater = b.used
 	}
 }
 
-// release returns bytes to the budget and admits queued waiters, in
-// order, while any of their candidate sizes fit (largest first per
+// releaseLocked returns bytes to the budget and admits queued waiters,
+// in order, while any of their candidate sizes fit (largest first per
 // waiter). A waiter with a repricer first recomputes its candidates
 // against the free budget — the wake-and-reprice path — so a bid sized
 // when the queue looked different admits at today's right size instead
 // of waiting for yesterday's. The head waiter still gates the queue — a
 // small bidder never overtakes a large request queued ahead of it.
-// Caller holds b.mu.
-func (b *Broker) release(bytes int64) {
+// The Locked suffix is the caller-holds-b.mu contract, machine-checked
+// by wlvet/syncfield at every call site.
+func (b *Broker) releaseLocked(bytes int64) {
 	b.used -= bytes
 	for len(b.waiters) > 0 {
 		w := b.waiters[0]
@@ -258,7 +261,7 @@ func (b *Broker) release(bytes int64) {
 			break
 		}
 		w.granted = g
-		b.charge(g)
+		b.chargeLocked(g)
 		b.waiters = b.waiters[1:]
 		close(w.ready)
 	}
@@ -304,6 +307,6 @@ func (g *Grant) Release() {
 		return
 	}
 	g.b.mu.Lock()
-	g.b.release(g.bytes)
+	g.b.releaseLocked(g.bytes)
 	g.b.mu.Unlock()
 }

@@ -60,8 +60,12 @@ func (m *metricsRegistry) tenant(name string) *tenantCounters {
 }
 
 // snapshot renders every tenant's counters, merging in the gate's queue
-// depths and the configured weights.
-func (m *metricsRegistry) snapshot(queued map[string]int, weight func(string) int) map[string]TenantMetrics {
+// depths and the configured weights. Both inputs are plain data
+// computed before the call: running a caller-supplied callback under
+// m.mu would hide a lock edge (metricsRegistry.mu → whatever the
+// callback takes) behind an indirect call, where wlvet/lockorder
+// cannot prove it acyclic.
+func (m *metricsRegistry) snapshot(queued map[string]int, weights map[string]int) map[string]TenantMetrics {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.tenants))
 	for name := range m.tenants {
@@ -82,11 +86,20 @@ func (m *metricsRegistry) snapshot(queued map[string]int, weight func(string) in
 			Queued:      queued[name],
 			GateWaitMs:  tc.gateWait.Load() / int64(time.Millisecond),
 			AdmitWaitMs: tc.admitWait.Load() / int64(time.Millisecond),
-			Weight:      weight(name),
+			Weight:      weightOf(weights, name),
 		}
 	}
 	m.mu.Unlock()
 	return out
+}
+
+// weightOf reads a tenant's configured weight with the gate's floor of
+// one applied.
+func weightOf(weights map[string]int, name string) int {
+	if w := weights[name]; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // DeviceMetrics is the wire form of the simulated device counters.

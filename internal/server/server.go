@@ -479,20 +479,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnauthorized, "unauthorized: %v", err)
 		return
 	}
-	weight := func(name string) int {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if ts := s.byName[name]; ts != nil && ts.cfg.Weight > 1 {
-			return ts.cfg.Weight
-		}
-		return 1
-	}
 	writeJSON(w, http.StatusOK, Metrics{
 		UptimeMs:  int64(time.Since(s.start) / time.Millisecond),
 		InFlight:  s.inFlight.Load(),
 		GateDepth: s.gate.Depth(),
 		Broker:    s.eng.BrokerStats(),
 		Device:    deviceMetrics(s.eng.DeviceStats()),
-		Tenants:   s.met.snapshot(s.gate.QueueDepths(), weight),
+		Tenants:   s.met.snapshot(s.gate.QueueDepths(), s.tenantWeights()),
 	})
+}
+
+// tenantWeights snapshots every tenant's configured weight under s.mu,
+// so the metrics registry can render without calling back into the
+// server — snapshot under m.mu must see plain data, not a closure that
+// takes s.mu (a lock edge hidden behind an indirect call).
+func (s *Server) tenantWeights() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	weights := make(map[string]int, len(s.byName))
+	for name, ts := range s.byName {
+		weights[name] = ts.cfg.Weight
+	}
+	return weights
 }
