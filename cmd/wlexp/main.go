@@ -36,6 +36,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "operator batch size for the engine experiments (0 = engine default 1024; 1 = record-at-a-time)")
 		batchOut = flag.String("batch-json", "BENCH_batch.json", "path where the batch experiment writes its JSON result (empty = don't write)")
 		serveOut = flag.String("serve-json", "BENCH_serve.json", "path where the serve experiment writes its JSON result (empty = don't write)")
+		scalOut  = flag.String("scaling-json", "BENCH_scaling.json", "path where the scaling experiment writes its JSON result (empty = don't write)")
 		sessions = flag.Int("sessions", 0, "K concurrent sessions for the concurrency experiment (0 = its default of 4)")
 		spin     = flag.Bool("spin", false, "inject device latencies as real delays (scaling forces this on)")
 		budget   = flag.Bool("budget", false, "shorthand for -run budget: even vs cost-driven stage shares vs grant bidding")
@@ -71,6 +72,7 @@ func main() {
 		BatchSize:    *batch,
 		BatchJSON:    *batchOut,
 		ServeJSON:    *serveOut,
+		ScalingJSON:  *scalOut,
 		Sessions:     *sessions,
 		Spin:         *spin,
 		Verbose:      *verbose,

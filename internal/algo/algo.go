@@ -46,6 +46,9 @@ type Env struct {
 	// an aborted or cancelled operator can sweep its spill/partition
 	// collections instead of leaking them.
 	temps *tempTracker
+	// phases optionally attributes wall time and device traffic to named
+	// operator phases (see TimePhase); nil means no attribution.
+	phases *PhaseRecorder
 }
 
 // tempTracker records live temporary collections by name. Shared by the
@@ -78,6 +81,10 @@ func (c *trackedCollection) Destroy() error {
 	c.t.remove(c.Name())
 	return c.Collection.Destroy()
 }
+
+// Unwrap exposes the underlying collection for capability probes
+// (storage.AsRangeAppender) that must see through decorators.
+func (c *trackedCollection) Unwrap() storage.Collection { return c.Collection }
 
 // envSeq numbers root environments so that concurrent operator
 // invocations sharing one factory create temporaries in disjoint name
@@ -165,6 +172,7 @@ func (e *Env) Derive(memoryBudget int64) *Env {
 		ns:           fmt.Sprintf("%sd%d.", e.ns, e.tmpSeq),
 		ctx:          e.ctx,
 		temps:        e.temps,
+		phases:       e.phases,
 	}
 }
 

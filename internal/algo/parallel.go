@@ -47,6 +47,7 @@ func (e *Env) Split(w int) []*Env {
 			ns:           fmt.Sprintf("%sg%d.w%d.", e.ns, gen, i),
 			ctx:          e.ctx,
 			temps:        e.temps,
+			phases:       e.phases,
 		}
 	}
 	return children
@@ -79,11 +80,15 @@ func RunWorkers(w int, fn func(worker int) error) error {
 }
 
 // RunWorkers is the package function plus device worker registration:
-// each worker is bracketed by the environment's device overlap clock
-// (pmem EnterWorker/LeaveWorker), so the simulated response time of the
-// phase reflects w partition accesses in flight at once instead of
-// summing them serially. w ≤ 1 is the package function unchanged — the
-// serial clock and the overlap clock advance identically.
+// the whole parallel section is bracketed by w entries on the
+// environment's device overlap clock (pmem EnterWorker/LeaveWorker), so
+// the simulated response time of the phase reflects w partition accesses
+// in flight at once instead of summing them serially. Registering the
+// section rather than each worker goroutine keeps the overlap credit
+// deterministic — it models the declared width w, not however many
+// workers the host's scheduler happened to interleave. w ≤ 1 is the
+// package function unchanged — the serial clock and the overlap clock
+// advance identically.
 func (e *Env) RunWorkers(w int, fn func(worker int) error) error {
 	if w <= 1 || e.Factory == nil {
 		return RunWorkers(w, fn)
@@ -92,11 +97,15 @@ func (e *Env) RunWorkers(w int, fn func(worker int) error) error {
 	if dev == nil {
 		return RunWorkers(w, fn)
 	}
-	return RunWorkers(w, func(worker int) error {
+	for i := 0; i < w; i++ {
 		dev.EnterWorker()
-		defer dev.LeaveWorker()
-		return fn(worker)
-	})
+	}
+	defer func() {
+		for i := 0; i < w; i++ {
+			dev.LeaveWorker()
+		}
+	}()
+	return RunWorkers(w, fn)
 }
 
 // Turnstile serializes one ordered section across w concurrent workers:

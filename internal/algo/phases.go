@@ -1,0 +1,101 @@
+package algo
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wlpm/internal/pmem"
+)
+
+// PhaseStat aggregates one named phase of an operator invocation: real
+// wall time plus the device-counter delta (cacheline reads and writes,
+// serial and overlapped simulated I/O, software overhead) charged while
+// the phase ran.
+type PhaseStat struct {
+	Wall  time.Duration
+	Stats pmem.Stats
+}
+
+// PhaseRecorder collects PhaseStats by name. One recorder is shared by
+// all environments of an invocation (Split children, Derive siblings);
+// its methods are safe for concurrent use, though phases themselves must
+// not nest or overlap — the device counters they snapshot are global.
+type PhaseRecorder struct {
+	mu     sync.Mutex
+	phases map[string]PhaseStat
+}
+
+// NewPhaseRecorder returns an empty recorder.
+func NewPhaseRecorder() *PhaseRecorder {
+	return &PhaseRecorder{phases: make(map[string]PhaseStat)}
+}
+
+func (r *PhaseRecorder) add(name string, wall time.Duration, st pmem.Stats) {
+	r.mu.Lock()
+	p := r.phases[name]
+	p.Wall += wall
+	p.Stats = p.Stats.Add(st)
+	r.phases[name] = p
+	r.mu.Unlock()
+}
+
+// Phase returns the accumulated stats for one phase name (zero value if
+// the phase never ran).
+func (r *PhaseRecorder) Phase(name string) PhaseStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases[name]
+}
+
+// Phases returns a copy of every recorded phase.
+func (r *PhaseRecorder) Phases() map[string]PhaseStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]PhaseStat, len(r.phases))
+	for k, v := range r.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the recorded phase names in sorted order.
+func (r *PhaseRecorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.phases))
+	for k := range r.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WithPhases attaches a phase recorder to the environment and returns
+// it. Split children and Derive siblings inherit the recorder.
+func (e *Env) WithPhases(r *PhaseRecorder) *Env {
+	e.phases = r
+	return e
+}
+
+// Phases returns the environment's phase recorder, nil when none is
+// attached.
+func (e *Env) Phases() *PhaseRecorder { return e.phases }
+
+// TimePhase runs fn, accounting its wall time and device-counter delta
+// to the named phase. Without a recorder (the default) it is fn()
+// verbatim — phase bracketing never changes execution, only attribution.
+func (e *Env) TimePhase(name string, fn func() error) error {
+	if e.phases == nil || e.Factory == nil {
+		return fn()
+	}
+	dev := e.Factory.Device()
+	if dev == nil {
+		return fn()
+	}
+	before := dev.Stats()
+	start := time.Now()
+	err := fn()
+	e.phases.add(name, time.Since(start), dev.Stats().Sub(before))
+	return err
+}

@@ -63,6 +63,10 @@ type Config struct {
 	// writes its machine-readable result (BENCH_serve.json). Other
 	// experiments ignore it.
 	ServeJSON string
+	// ScalingJSON, when non-empty, is the path where the scaling
+	// experiment writes its machine-readable result (BENCH_scaling.json).
+	// Other experiments ignore it.
+	ScalingJSON string
 	// Spin injects device latencies as real (overlappable) delays instead
 	// of only accounting them, like the paper's idle-loop
 	// instrumentation. The scaling experiment forces it on: overlapping

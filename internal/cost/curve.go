@@ -58,19 +58,29 @@ type JoinPlan struct {
 // memory at write/read ratio λ and returns the cheapest. Candidate order
 // and tie-breaking match exec.ChooseSort, which instantiates the result.
 func BestSortPlan(t, m, lambda float64) SortPlan {
+	return BestSortPlanP(t, m, lambda, 1)
+}
+
+// BestSortPlanP is BestSortPlan under par-way intra-operator
+// parallelism: each candidate is priced with its serial portions at full
+// cost and the rest overlapped par ways, so the knob search sees — and
+// exploits — a phase's parallel discount. At par > 1 the write-serial
+// algorithms (SelS, LaS) lose ground to ExMS/HybS exactly as their
+// engine counterparts do.
+func BestSortPlanP(t, m, lambda, par float64) SortPlan {
 	best := SortPlan{Cost: math.Inf(1)}
 	consider := func(algo string, knob float64, p Profile) {
-		if c := p.Price(1, lambda); c < best.Cost {
+		if c := p.PriceP(1, lambda, par); c < best.Cost {
 			best = SortPlan{Algo: algo, Intensity: knob, Profile: p, Cost: c}
 		}
 	}
 	consider(SortExMS, 0, ExMSProfile(t, m))
 	consider(SortSelS, 0, SelSProfile(t, m))
 	consider(SortLaS, 0, LaSProfile(t, m, lambda))
-	xSeg := BestKnob(lambda, func(x float64) Profile { return SegSProfile(x, t, m) },
+	xSeg := BestKnobP(lambda, par, func(x float64) Profile { return SegSProfile(x, t, m) },
 		SegmentSortOptimalX(t, m, lambda))
 	consider(SortSegS, xSeg, SegSProfile(xSeg, t, m))
-	xHyb := BestKnob(lambda, func(x float64) Profile { return HybSProfile(x, t, m) })
+	xHyb := BestKnobP(lambda, par, func(x float64) Profile { return HybSProfile(x, t, m) })
 	consider(SortHybS, xHyb, HybSProfile(xHyb, t, m))
 	return best
 }
@@ -80,9 +90,15 @@ func BestSortPlan(t, m, lambda float64) SortPlan {
 // λ and returns the cheapest. Candidate order and tie-breaking match
 // exec.ChooseJoin.
 func BestJoinPlan(t, v, m, lambda float64) JoinPlan {
+	return BestJoinPlanP(t, v, m, lambda, 1)
+}
+
+// BestJoinPlanP is BestJoinPlan under par-way intra-operator
+// parallelism (see BestSortPlanP).
+func BestJoinPlanP(t, v, m, lambda, par float64) JoinPlan {
 	best := JoinPlan{Cost: math.Inf(1)}
 	consider := func(algo string, x, y float64, p Profile) {
-		if c := p.Price(1, lambda); c < best.Cost {
+		if c := p.PriceP(1, lambda, par); c < best.Cost {
 			best = JoinPlan{Algo: algo, X: x, Y: y, Profile: p, Cost: c}
 		}
 	}
@@ -92,13 +108,13 @@ func BestJoinPlan(t, v, m, lambda float64) JoinPlan {
 	consider(JoinLaJ, 0, 0, LaJProfile(t, v, m, lambda))
 	sx, sy := HybridJoinSaddle(t, v, m, lambda)
 	bx, by, bp := 0.0, 0.0, HybJProfile(0, 0, t, v, m)
-	bc := bp.Price(1, lambda)
+	bc := bp.PriceP(1, lambda, par)
 	tryXY := func(x, y float64) {
 		if x < 0 || x > 1 || y < 0 || y > 1 {
 			return
 		}
 		p := HybJProfile(x, y, t, v, m)
-		if c := p.Price(1, lambda); c < bc {
+		if c := p.PriceP(1, lambda, par); c < bc {
 			bx, by, bp, bc = x, y, p, c
 		}
 	}
@@ -109,7 +125,7 @@ func BestJoinPlan(t, v, m, lambda float64) JoinPlan {
 	}
 	tryXY(sx, sy)
 	consider(JoinHybJ, bx, by, bp)
-	xSeg := BestKnob(lambda, func(x float64) Profile { return SegJProfile(x, t, v, m) })
+	xSeg := BestKnobP(lambda, par, func(x float64) Profile { return SegJProfile(x, t, v, m) })
 	consider(JoinSegJ, xSeg, 0, SegJProfile(xSeg, t, v, m))
 	return best
 }
@@ -117,12 +133,19 @@ func BestJoinPlan(t, v, m, lambda float64) JoinPlan {
 // BestKnob grid-searches an intensity knob x ∈ [0, 1] (step 0.05) plus
 // any analytic seeds for the cheapest profile price at ratio λ.
 func BestKnob(lambda float64, f func(x float64) Profile, seeds ...float64) float64 {
+	return BestKnobP(lambda, 1, f, seeds...)
+}
+
+// BestKnobP is BestKnob priced under par-way parallelism; a knob that
+// shifts work from a serial phase to a parallel one pays off more as par
+// grows, so the placed intensity depends on par.
+func BestKnobP(lambda, par float64, f func(x float64) Profile, seeds ...float64) float64 {
 	bestX, bestC := 0.0, math.Inf(1)
 	try := func(x float64) {
 		if x < 0 || x > 1 {
 			return
 		}
-		if c := f(x).Price(1, lambda); c < bestC {
+		if c := f(x).PriceP(1, lambda, par); c < bestC {
 			bestX, bestC = x, c
 		}
 	}

@@ -16,13 +16,41 @@ import "math"
 type Profile struct {
 	Reads  float64 // buffer reads
 	Writes float64 // buffer writes
+
+	// SerialReads and SerialWrites are the portions of Reads/Writes
+	// charged by phases whose execution order is the output order (HybS's
+	// fill pass, SegS's streaming final merge, HJ/LaJ's fused
+	// build-offload scans…) and therefore cannot fan out to workers. The
+	// remainder — partition scans, run formation, merge passes, table
+	// builds, probes and the splitter-partitioned final merge — overlaps
+	// across P workers, which is exactly how the engine's device overlap
+	// clock credits it. Zero means fully parallelizable.
+	SerialReads  float64
+	SerialWrites float64
 }
 
 // Price converts the profile to a response estimate given per-buffer read
 // and write costs (in any consistent unit, e.g. nanoseconds including the
 // engine's CPU share).
 func (p Profile) Price(read, write float64) float64 {
-	return p.Reads*read + p.Writes*write
+	return p.PriceP(read, write, 1)
+}
+
+// PriceP prices the profile under par-way intra-operator parallelism:
+// the serial portions cost full price, the parallelizable remainder
+// overlaps par ways. par ≤ 1 is the serial estimate.
+func (p Profile) PriceP(read, write, par float64) float64 {
+	if par < 1 {
+		par = 1
+	}
+	sr, sw := p.SerialReads, p.SerialWrites
+	if sr > p.Reads {
+		sr = p.Reads
+	}
+	if sw > p.Writes {
+		sw = p.Writes
+	}
+	return sr*read + sw*write + (p.Reads-sr)*read/par + (p.Writes-sw)*write/par
 }
 
 // extraMergePasses is the number of merge passes beyond the final one for
@@ -39,7 +67,9 @@ func extraMergePasses(runs, fanIn float64) float64 {
 }
 
 // ExMSProfile: replacement-selection run formation (read input, write
-// runs), merge passes, materialized output.
+// runs), merge passes, materialized output. Every phase fans out to
+// workers (chunked run formation, concurrent merge groups, the
+// splitter-partitioned final merge), so nothing is serial.
 func ExMSProfile(t, m float64) Profile {
 	if t <= 0 {
 		return Profile{}
@@ -51,13 +81,17 @@ func ExMSProfile(t, m float64) Profile {
 	}
 }
 
-// SelSProfile: multi-pass selection sort straight into the output.
+// SelSProfile: multi-pass selection sort straight into the output. Each
+// pass's emission order is the output order — fully serial.
 func SelSProfile(t, m float64) Profile {
 	if t <= 0 {
 		return Profile{}
 	}
 	passes := math.Ceil(t / m)
-	return Profile{Reads: passes * t, Writes: t}
+	return Profile{
+		Reads: passes * t, Writes: t,
+		SerialReads: passes * t, SerialWrites: t,
+	}
 }
 
 // SegSProfile: fraction x through run formation, the rest streamed into
@@ -72,10 +106,20 @@ func SegSProfile(x, t, m float64) Profile {
 		passes = math.Ceil(seg / m)
 	}
 	e := extraMergePasses(x*t/(2*m), m)
-	return Profile{
+	p := Profile{
 		Reads:  x*t + x*t + e*x*t + passes*seg, // segment A scan + run re-read + selection passes
 		Writes: x*t + e*x*t + t,                // runs + output
 	}
+	// The selection segment streams into the final merge, keeping that
+	// whole pass — the run re-read, the selection passes and the output —
+	// serial at every P; only run formation and the extra merge passes
+	// fan out. At x = 1 there is no segment and the final merge
+	// parallelizes like ExMS's.
+	if seg > 0 {
+		p.SerialReads = x*t + passes*seg
+		p.SerialWrites = t
+	}
+	return p
 }
 
 // HybSProfile: a selection region of x·m buffers feeds the output
@@ -98,6 +142,12 @@ func HybSProfile(x, t, m float64) Profile {
 	return Profile{
 		Reads:  t + rest + e*rest,
 		Writes: rest + e*rest + t,
+		// The fill pass is order-dependent (the selection region tracks
+		// the global minima seen so far): the input scan, the run spills
+		// and the direct Rs output stay serial. The merge passes and the
+		// splitter-partitioned final merge over the runs fan out.
+		SerialReads:  t,
+		SerialWrites: rest + direct,
 	}
 }
 
@@ -125,6 +175,9 @@ func LaSProfile(t, m, lambda float64) Profile {
 			p.Reads += remaining  // and re-read it next round
 		}
 	}
+	// Selection passes emit in output order and the materialization is
+	// fused with them — fully serial, like SelS.
+	p.SerialReads, p.SerialWrites = p.Reads, p.Writes
 	return p
 }
 
@@ -134,7 +187,7 @@ func LaSProfile(t, m, lambda float64) Profile {
 func joinOutput(v float64) float64 { return v }
 
 // GJProfile: partition both inputs, read the partitions back, write the
-// output.
+// output. Partitioning, builds and probes all fan out — nothing serial.
 func GJProfile(t, v float64) Profile {
 	return Profile{
 		Reads:  2 * (t + v),
@@ -155,10 +208,15 @@ func HJProfile(t, v, m float64) Profile {
 		reads += (k - i + 1) * per
 		writes += (k - i) * per
 	}
-	return Profile{Reads: reads, Writes: writes + joinOutput(v)}
+	// HJ's builds are fused with the survivor-offload scans (scan order is
+	// survivor order), so the whole algorithm stays serial.
+	p := Profile{Reads: reads, Writes: writes + joinOutput(v)}
+	p.SerialReads, p.SerialWrites = p.Reads, p.Writes
+	return p
 }
 
 // NLJProfile: block nested loops with in-memory tables of m/f buffers.
+// Block builds and probe scans fan out — nothing serial.
 func NLJProfile(t, v, m float64) Profile {
 	blocks := math.Ceil(1.2 * t / m)
 	if blocks < 1 {
@@ -209,6 +267,9 @@ func LaJProfile(t, v, m, lambda float64) Profile {
 		p.Writes += (k - i) * per
 	}
 	p.Writes += joinOutput(v)
+	// Like HJ, every scan either probes or routes survivors in scan
+	// order — fully serial.
+	p.SerialReads, p.SerialWrites = p.Reads, p.Writes
 	return p
 }
 

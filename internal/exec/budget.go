@@ -312,16 +312,16 @@ func (c *compiler) demandWalk(p *Plan, out *[]*stageAlloc) (planEstimate, int) {
 	case planOrderBy:
 		in, from := c.demandWalk(p.left, out)
 		t := c.buffers(in.rows, planRecordSize(p.left))
-		lambda, pinned := c.lambda, p.sortA
+		lambda, par, pinned := c.lambda, c.par, p.sortA
 		s := &stageAlloc{
 			op: "OrderBy",
 			price: func(t, _, m float64) float64 {
 				if pinned != nil {
 					if prof, ok := pinnedSortProfile(pinned, t, m, lambda); ok {
-						return prof.Price(1, lambda)
+						return prof.PriceP(1, lambda, par)
 					}
 				}
-				return cost.BestSortPlan(t, m, lambda).Cost
+				return cost.BestSortPlanP(t, m, lambda, par).Cost
 			},
 			t: t, inEst: float64(in.rows), tFrom: from, vFrom: -1,
 		}
@@ -333,23 +333,24 @@ func (c *compiler) demandWalk(p *Plan, out *[]*stageAlloc) (planEstimate, int) {
 		est, groups := c.groupEstimate(p, in)
 		t := c.buffers(in.rows, planRecordSize(p.left))
 		groupBuf := c.buffers(groups, record.Size)
-		lambda, blockSize, pinned := c.lambda, float64(c.blockSize), p.sortA
+		lambda, par, blockSize, pinned := c.lambda, c.par, float64(c.blockSize), p.sortA
 		s := &stageAlloc{
 			op: "GroupBy",
 			price: func(t, _, m float64) float64 {
 				if pinned != nil {
 					if prof, ok := pinnedSortProfile(pinned, t, m, lambda); ok {
-						return prof.Price(1, lambda)
+						return prof.PriceP(1, lambda, par)
 					}
-					return cost.BestSortPlan(t, m, lambda).Cost
+					return cost.BestSortPlanP(t, m, lambda, par).Cost
 				}
 				// The fit cliff: once the estimated groups' hash table
 				// fits the share, the stage reads its input once and
-				// writes only the result.
+				// writes only the result. Hash aggregation is not
+				// parallelized, so its price ignores par.
 				if est > 0 && float64(est) <= hashAggCap(m*blockSize) {
 					return cost.Profile{Reads: t, Writes: groupBuf}.Price(1, lambda)
 				}
-				return cost.BestSortPlan(t, m, lambda).Cost
+				return cost.BestSortPlanP(t, m, lambda, par).Cost
 			},
 			t: t, inEst: float64(in.rows), tFrom: from, vFrom: -1,
 		}
@@ -363,7 +364,7 @@ func (c *compiler) demandWalk(p *Plan, out *[]*stageAlloc) (planEstimate, int) {
 		v := c.buffers(rest.rows, planRecordSize(p.right))
 		outEst := c.joinEstimate(lest, rest)
 		outBuf := c.buffers(outEst.rows, planRecordSize(p.left)+planRecordSize(p.right))
-		lambda, pinned := c.lambda, p.joinA
+		lambda, par, pinned := c.lambda, c.par, p.joinA
 		s := &stageAlloc{
 			op: "Join",
 			price: func(t, v, m float64) float64 {
@@ -372,10 +373,10 @@ func (c *compiler) demandWalk(p *Plan, out *[]*stageAlloc) (planEstimate, int) {
 				adjust := lambda * (outBuf - v)
 				if pinned != nil {
 					if prof, ok := pinnedJoinProfile(pinned, t, v, m, lambda); ok {
-						return prof.Price(1, lambda) + adjust
+						return prof.PriceP(1, lambda, par) + adjust
 					}
 				}
-				return cost.BestJoinPlan(t, v, m, lambda).Cost + adjust
+				return cost.BestJoinPlanP(t, v, m, lambda, par).Cost + adjust
 			},
 			t: t, v: v, inEst: float64(lest.rows), tFrom: lfrom, vFrom: rfrom,
 		}
@@ -402,6 +403,7 @@ func PlanCosts(ctx *Ctx, p *Plan, budgets []int64) ([]float64, error) {
 	}
 	c := &compiler{
 		lambda:    ctx.Factory.Device().Lambda(),
+		par:       parOf(ctx.Parallelism),
 		blockSize: ctx.Factory.BlockSize(),
 		stats:     ctx.Stats,
 	}

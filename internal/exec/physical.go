@@ -163,6 +163,7 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 	c := &compiler{
 		opts:      opts,
 		lambda:    ctx.Factory.Device().Lambda(),
+		par:       parOf(ctx.Parallelism),
 		blockSize: ctx.Factory.BlockSize(),
 		stats:     ctx.Stats,
 	}
@@ -222,6 +223,7 @@ func CompileWith(ctx *Ctx, p *Plan, opts CompileOptions) (Operator, *Explain, er
 type compiler struct {
 	opts      CompileOptions
 	lambda    float64
+	par       float64 // effective intra-operator parallelism (≥1) for P-aware pricing
 	blockSize int
 	stats     stats.Provider
 	stages    []*stageAlloc // allocated blocking stages, build's post-order
@@ -283,7 +285,7 @@ func (c *compiler) newChoice(ch Choice, s *stageAlloc) (*Choice, *runtimeChoice)
 	p := &ch
 	s.choice = p
 	c.choices = append(c.choices, p)
-	return p, &runtimeChoice{choice: p, m: c.stageBuffers(s), lambda: c.lambda, blockSize: c.blockSize, bp: c.bp, stage: s}
+	return p, &runtimeChoice{choice: p, m: c.stageBuffers(s), lambda: c.lambda, par: c.par, blockSize: c.blockSize, bp: c.bp, stage: s}
 }
 
 // build compiles the node and returns the operator plus its output
@@ -339,10 +341,10 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		ch := Choice{Operator: "OrderBy", InputRows: in.rows, Buffers: t, Pinned: a != nil}
 		if a == nil {
 			var prof cost.Profile
-			a, prof = ChooseSort(t, m, c.lambda)
-			ch.Cost = prof.Price(1, c.lambda)
+			a, prof = ChooseSortP(t, m, c.lambda, c.par)
+			ch.Cost = prof.PriceP(1, c.lambda, c.par)
 		} else if prof, ok := pinnedSortProfile(a, t, m, c.lambda); ok {
-			ch.Cost = prof.Price(1, c.lambda)
+			ch.Cost = prof.PriceP(1, c.lambda, c.par)
 		}
 		ch.Algorithm = a.Name()
 		_, rc := c.newChoice(ch, st)
@@ -372,7 +374,7 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		if p.sortA != nil {
 			ch.Algorithm = p.sortA.Name()
 			if prof, ok := pinnedSortProfile(p.sortA, t, m, c.lambda); ok {
-				ch.Cost = prof.Price(1, c.lambda)
+				ch.Cost = prof.PriceP(1, c.lambda, c.par)
 			}
 			_, rc := c.newChoice(ch, st)
 			op := NewGroupBy(child, p.attr, p.sortA)
@@ -396,9 +398,9 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 			op.rc = rc
 			return c.breaker(op), out, nil
 		}
-		a, prof := ChooseSort(t, m, c.lambda)
+		a, prof := ChooseSortP(t, m, c.lambda, c.par)
 		ch.Algorithm = a.Name()
-		ch.Cost = prof.Price(1, c.lambda)
+		ch.Cost = prof.PriceP(1, c.lambda, c.par)
 		_, rc := c.newChoice(ch, st)
 		op := NewGroupBy(child, p.attr, a)
 		op.rc = rc
@@ -431,10 +433,10 @@ func (c *compiler) build(p *Plan) (Operator, planEstimate, error) {
 		ch := Choice{Operator: "Join", InputRows: lest.rows, Buffers: t, RightBuf: v, Pinned: a != nil}
 		if a == nil {
 			var prof cost.Profile
-			a, prof = ChooseJoin(t, v, m, c.lambda)
-			ch.Cost = adjust(prof.Price(1, c.lambda))
+			a, prof = ChooseJoinP(t, v, m, c.lambda, c.par)
+			ch.Cost = adjust(prof.PriceP(1, c.lambda, c.par))
 		} else if prof, ok := pinnedJoinProfile(a, t, v, m, c.lambda); ok {
-			ch.Cost = adjust(prof.Price(1, c.lambda))
+			ch.Cost = adjust(prof.PriceP(1, c.lambda, c.par))
 		}
 		ch.Algorithm = a.Name()
 		_, rc := c.newChoice(ch, st)
@@ -684,6 +686,7 @@ type runtimeChoice struct {
 	choice    *Choice
 	m         float64
 	lambda    float64
+	par       float64 // intra-operator parallelism the plan will run with
 	blockSize int
 	outBuf    float64     // joins: estimated output buffers for cost adjustment
 	bp        *budgetPlan // runtime re-split state (nil: fixed shares)
@@ -740,12 +743,12 @@ func (rc *runtimeChoice) clampSort(rows, recSize int, cur sorts.Algorithm) sorts
 	rc.commit(t, 0, rows)
 	if rc.choice.Pinned {
 		if prof, ok := pinnedSortProfile(cur, t, rc.m, rc.lambda); ok {
-			rc.choice.Cost = prof.Price(1, rc.lambda)
+			rc.choice.Cost = prof.PriceP(1, rc.lambda, rc.par)
 		}
 		return cur
 	}
-	a, prof := ChooseSort(t, rc.m, rc.lambda)
-	rc.choice.Cost = prof.Price(1, rc.lambda)
+	a, prof := ChooseSortP(t, rc.m, rc.lambda, rc.par)
+	rc.choice.Cost = prof.PriceP(1, rc.lambda, rc.par)
 	if a.Name() != cur.Name() {
 		rc.choice.Replanned = true
 		rc.choice.Algorithm = a.Name()
@@ -767,12 +770,12 @@ func (rc *runtimeChoice) clampJoin(lrows, lrec, rrows, rrec int, cur joins.Algor
 	adjust := func(price float64) float64 { return price + rc.lambda*(rc.outBuf-v) }
 	if rc.choice.Pinned {
 		if prof, ok := pinnedJoinProfile(cur, t, v, rc.m, rc.lambda); ok {
-			rc.choice.Cost = adjust(prof.Price(1, rc.lambda))
+			rc.choice.Cost = adjust(prof.PriceP(1, rc.lambda, rc.par))
 		}
 		return cur
 	}
-	a, prof := ChooseJoin(t, v, rc.m, rc.lambda)
-	rc.choice.Cost = adjust(prof.Price(1, rc.lambda))
+	a, prof := ChooseJoinP(t, v, rc.m, rc.lambda, rc.par)
+	rc.choice.Cost = adjust(prof.PriceP(1, rc.lambda, rc.par))
 	if a.Name() != cur.Name() {
 		rc.choice.Replanned = true
 		rc.choice.Algorithm = a.Name()
@@ -781,13 +784,32 @@ func (rc *runtimeChoice) clampJoin(lrows, lrec, rrows, rrec int, cur joins.Algor
 	return cur
 }
 
+// parOf maps a context's Parallelism knob to the effective
+// intra-operator parallelism for pricing: values below 1 (including the
+// "unset" zero) price serially.
+func parOf(p int) float64 {
+	if p < 1 {
+		return 1
+	}
+	return float64(p)
+}
+
 // ChooseSort returns the cost-model-optimal sort for t input buffers
 // with m buffers of stage memory at write/read ratio λ, along with its
 // predicted I/O profile. The pricing lives in cost.BestSortPlan — the
 // same function the budget allocator water-fills over — so the
 // instantiated algorithm and the allocator's curves can never disagree.
 func ChooseSort(t, m, lambda float64) (sorts.Algorithm, cost.Profile) {
-	p := cost.BestSortPlan(t, m, lambda)
+	return ChooseSortP(t, m, lambda, 1)
+}
+
+// ChooseSortP is ChooseSort priced under par-way intra-operator
+// parallelism: phases that fan out (run formation, merge passes, the
+// splitter-partitioned final merge) are discounted par ways, so at high
+// par the write-serial sorts lose to ExMS/HybS exactly as the engine's
+// overlap clock says they should.
+func ChooseSortP(t, m, lambda, par float64) (sorts.Algorithm, cost.Profile) {
+	p := cost.BestSortPlanP(t, m, lambda, par)
 	switch p.Algo {
 	case cost.SortSelS:
 		return sorts.NewSelectionSort(), p.Profile
@@ -807,7 +829,13 @@ func ChooseSort(t, m, lambda float64) (sorts.Algorithm, cost.Profile) {
 // along with its predicted I/O profile. Pricing delegates to
 // cost.BestJoinPlan, ChooseSort-style.
 func ChooseJoin(t, v, m, lambda float64) (joins.Algorithm, cost.Profile) {
-	p := cost.BestJoinPlan(t, v, m, lambda)
+	return ChooseJoinP(t, v, m, lambda, 1)
+}
+
+// ChooseJoinP is ChooseJoin priced under par-way intra-operator
+// parallelism (see ChooseSortP).
+func ChooseJoinP(t, v, m, lambda, par float64) (joins.Algorithm, cost.Profile) {
+	p := cost.BestJoinPlanP(t, v, m, lambda, par)
 	switch p.Algo {
 	case cost.JoinGJ:
 		return joins.NewGrace(), p.Profile

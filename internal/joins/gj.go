@@ -137,13 +137,13 @@ func partitionInto(env *algo.Env, src storage.Collection, k, x int, prefix strin
 	return parts, nil
 }
 
-// joinPartition builds a table over partition lp (its sub-collections in
-// worker order, preserving the serial insertion order) and probes it with
-// partition rp, one probe worker per sub-collection (the partitioning
-// phase's worker count, itself bounded by env.Parallelism, fixes the
-// probe fan-out).
+// joinPartition builds a table over partition lp (worker-built
+// sub-tables merged back into the serial insertion order) and probes it
+// with partition rp, one probe worker per sub-collection (the
+// partitioning phase's worker count, itself bounded by env.Parallelism,
+// fixes the probe fan-out).
 func joinPartition(env *algo.Env, lp, rp []storage.Collection, em *emitter) error {
-	table, err := buildTable(env, lp)
+	table, err := buildTableParallel(env, lp, nil)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,11 @@ import (
 // iteration therefore shrinks both inputs by one partition — at the price
 // of rewriting the survivors every time, the write pathology lazy hash
 // join removes.
+//
+// HJ's build is fused with the offload scan (each scanned record either
+// enters the table or is appended to the survivor collection, in scan
+// order), so the build cannot be lifted to workers without reordering the
+// survivor stream; HJ stays serial at every parallelism level.
 type Hash struct{}
 
 // NewHash returns the HJ operator.

@@ -2,7 +2,6 @@ package joins
 
 import (
 	"fmt"
-	"io"
 
 	"wlpm/internal/algo"
 	"wlpm/internal/cost"
@@ -21,9 +20,10 @@ import (
 //
 // x and y are the algorithm's write intensities (Eq. 6; Fig. 2 heatmaps).
 //
-// Under env.Parallelism > 1 the partitioning scans and all three probe
-// streams fan out to workers with serial-identical output order; the
-// hash-table builds stay serial (insertion order is emission order).
+// Under env.Parallelism > 1 the partitioning scans, the hash-table
+// builds (worker sub-tables merged back into serial insertion order) and
+// all three probe streams fan out to workers with serial-identical
+// output order.
 type HybridGraceNL struct {
 	// X and Y are the Grace fractions of the left and right inputs.
 	X, Y float64
@@ -83,10 +83,10 @@ func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection)
 
 	// Phase 2: per-partition Grace join, with the unpartitioned right
 	// suffix V(1−y) piggybacked onto each resident partition table. The
-	// builds stay serial; both probe streams fan out to workers.
+	// builds and both probe streams fan out to workers.
 	vSuffix := storage.Slice(right, splitV, right.Len())
 	for p := 0; p < len(lp); p++ {
-		table, err := buildTable(env, lp[p])
+		table, err := buildTableParallel(env, lp[p], nil)
 		if err != nil {
 			return err
 		}
@@ -107,27 +107,21 @@ func (j *HybridGraceNL) Join(env *algo.Env, left, right, out storage.Collection)
 	}
 
 	// Phase 3: block nested loops between the left suffix T(1−x) and the
-	// whole right input.
+	// whole right input. Each memory-sized block's table build fans out to
+	// workers over contiguous chunks of the block.
 	if splitT < left.Len() {
 		capRecords := buildCap(env, left.RecordSize())
-		table := newHashTable(left.RecordSize(), capRecords)
 		done := splitT
 		for done < left.Len() {
-			table.reset()
-			it := left.ScanFrom(done)
-			for table.len() < capRecords {
-				rec, err := it.Next()
-				if err == io.EOF {
-					break
-				}
-				if err != nil {
-					it.Close()
-					return err
-				}
-				table.insert(rec)
+			end := done + capRecords
+			if end > left.Len() {
+				end = left.Len()
 			}
-			it.Close()
-			done += table.len()
+			table, err := buildTableParallel(env, []storage.Collection{storage.Slice(left, done, end)}, nil)
+			if err != nil {
+				return err
+			}
+			done = end
 			if err := probeRange(env, right, table, nil, em); err != nil {
 				return err
 			}

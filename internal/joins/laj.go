@@ -16,6 +16,11 @@ import (
 // iteration n = ⌊k/(λ+1)⌋ of the current input (Eq. 11) — the iteration
 // materializes the surviving records as fresh intermediate inputs and the
 // algorithm reverts to being lazy.
+//
+// Like HJ, LaJ's builds are fused with its (re)scans — a scanned record
+// either enters the current table or flows to the materialization — so
+// the build order is the survivor order and the phase stays serial at
+// every parallelism level.
 type LazyHash struct{}
 
 // NewLazyHash returns the LaJ operator.

@@ -1,10 +1,7 @@
 package joins
 
 import (
-	"io"
-
 	"wlpm/internal/algo"
-	"wlpm/internal/record"
 	"wlpm/internal/storage"
 )
 
@@ -12,6 +9,11 @@ import (
 // left-input block. It writes nothing but the output — the read-intensive
 // floor the paper's write-limited algorithms approximate — at the price of
 // one full scan of the right input per memory-sized block of the left.
+//
+// Under env.Parallelism > 1 each block's index build fans out to workers
+// over contiguous chunks (sub-tables merged back into serial insertion
+// order) and the right-input probe scans fan out over chunks with
+// serial-identical emission order.
 type NestedLoops struct{}
 
 // NewNestedLoops returns the NLJ operator.
@@ -26,36 +28,20 @@ func (j *NestedLoops) Join(env *algo.Env, left, right, out storage.Collection) e
 		return err
 	}
 	em := newEmitter(out, left.RecordSize(), right.RecordSize())
-	cap := buildCap(env, left.RecordSize())
-	table := newHashTable(left.RecordSize(), cap)
-	poll := env.Poll()
+	capRecords := buildCap(env, left.RecordSize())
 
 	done := 0
 	for done < left.Len() {
-		table.reset()
-		it := left.ScanFrom(done)
-		for table.len() < cap {
-			rec, err := it.Next()
-			if err == io.EOF {
-				break
-			}
-			if err != nil {
-				it.Close()
-				return err
-			}
-			table.insert(rec)
+		end := done + capRecords
+		if end > left.Len() {
+			end = left.Len()
 		}
-		it.Close()
-		done += table.len()
-
-		if err := scanInto(right, func(r []byte) error {
-			if err := poll(); err != nil {
-				return err
-			}
-			return table.probe(record.Key(r), func(l []byte) error {
-				return em.emit(l, r)
-			})
-		}); err != nil {
+		table, err := buildTableParallel(env, []storage.Collection{storage.Slice(left, done, end)}, nil)
+		if err != nil {
+			return err
+		}
+		done = end
+		if err := probeRange(env, right, table, nil, em); err != nil {
 			return err
 		}
 	}

@@ -15,13 +15,17 @@ import (
 //     the ordered list of the workers' sub-collections, whose
 //     concatenation in worker order reproduces the serial partition
 //     contents record-for-record.
-//   - probing: each partition's hash table is built serially (insertion
-//     order determines per-key match order and must stay the serial scan
-//     order), then probed by several workers over contiguous chunks of the
-//     probe stream. Matches are staged in small per-worker DRAM buffers
-//     and appended to the output through a turnstile in chunk order, so
-//     the output sequence equals the serial one for every parallelism
-//     level.
+//   - building: each partition's hash table is built by workers over
+//     contiguous chunks of the build stream, each filling a private record
+//     vector; an order-restoring merge concatenates the vectors in worker
+//     order and indexes the result in one pass, reconstituting the exact
+//     serial insertion order (which determines per-key match order) before
+//     any probe runs.
+//   - probing: the table is probed by several workers over contiguous
+//     chunks of the probe stream. Matches are staged in small per-worker
+//     DRAM buffers and appended to the output through a turnstile in chunk
+//     order, so the output sequence equals the serial one for every
+//     parallelism level.
 //
 // The device I/O counts are preserved up to block-boundary effects: every
 // record is still partitioned once, read once per the algorithm's scan
@@ -173,20 +177,103 @@ func probeRange(env *algo.Env, src storage.Collection, table *hashTable, filter 
 	return parallelProbe(env, srcs, table, filter, em)
 }
 
-// buildTable builds the in-memory hash table over a partition's
-// sub-collections in worker order, preserving the serial insertion order
-// and polling env's cancellation between inserted records.
-func buildTable(env *algo.Env, subs []storage.Collection) (*hashTable, error) {
-	table := newHashTable(subs[0].RecordSize(), lenAll(subs))
-	for _, c := range subs {
-		if err := scanInto(c, pollRecords(env, func(rec []byte) error {
-			table.insert(rec)
+// BuildPhase names the hash-table build passes of the partitioned joins
+// in the environment's phase recorder. The phase is read-only on the
+// device: its cacheline write count is zero at every parallelism level.
+const BuildPhase = "build"
+
+// buildTableParallel builds the in-memory hash table over the
+// concatenated record stream of subs, skipping records that fail filter
+// (when non-nil). Under env.Parallelism > 1 the stream is split into
+// contiguous chunks and each worker fills a private record vector — the
+// device-read-bound half of the build, which is what overlapping
+// workers speed up. An order-restoring merge then concatenates the
+// vectors in worker order and indexes the merged vector in one DRAM
+// pass, so the vector and every per-key index list are exactly what the
+// serial scan would have produced and per-key match order (and with it
+// the join's output byte stream) is unchanged. Keeping the workers free
+// of index-map work means the parallel build does no more total CPU
+// than the serial one — the index is built exactly once either way. The
+// per-worker vectors are transient DRAM; the merged table is the same
+// size as the serial one.
+func buildTableParallel(env *algo.Env, subs []storage.Collection, filter func(rec []byte) bool) (*hashTable, error) {
+	var table *hashTable
+	err := env.TimePhase(BuildPhase, func() error {
+		n := lenAll(subs)
+		recSize := subs[0].RecordSize()
+		w := env.Workers(n)
+		if w <= 1 {
+			t := newHashTable(recSize, n)
+			err := scanAllInto(subs, pollRecords(env, func(rec []byte) error {
+				if filter == nil || filter(rec) {
+					t.insert(rec)
+				}
+				return nil
+			}))
+			if err != nil {
+				return err
+			}
+			table = t
 			return nil
-		})); err != nil {
-			return nil, err
 		}
+		parts := make([]*record.Vec, w)
+		err := env.RunWorkers(w, func(i int) error {
+			lo, hi := algo.SplitRange(n, w, i)
+			part := record.NewVec(recSize, hi-lo)
+			keep := pollRecords(env, func(rec []byte) error {
+				if filter == nil || filter(rec) {
+					part.Append(rec)
+				}
+				return nil
+			})
+			base := 0
+			for _, c := range subs {
+				clo, chi := lo-base, hi-base
+				base += c.Len()
+				if clo < 0 {
+					clo = 0
+				}
+				if chi > c.Len() {
+					chi = c.Len()
+				}
+				if clo >= chi {
+					continue
+				}
+				if err := scanInto(storage.Slice(c, clo, chi), keep); err != nil {
+					return err
+				}
+			}
+			parts[i] = part
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		merged := newHashTable(recSize, n)
+		for _, part := range parts {
+			merged.vec.AppendVec(part)
+		}
+		for pos := 0; pos < merged.vec.Len(); pos++ {
+			k := record.Key(merged.vec.At(pos))
+			merged.idx[k] = append(merged.idx[k], int32(pos))
+		}
+		table = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return table, nil
+}
+
+// scanAllInto streams every record of subs, in order, into fn.
+func scanAllInto(subs []storage.Collection, fn func(rec []byte) error) error {
+	for _, c := range subs {
+		if err := scanInto(c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // closeAll closes every collection in subs.

@@ -15,10 +15,10 @@ import (
 // traded for the writes that were never made (Eq. 9; Eq. 10 bounds when
 // this beats plain Grace join).
 //
-// Under env.Parallelism > 1 the offload scans, the materialized
-// partitions' probes and the filtered probe re-scans fan out to workers;
-// the build re-scans stay serial because insertion order fixes the
-// emission order. Output order and I/O counts match the serial run.
+// Under env.Parallelism > 1 the offload scans, the hash-table builds
+// (worker sub-tables merged back into serial insertion order), the
+// materialized partitions' probes and the filtered re-scans all fan out
+// to workers. Output order and I/O counts match the serial run.
 type SegmentedGrace struct {
 	// Intensity ∈ [0, 1] is the fraction of partitions materialized.
 	Intensity float64
@@ -69,21 +69,18 @@ func (j *SegmentedGrace) Join(env *algo.Env, left, right, out storage.Collection
 		}
 	}
 
-	// Remaining partitions: one filtered re-scan of both inputs each. The
-	// build re-scan is serial (insertion order is emission order); the
-	// probe re-scan fans out over chunks of the right input.
-	table := newHashTable(left.RecordSize(), buildCap(env, left.RecordSize()))
+	// Remaining partitions: one filtered re-scan of both inputs each. Both
+	// the build re-scan and the probe re-scan fan out over contiguous
+	// chunks of their input; the build's worker sub-tables merge back into
+	// the serial insertion (= emission) order.
 	for p := x; p < k; p++ {
-		table.reset()
-		if err := scanInto(left, pollRecords(env, func(rec []byte) error {
-			if partitionOf(rec, k) == p {
-				table.insert(rec)
-			}
-			return nil
-		})); err != nil {
+		part := p
+		table, err := buildTableParallel(env, []storage.Collection{left}, func(rec []byte) bool {
+			return partitionOf(rec, k) == part
+		})
+		if err != nil {
 			return err
 		}
-		part := p
 		if err := probeRange(env, right, table, func(r []byte) bool {
 			return partitionOf(r, k) == part
 		}, em); err != nil {

@@ -16,7 +16,6 @@ package pmem
 
 import (
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -91,6 +90,7 @@ type Device struct {
 	ovlNanos   atomic.Int64 // overlap clock: latency ÷ concurrently active workers
 	active     atomic.Int64 // workers inside an EnterWorker/LeaveWorker bracket
 	softNanos  atomic.Int64
+	spinDebt   atomic.Int64 // spin mode: sub-quantum delay owed but not yet slept
 
 	readLat  atomic.Int64 // current latencies, mutable for sweeps
 	writeLat atomic.Int64
@@ -204,16 +204,21 @@ func (d *Device) WriteAt(p []byte, off int64) error {
 	return nil
 }
 
-// spinSleepThreshold bounds how long charge busy-waits: delays at or above
-// it are served by the scheduler instead, so large spin-mode transfers do
-// not peg a core per worker under parallel execution.
+// spinSleepThreshold is the spin-mode delay quantum: delays at or above
+// it are served by one sleep, and shorter charges accrue into a shared
+// debt that is slept off one quantum at a time. Serving delays through
+// the scheduler instead of busy-waiting is what lets modelled device
+// latency overlap with other workers' real CPU work — including on
+// single-core hosts, where a busy-wait would hold the only core and
+// serialize the very overlap spin mode exists to demonstrate.
 const spinSleepThreshold = 100 * time.Microsecond
 
 // charge adds n accesses of latency lat to the simulated clock and
-// optionally delays for the same duration. Short delays busy-wait (the
-// paper's idle-loop instrumentation) but yield the processor each
-// iteration; long delays sleep coarsely, so concurrent workers on small
-// machines make progress instead of livelocking on spinning siblings.
+// optionally delays for the same duration. Long delays sleep directly;
+// short ones add to the device's delay debt, and the charge that tips
+// the debt over a quantum sleeps it off on behalf of everyone. Batching
+// the sleeps keeps per-charge overhead near zero while the total slept
+// time still equals the total charged latency.
 func (d *Device) charge(n uint64, lat time.Duration) {
 	total := time.Duration(n) * lat
 	d.simIONanos.Add(int64(total))
@@ -226,12 +231,31 @@ func (d *Device) charge(n uint64, lat time.Duration) {
 		return
 	}
 	if total >= spinSleepThreshold {
-		time.Sleep(total)
+		d.sleepOff(total)
 		return
 	}
-	deadline := time.Now().Add(total)
-	for time.Now().Before(deadline) {
-		runtime.Gosched()
+	debt := d.spinDebt.Add(int64(total))
+	if debt < int64(spinSleepThreshold) {
+		return
+	}
+	// Claim one quantum of the shared debt; losing the race just means
+	// another charge is already sleeping it off.
+	if d.spinDebt.CompareAndSwap(debt, debt-int64(spinSleepThreshold)) {
+		d.sleepOff(spinSleepThreshold)
+	}
+}
+
+// sleepOff sleeps for want and credits any overshoot back against the
+// delay debt. Sleep granularity is host-dependent (often ~1 ms), so
+// without the credit every quantum would oversleep by up to a timer
+// tick and spin-mode wall time would be dominated by the host's timer
+// resolution instead of the charged latencies; with it, the total slept
+// time converges to the total charged latency.
+func (d *Device) sleepOff(want time.Duration) {
+	start := time.Now()
+	time.Sleep(want)
+	if over := time.Since(start) - want; over > 0 {
+		d.spinDebt.Add(-int64(over))
 	}
 }
 

@@ -39,6 +39,16 @@ func (v *Vec) Append(rec []byte) {
 	v.n++
 }
 
+// AppendVec copies every record of src onto the end of v, preserving
+// src's record order.
+func (v *Vec) AppendVec(src *Vec) {
+	if src.size != v.size {
+		panic("record: Vec.AppendVec record size mismatch")
+	}
+	v.data = append(v.data, src.data...)
+	v.n += src.n
+}
+
 // At returns record i. The slice aliases the vector's storage.
 func (v *Vec) At(i int) []byte {
 	return v.data[i*v.size : (i+1)*v.size : (i+1)*v.size]

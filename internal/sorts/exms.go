@@ -9,8 +9,10 @@ import (
 // formation uses replacement selection (runs ≈ 2M); runs are merged in
 // passes bounded by the memory budget's fan-in. Under env.Parallelism > 1
 // run formation fans contiguous input chunks out to workers with per-worker
-// budgets summing to M, and intermediate merge passes merge groups
-// concurrently; the final merge into out stays single-streamed.
+// budgets summing to M, intermediate merge passes merge groups
+// concurrently, and the final merge into out splits the key domain across
+// workers on splitters sampled from the runs (order-preserving, with
+// output bytes and cacheline writes identical to the serial merge).
 type ExternalMergeSort struct{}
 
 // NewExternalMergeSort returns the ExMS operator.

@@ -19,7 +19,9 @@ import (
 //
 // The pass that fills Rs and Rr is order-dependent (Rs tracks the global
 // minima seen so far) and stays serial; under env.Parallelism > 1 the
-// merging of Rr's runs fans merge groups out to workers.
+// merging of Rr's runs fans merge groups out to workers, and the final
+// merge appending after Rs's records splits the key domain across
+// workers with byte-identical output.
 type HybridSort struct {
 	// Intensity is x ∈ (0, 1]: the fraction of M given to the selection
 	// region. Larger x means fewer writes (more records bypass run
@@ -72,8 +74,9 @@ func (s *HybridSort) Sort(env *algo.Env, in, out storage.Collection) error {
 		if err != nil {
 			return err
 		}
-		runs = append(runs, r)
-		run = r
+		sr := sampleRun(r)
+		runs = append(runs, sr)
+		run = sr
 		return nil
 	}
 

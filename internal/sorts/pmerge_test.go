@@ -1,0 +1,218 @@
+package sorts
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wlpm/internal/algo"
+	"wlpm/internal/pmem"
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+	"wlpm/internal/storage/all"
+)
+
+// keyDistributions generate the grid's input key patterns: uniform
+// permuted keys, a skewed (quadratically clustered) domain, and a
+// duplicate-heavy domain where every key repeats ~400 times.
+var keyDistributions = []struct {
+	name string
+	key  func(i, n int, rng *testRNG) uint64
+}{
+	{"uniform", func(i, n int, rng *testRNG) uint64 { return rng.next() % uint64(4*n) }},
+	{"skewed", func(i, n int, rng *testRNG) uint64 {
+		v := rng.next() % uint64(n)
+		return v * v / uint64(n) // quadratic pile-up near zero
+	}},
+	{"dups", func(i, n int, rng *testRNG) uint64 { return rng.next() % 50 }},
+}
+
+// testRNG is a deterministic xorshift generator, so grid inputs are
+// identical across P without importing math/rand.
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// loadDistInput builds an input collection under the named distribution.
+func loadDistInput(t testing.TB, env *algo.Env, n int, dist func(i, n int, rng *testRNG) uint64) storage.Collection {
+	t.Helper()
+	in, err := env.CreateTemp("gridin", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := &testRNG{s: 0x9e3779b97f4a7c15}
+	rec := make([]byte, record.Size)
+	for i := 0; i < n; i++ {
+		record.Fill(rec, dist(i, n, rng))
+		if err := in.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// newSpinEnv builds an environment whose device actually delays for the
+// simulated latencies (yielding between spin checks), so concurrent
+// workers interleave even on a single-CPU machine — required to observe
+// the overlap clock dropping below the serial clock.
+func newSpinEnv(t testing.TB, budgetRecords int) *algo.Env {
+	t.Helper()
+	dev := pmem.MustOpen(pmem.Config{Capacity: 256 << 20, Spin: true})
+	f, err := all.New("blocked", dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return algo.NewEnv(f, int64(budgetRecords*record.Size))
+}
+
+// sortGrid runs a at parallelism P and returns the output records, the
+// device stats of the sort, and the final-merge phase accounting. spin
+// selects a device that physically delays (see newSpinEnv).
+func sortGrid(t *testing.T, a Algorithm, dist func(i, n int, rng *testRNG) uint64, n, budgetRecords, parallelism int, spin bool) ([][]byte, pmem.Stats, algo.PhaseStat) {
+	t.Helper()
+	var env *algo.Env
+	if spin {
+		env = newSpinEnv(t, budgetRecords)
+	} else {
+		env = newEnv(t, "blocked", budgetRecords)
+	}
+	env.Parallelism = parallelism
+	rec := algo.NewPhaseRecorder()
+	env.WithPhases(rec)
+	in := loadDistInput(t, env, n, dist)
+	out, err := env.Factory.Create("out", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Factory.Device().ResetStats()
+	if err := a.Sort(env, in, out); err != nil {
+		t.Fatalf("%s (P=%d): %v", a.Name(), parallelism, err)
+	}
+	st := env.Factory.Device().Stats()
+	recs, err := storage.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs, st, rec.Phase(FinalMergePhase)
+}
+
+// TestFinalMergeIdentityGrid is the byte-identity grid of the parallel
+// final merge: P ∈ {2,4,8} × algorithms × key distributions, asserting
+// output record-for-record equal to serial, final-merge phase cacheline
+// writes *identical* to serial (the phase writes only reserved full
+// blocks), and total reads/writes within the 5% tolerance.
+func TestFinalMergeIdentityGrid(t *testing.T) {
+	const n, budget = 20_000, 2500 // few large runs: the parallel final merge engages
+	algos := []Algorithm{
+		NewExternalMergeSort(),
+		NewHybridSort(0.4),
+		NewSegmentSort(0.6), // streaming segment: final merge stays serial, identity still holds
+	}
+	for _, a := range algos {
+		for _, dist := range keyDistributions {
+			serial, serialStats, serialPhase := sortGrid(t, a, dist.key, n, budget, 1, false)
+			for _, p := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("%s/%s/P=%d", a.Name(), dist.name, p), func(t *testing.T) {
+					parallel, parStats, parPhase := sortGrid(t, a, dist.key, n, budget, p, false)
+					if len(serial) != len(parallel) {
+						t.Fatalf("P=%d emitted %d records, serial %d", p, len(parallel), len(serial))
+					}
+					for i := range serial {
+						if !bytes.Equal(serial[i], parallel[i]) {
+							t.Fatalf("record %d differs: serial key %d, P=%d key %d",
+								i, record.Key(serial[i]), p, record.Key(parallel[i]))
+						}
+					}
+					if serialPhase.Stats.Writes != parPhase.Stats.Writes {
+						t.Errorf("final-merge phase writes drifted: serial %d, P=%d %d",
+							serialPhase.Stats.Writes, p, parPhase.Stats.Writes)
+					}
+					assertWithin(t, "total writes", serialStats.Writes, parStats.Writes, 0.05)
+					assertWithin(t, "total reads", serialStats.Reads, parStats.Reads, 0.05)
+				})
+			}
+		}
+	}
+}
+
+// TestParallelFinalMergeEngages proves the lifted phase actually runs
+// parallel: at P=8 the final-merge phase's overlap clock must advance
+// strictly slower than its serial clock (workers were bracketed on the
+// device), which cannot happen on the single-streamed serial path.
+func TestParallelFinalMergeEngages(t *testing.T) {
+	const n, budget = 20_000, 2500
+	_, _, phase := sortGrid(t, NewExternalMergeSort(), keyDistributions[0].key, n, budget, 8, true)
+	if phase.Stats.Writes == 0 {
+		t.Fatal("final-merge phase recorded no writes; phase bracketing broken")
+	}
+	if phase.Stats.SimIOOverlap >= phase.Stats.SimIOTime {
+		t.Errorf("final-merge overlap clock %v not below serial clock %v at P=8: merge ran serial",
+			phase.Stats.SimIOOverlap, phase.Stats.SimIOTime)
+	}
+	if phase.Stats.SimIOOverlap == 0 {
+		t.Error("final-merge overlap clock recorded nothing")
+	}
+}
+
+// cancelAfterCtx cancels itself after its Err has been consulted n
+// times — deterministically mid-merge, unlike a timer.
+type cancelAfterCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func (c *cancelAfterCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFinalMergeCancellation cancels mid final merge at P=8 and asserts
+// the error surfaces, every temp is swept, and no worker goroutine
+// leaks.
+func TestFinalMergeCancellation(t *testing.T) {
+	const n, budget = 20_000, 2500
+	env := newEnv(t, "blocked", budget)
+	env.Parallelism = 8
+	in := loadDistInput(t, env, n, keyDistributions[0].key)
+	out, err := env.Factory.Create("out", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let run formation complete (~n/PollInterval polls) and cancel a few
+	// polls into the merge phase.
+	ctx := &cancelAfterCtx{Context: context.Background()}
+	ctx.remaining.Store(int64(n/algo.PollInterval) + 20)
+	env.WithContext(ctx)
+
+	before := runtime.NumGoroutine()
+	if err := NewExternalMergeSort().Sort(env, in, out); err == nil {
+		t.Fatal("cancelled sort returned nil error")
+	}
+	if err := env.SweepTemps(); err != nil {
+		t.Fatal(err)
+	}
+	if live := env.LiveTemps(); live != 0 {
+		t.Errorf("%d live temps after cancellation sweep", live)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}

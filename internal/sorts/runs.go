@@ -128,7 +128,11 @@ func formRunsReplacementSelection(env *algo.Env, it storage.Iterator, recSize, b
 	next = record.NewVec(recSize, budget)
 
 	newRun := func() (storage.Collection, error) {
-		return env.CreateTemp("run", recSize)
+		r, err := env.CreateTemp("run", recSize)
+		if err != nil {
+			return nil, err
+		}
+		return sampleRun(r), nil
 	}
 	run, err := newRun()
 	if err != nil {
@@ -245,6 +249,12 @@ func mergeRuns(env *algo.Env, runs []storage.Collection, out storage.Collection,
 // final pass. Streams participate only in the last merge — they are the
 // write-avoidance mechanism of segment sort's selection segment, whose
 // records must be written exactly once, at their final location in out.
+// The final pass — the last generation of runs plus the streams into out
+// — is phase-bracketed as FinalMergePhase. With no streams it fans out
+// across workers through parallelFinalMerge (order-preserving key-domain
+// split, byte-identical output and cacheline writes); streaming sources
+// are single-cursor by construction, so any stream keeps the final pass
+// serial.
 func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.Iterator, out storage.Collection, recSize int) error {
 	fanIn := env.BudgetBuffers() - 1 - len(streams)
 	if fanIn < 2 {
@@ -257,21 +267,28 @@ func mergeRunsWith(env *algo.Env, runs []storage.Collection, streams []storage.I
 			return err
 		}
 	}
-	iters := make([]storage.Iterator, 0, len(runs)+len(streams))
-	for _, r := range runs {
-		iters = append(iters, r.Scan())
-	}
-	iters = append(iters, streams...)
-	if err := mergeIters(iters, pollEmit(env, out.Append)); err != nil {
-		destroyRuns(runs)
-		return err
-	}
-	for _, r := range runs {
-		if err := r.Destroy(); err != nil {
+	return env.TimePhase(FinalMergePhase, func() error {
+		if len(streams) == 0 {
+			if handled, err := parallelFinalMerge(env, runs, out, recSize); handled {
+				return err
+			}
+		}
+		iters := make([]storage.Iterator, 0, len(runs)+len(streams))
+		for _, r := range runs {
+			iters = append(iters, r.Scan())
+		}
+		iters = append(iters, streams...)
+		if err := mergeIters(iters, pollEmit(env, out.Append)); err != nil {
+			destroyRuns(runs)
 			return err
 		}
-	}
-	return nil
+		for _, r := range runs {
+			if err := r.Destroy(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // mergePass merges one generation of runs into the next, fanning
@@ -337,10 +354,11 @@ func mergePass(env *algo.Env, runs []storage.Collection, recSize, reserved int) 
 				nextGen[g] = group[0]
 				continue
 			}
-			merged, err := child.CreateTemp("merge", recSize)
+			mergedTemp, err := child.CreateTemp("merge", recSize)
 			if err != nil {
 				return err
 			}
+			merged := sampleRun(mergedTemp)
 			if err := mergeInto(child, group, merged); err != nil {
 				merged.Destroy() //nolint:errcheck // best-effort cleanup after failure
 				return err

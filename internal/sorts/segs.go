@@ -12,7 +12,10 @@ import (
 // first x·|T| records ("write intensity" x) are sorted with external
 // mergesort's replacement-selection run formation; the remaining
 // (1−x)·|T| records become a single long run via the write-minimal
-// multi-pass selection sort. All runs are then merged.
+// multi-pass selection sort. All runs are then merged. The selection
+// segment participates in the final merge as a single streaming cursor,
+// which keeps SegS's final merge serial even at P > 1 (parallelizing it
+// would forfeit the segment's one-write-per-record property).
 //
 // x = 0 degenerates to selection sort (minimal writes), x = 1 to external
 // mergesort (minimal response time under symmetric I/O).

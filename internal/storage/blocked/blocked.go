@@ -110,6 +110,59 @@ func (s *store) ReadBlock(off int64, dst []byte) error {
 	return nil
 }
 
+// ReserveBlocks implements storage.BlockStoreAt: it allocates n
+// full-block slots in ascending seq order — the exact device placement n
+// in-order WriteBlock calls would produce, so parallel range appends are
+// cacheline-identical to serial ones.
+func (s *store) ReserveBlocks(seq, n int) error {
+	if seq != len(s.blocks) {
+		return fmt.Errorf("blocked: out-of-order block reservation %d (have %d)", seq, len(s.blocks))
+	}
+	for i := 0; i < n; i++ {
+		off, err := s.f.alloc.Alloc(int64(s.f.blockSize))
+		if err != nil {
+			// Unwind the partial reservation so the store is unchanged.
+			if rerr := s.ReleaseBlocks(seq, i); rerr != nil {
+				return rerr
+			}
+			return err
+		}
+		s.blocks = append(s.blocks, off)
+		s.sizes = append(s.sizes, s.f.blockSize)
+	}
+	return nil
+}
+
+// WriteReserved implements storage.BlockStoreAt. It only reads the
+// block chain (never mutates it) and the device handles concurrent
+// writes to disjoint offsets, so distinct reserved slots may be written
+// from distinct goroutines.
+func (s *store) WriteReserved(seq int, data []byte) error {
+	if seq < 0 || seq >= len(s.blocks) {
+		return fmt.Errorf("blocked: write to unreserved block %d (have %d)", seq, len(s.blocks))
+	}
+	if len(data) != s.f.blockSize {
+		return fmt.Errorf("blocked: reserved block write of %d bytes, want %d", len(data), s.f.blockSize)
+	}
+	return s.f.alloc.Device().WriteAt(data, s.blocks[seq])
+}
+
+// ReleaseBlocks implements storage.BlockStoreAt, rolling back a
+// reservation suffix.
+func (s *store) ReleaseBlocks(seq, n int) error {
+	if seq+n != len(s.blocks) {
+		return fmt.Errorf("blocked: release of non-suffix blocks [%d,%d) (have %d)", seq, seq+n, len(s.blocks))
+	}
+	for i := seq; i < seq+n; i++ {
+		if err := s.f.alloc.Free(s.blocks[i]); err != nil {
+			return err
+		}
+	}
+	s.blocks = s.blocks[:seq]
+	s.sizes = s.sizes[:seq]
+	return nil
+}
+
 func (s *store) Truncate() error {
 	for _, off := range s.blocks {
 		if err := s.f.alloc.Free(off); err != nil {

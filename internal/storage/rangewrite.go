@@ -1,0 +1,394 @@
+package storage
+
+// Parallel range appends. A collection whose backend can reserve its
+// block layout up front can accept one batch of appends through several
+// concurrent, order-preserving writers — the mechanism behind the sorts'
+// parallel final merge pass. The byte stream produced is identical to
+// the same records appended serially: block slots (and their device
+// locations) are reserved in sequence order before any writer starts,
+// every full block is written exactly once at its final location, and
+// the trailing partial block becomes the collection's DRAM tail exactly
+// as a serial append run would leave it. Cacheline write counts are
+// therefore independent of how the batch is split across writers.
+//
+// Record ranges rarely align with block boundaries, so the writers form
+// a fragment chain: writer i hands its trailing partial-block bytes to
+// writer i+1, which prepends them to its own first bytes to complete
+// that boundary block. The hand-off channels are buffered, writers send
+// their (range-independent) trailing fragment before blocking on their
+// predecessor, and an aborting writer poisons its successor — so the
+// chain never deadlocks and unwinds cleanly on error.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRangeAppendUnsupported reports that a collection's backend cannot
+// reserve block slots up front; callers fall back to serial appends.
+var ErrRangeAppendUnsupported = errors.New("storage: range append unsupported by backend")
+
+// BlockStoreAt is the optional BlockStore capability behind parallel
+// range appends: full-block slots are reserved (allocated) in seq order
+// up front and then written in any order, possibly concurrently from
+// several goroutines (at most one writer per slot).
+type BlockStoreAt interface {
+	BlockStore
+	// ReserveBlocks reserves n full-block slots starting at seq (which
+	// must be the current end of the chain), allocating their device
+	// locations in ascending seq order — the exact placement n in-order
+	// WriteBlock calls would produce.
+	ReserveBlocks(seq, n int) error
+	// WriteReserved persists one full block into a reserved slot. Safe
+	// for concurrent use on distinct slots.
+	WriteReserved(seq int, data []byte) error
+	// ReleaseBlocks discards the reserved slots [seq, seq+n) — written
+	// or not — restoring the store to its pre-reservation state. The
+	// released range must be the current end of the chain.
+	ReleaseBlocks(seq, n int) error
+}
+
+// Unwrapper is implemented by collection decorators (temp trackers, run
+// samplers); capability probes unwrap through it.
+type Unwrapper interface{ Unwrap() Collection }
+
+// RangeAppender is the collection-level capability: one batch of
+// appends, split into contiguous per-writer record ranges.
+type RangeAppender interface {
+	// AppendRanges opens a range-append session for len(counts) writers,
+	// writer i appending exactly counts[i] records. It returns
+	// ErrRangeAppendUnsupported (wrapped) when the backend cannot
+	// reserve block slots.
+	AppendRanges(counts []int) (*RangeAppend, error)
+}
+
+// AsRangeAppender unwraps c through any decorator chain to a collection
+// that can open range-append sessions.
+func AsRangeAppender(c Collection) (RangeAppender, bool) {
+	for c != nil {
+		if ra, ok := c.(RangeAppender); ok {
+			return ra, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
+// fragment is a partial-block hand-off between neighbouring writers.
+// ok=false poisons the chain: the sender failed and the bytes are gone.
+type fragment struct {
+	data []byte
+	ok   bool
+}
+
+// RangeAppend is one parallel append session on a BaseCollection. The
+// session owns the reserved block slots until Commit installs them or
+// Rollback releases them; until then the collection's readable state is
+// untouched (readers never observe reserved slots). Writers may run on
+// distinct goroutines; Commit and Rollback are single-threaded calls
+// made after every writer has finished or aborted.
+type RangeAppend struct {
+	c        *BaseCollection
+	store    BlockStoreAt
+	total    int // records across all ranges
+	firstSeq int // first reserved block slot
+	nBlocks  int // reserved full-block slots
+	links    []chan fragment
+	writers  []*RangeWriter
+	done     bool
+}
+
+// AppendRanges implements RangeAppender on the shared base collection.
+func (c *BaseCollection) AppendRanges(counts []int) (*RangeAppend, error) {
+	bsa, ok := c.store.(BlockStoreAt)
+	if !ok {
+		return nil, fmt.Errorf("storage: collection %q backend: %w", c.name, ErrRangeAppendUnsupported)
+	}
+	if c.destroyed {
+		return nil, fmt.Errorf("storage: range append to destroyed collection %q", c.name)
+	}
+	if c.closed {
+		return nil, fmt.Errorf("storage: range append to closed collection %q: %w", c.name, ErrClosed)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("storage: collection %q: range append needs at least one range", c.name)
+	}
+	bs := int64(c.blockSize)
+	if c.flushed%bs != 0 {
+		// A previously closed-and-reopened store could leave a partial
+		// flushed block; the base collection never does, but guard anyway.
+		return nil, fmt.Errorf("storage: collection %q: unaligned flushed prefix: %w", c.name, ErrRangeAppendUnsupported)
+	}
+	total := 0
+	for i, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("storage: collection %q: negative range count %d at %d", c.name, n, i)
+		}
+		total += n
+	}
+	streamLen := int64(len(c.tail)) + int64(total)*int64(c.recSize)
+	full := int(streamLen / bs)
+	firstSeq := int(c.flushed / bs)
+	if err := bsa.ReserveBlocks(firstSeq, full); err != nil {
+		return nil, err
+	}
+	ra := &RangeAppend{
+		c:        c,
+		store:    bsa,
+		total:    total,
+		firstSeq: firstSeq,
+		nBlocks:  full,
+		links:    make([]chan fragment, len(counts)+1),
+		writers:  make([]*RangeWriter, len(counts)),
+	}
+	for i := range ra.links {
+		ra.links[i] = make(chan fragment, 1)
+	}
+	// Writer 0's incoming fragment is the current DRAM tail: the stream
+	// starts at the last flushed block boundary.
+	ra.links[0] <- fragment{data: append([]byte(nil), c.tail...), ok: true}
+	pos := int64(len(c.tail))
+	for i, n := range counts {
+		lo := pos
+		pos += int64(n) * int64(c.recSize)
+		w := &RangeWriter{
+			ra:        ra,
+			recSize:   c.recSize,
+			blockSize: c.blockSize,
+			lo:        lo,
+			hi:        pos,
+			pos:       lo,
+			remaining: n,
+			fragLen:   int(lo % bs),
+			in:        ra.links[i],
+			out:       ra.links[i+1],
+		}
+		if w.fragLen > 0 {
+			w.firstEnd = (lo/bs + 1) * bs
+		} else {
+			w.firstEnd = lo // no fragment-dependent first block
+		}
+		ra.writers[i] = w
+	}
+	return ra, nil
+}
+
+// Writer returns the writer for range i. Each writer is single-owner;
+// distinct writers may be driven from distinct goroutines.
+func (ra *RangeAppend) Writer(i int) *RangeWriter { return ra.writers[i] }
+
+// Commit installs the batch: the final trailing fragment becomes the
+// collection's DRAM tail, and the record count and flushed byte mark
+// advance exactly as the same appends made serially would have left
+// them. Every writer must have finished.
+func (ra *RangeAppend) Commit() error {
+	if ra.done {
+		return fmt.Errorf("storage: collection %q: range append session already closed", ra.c.name)
+	}
+	for i, w := range ra.writers {
+		if !w.finished {
+			return fmt.Errorf("storage: collection %q: range %d not finished at commit", ra.c.name, i)
+		}
+	}
+	c := ra.c
+	bs := int64(c.blockSize)
+	if c.flushed != int64(ra.firstSeq)*bs {
+		return fmt.Errorf("storage: collection %q mutated during range append", c.name)
+	}
+	last := <-ra.links[len(ra.links)-1]
+	if !last.ok {
+		return fmt.Errorf("storage: collection %q: range append chain poisoned at commit", c.name)
+	}
+	ra.done = true
+	c.tail = append(c.tail[:0], last.data...)
+	c.flushed = int64(ra.firstSeq+ra.nBlocks) * bs
+	c.n += ra.total
+	return nil
+}
+
+// Rollback abandons the session, releasing every reserved block slot;
+// the collection is exactly as it was before AppendRanges. Safe to call
+// after a failed Commit attempt; a no-op once the session is closed.
+func (ra *RangeAppend) Rollback() error {
+	if ra.done {
+		return nil
+	}
+	ra.done = true
+	return ra.store.ReleaseBlocks(ra.firstSeq, ra.nBlocks)
+}
+
+// RangeWriter appends one contiguous record range of a RangeAppend
+// session. It is owned by a single goroutine. Exactly the range's
+// record count must be appended, then Finish called; Abort (idempotent,
+// a no-op after Finish) releases the writer's chain obligations on
+// error paths so neighbouring writers never block on a failed one —
+// defer it alongside Finish.
+type RangeWriter struct {
+	ra        *RangeAppend
+	recSize   int
+	blockSize int
+	lo, hi    int64 // stream byte range [lo, hi) produced by this writer
+	pos       int64 // next stream byte offset to produce
+	remaining int   // records still expected
+	fragLen   int   // predecessor bytes needed to complete the first block
+	firstEnd  int64 // stream offset one past the fragment-dependent first block
+
+	firstPart []byte // own bytes of the first block, staged until the fragment arrives
+	frag      []byte // received predecessor bytes for the first block
+	block     []byte // current block assembly buffer past firstEnd
+	in, out   chan fragment
+	gotFrag   bool
+	sentOut   bool
+	finished  bool
+	aborted   bool
+}
+
+// Append appends the next record of the writer's range.
+func (w *RangeWriter) Append(rec []byte) error {
+	if w.aborted || w.finished {
+		return fmt.Errorf("storage: append to closed range writer on %q", w.ra.c.name)
+	}
+	if len(rec) != w.recSize {
+		return fmt.Errorf("storage: range writer on %q: record size %d, want %d", w.ra.c.name, len(rec), w.recSize)
+	}
+	if w.remaining == 0 {
+		return fmt.Errorf("storage: range writer on %q: range overflow", w.ra.c.name)
+	}
+	w.remaining--
+	bs := int64(w.blockSize)
+	for len(rec) > 0 {
+		blockEnd := (w.pos/bs + 1) * bs
+		n := int(blockEnd - w.pos)
+		if n > len(rec) {
+			n = len(rec)
+		}
+		if w.pos < w.firstEnd {
+			w.firstPart = append(w.firstPart, rec[:n]...)
+		} else {
+			w.block = append(w.block, rec[:n]...)
+		}
+		w.pos += int64(n)
+		rec = rec[n:]
+		if w.pos == blockEnd {
+			if err := w.completeBlock(blockEnd - bs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// completeBlock persists the just-filled block starting at stream offset
+// blockStart. The fragment-dependent first block is only written once
+// the predecessor's trailing bytes are in hand; later blocks are written
+// immediately — writers never block mid-range.
+func (w *RangeWriter) completeBlock(blockStart int64) error {
+	bs := int64(w.blockSize)
+	seq := w.ra.firstSeq + int(blockStart/bs)
+	if blockStart+bs == w.firstEnd && w.fragLen > 0 {
+		if !w.gotFrag {
+			select {
+			case f := <-w.in:
+				if !f.ok {
+					w.aborted = true
+					return fmt.Errorf("storage: range append on %q: predecessor failed", w.ra.c.name)
+				}
+				w.gotFrag = true
+				w.frag = f.data
+			default:
+				return nil // predecessor still running; written at Finish
+			}
+		}
+		return w.writeFirst(seq)
+	}
+	err := w.ra.store.WriteReserved(seq, w.block)
+	w.block = w.block[:0]
+	return err
+}
+
+// writeFirst assembles and persists the fragment-dependent first block.
+// Caller guarantees the fragment has been received into w.frag.
+func (w *RangeWriter) writeFirst(seq int) error {
+	buf := make([]byte, 0, w.blockSize)
+	buf = append(buf, w.frag...)
+	buf = append(buf, w.firstPart...)
+	w.frag, w.firstPart = nil, nil
+	return w.ra.store.WriteReserved(seq, buf)
+}
+
+// Finish completes the writer's range: the trailing partial-block bytes
+// are handed to the successor, and the first block — if still pending on
+// the predecessor — is written. Exactly the declared record count must
+// have been appended.
+func (w *RangeWriter) Finish() error {
+	if w.aborted {
+		return fmt.Errorf("storage: finish of aborted range writer on %q", w.ra.c.name)
+	}
+	if w.finished {
+		return nil
+	}
+	if w.remaining != 0 {
+		w.Abort()
+		return fmt.Errorf("storage: range writer on %q finished %d records short", w.ra.c.name, w.remaining)
+	}
+	// smallRange: the whole range sits inside the fragment-dependent
+	// first block, so the outgoing fragment depends on the incoming one.
+	smallRange := w.fragLen > 0 && w.pos < w.firstEnd
+	if !smallRange {
+		// The trailing fragment is independent of the predecessor: hand
+		// it over before blocking so the chain drains in any order.
+		out := append([]byte(nil), w.block...)
+		w.send(fragment{data: out, ok: true})
+	}
+	if w.fragLen > 0 && !w.gotFrag {
+		f := <-w.in
+		if !f.ok {
+			w.aborted = true
+			w.send(fragment{ok: false})
+			return fmt.Errorf("storage: range append on %q: predecessor failed", w.ra.c.name)
+		}
+		w.gotFrag = true
+		w.frag = f.data
+		if smallRange {
+			combined := make([]byte, 0, len(f.data)+len(w.firstPart))
+			combined = append(combined, f.data...)
+			combined = append(combined, w.firstPart...)
+			w.firstPart = nil
+			w.send(fragment{data: combined, ok: true})
+			w.finished = true
+			return nil
+		}
+		bs := int64(w.blockSize)
+		if err := w.writeFirst(w.ra.firstSeq + int((w.firstEnd-bs)/bs)); err != nil {
+			w.aborted = true
+			return err
+		}
+	}
+	w.finished = true
+	return nil
+}
+
+// Abort abandons the writer, poisoning its successor so neighbouring
+// writers blocked on the fragment chain unwind. Idempotent and a no-op
+// after Finish; safe to defer unconditionally.
+func (w *RangeWriter) Abort() {
+	if w.finished || w.aborted {
+		return
+	}
+	w.aborted = true
+	w.send(fragment{ok: false})
+}
+
+// send forwards to the successor exactly once per writer lifetime; the
+// channel is buffered so the send never blocks.
+func (w *RangeWriter) send(f fragment) {
+	if w.sentOut {
+		return
+	}
+	w.sentOut = true
+	w.out <- f
+}

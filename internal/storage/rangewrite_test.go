@@ -1,0 +1,256 @@
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wlpm/internal/record"
+	"wlpm/internal/storage"
+)
+
+// fillRecs builds n deterministic records keyed start..start+n.
+func fillRecs(start, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		rec := make([]byte, record.Size)
+		record.Fill(rec, uint64(start+i))
+		out[i] = rec
+	}
+	return out
+}
+
+func appendAll(t *testing.T, c interface{ Append([]byte) error }, recs [][]byte) {
+	t.Helper()
+	for _, r := range recs {
+		if err := c.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// openSession pre-appends pre records (leaving a DRAM tail unless the
+// byte count is block-aligned) and opens a range-append session.
+func openSession(t *testing.T, pre int, counts []int) (storage.Factory, storage.Collection, *storage.RangeAppend) {
+	t.Helper()
+	f := newFactory(t, "blocked")
+	c, err := f.Create("ra", record.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, c, fillRecs(0, pre))
+	ra, ok := storage.AsRangeAppender(c)
+	if !ok {
+		t.Fatal("blocked collection does not expose RangeAppender")
+	}
+	session, err := ra.AppendRanges(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, c, session
+}
+
+// runWriters drives each writer's range concurrently and returns the
+// first error (writers are expected to defer Abort themselves here).
+func runWriters(session *storage.RangeAppend, counts []int, recs [][]byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(counts))
+	start := 0
+	for i, n := range counts {
+		lo := start
+		start += n
+		wg.Add(1)
+		go func(i, lo, n int) {
+			defer wg.Done()
+			w := session.Writer(i)
+			defer w.Abort()
+			for _, r := range recs[lo : lo+n] {
+				if err := w.Append(r); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = w.Finish()
+		}(i, lo, n)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// TestRangeAppendMatchesSerial checks the core identity: a committed
+// range-append session leaves the collection byte-for-byte equal to the
+// same records appended serially — including a pre-existing DRAM tail
+// folded into the first block — with *exactly* the same cacheline write
+// count on the device.
+func TestRangeAppendMatchesSerial(t *testing.T) {
+	// 7 pre-records = 560 bytes: a partial tail below one 1024-byte block.
+	const pre, n = 7, 500
+	for _, counts := range [][]int{
+		{500},
+		{180, 200, 120},
+		{0, 3, 0, 497, 0}, // empty and tiny ranges interleaved
+		{125, 125, 125, 125},
+	} {
+		t.Run(fmt.Sprintf("%v", counts), func(t *testing.T) {
+			recs := fillRecs(1000, n)
+
+			serialF := newFactory(t, "blocked")
+			serial, err := serialF.Create("serial", record.Size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendAll(t, serial, fillRecs(0, pre))
+			serialF.Device().ResetStats()
+			appendAll(t, serial, recs)
+			serialWrites := serialF.Device().Stats().Writes
+
+			f, c, session := openSession(t, pre, counts)
+			f.Device().ResetStats()
+			if err := runWriters(session, counts, recs); err != nil {
+				t.Fatal(err)
+			}
+			if err := session.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Device().Stats().Writes; got != serialWrites {
+				t.Errorf("session wrote %d cachelines, serial appends %d", got, serialWrites)
+			}
+			if c.Len() != pre+n {
+				t.Fatalf("Len = %d, want %d", c.Len(), pre+n)
+			}
+			want, err := storage.ReadAll(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := storage.ReadAll(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if !bytes.Equal(want[i], got[i]) {
+					t.Fatalf("record %d differs after range append", i)
+				}
+			}
+			// The collection must remain appendable past the session.
+			if err := c.Append(want[0]); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRangeAppendRollback checks a rolled-back session leaves no trace:
+// length, contents and future appends behave as if it never opened.
+func TestRangeAppendRollback(t *testing.T) {
+	const pre = 40
+	_, c, session := openSession(t, pre, []int{30, 30})
+	w := session.Writer(0)
+	appendAll(t, &writerShim{w}, fillRecs(500, 10)) // partial write, then abandon
+	w.Abort()
+	session.Writer(1).Abort()
+	if err := session.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Rollback(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if c.Len() != pre {
+		t.Fatalf("Len = %d after rollback, want %d", c.Len(), pre)
+	}
+	appendAll(t, c, fillRecs(2000, 60))
+	recs, err := storage.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != pre+60 {
+		t.Fatalf("got %d records, want %d", len(recs), pre+60)
+	}
+	for i, r := range recs[:pre] {
+		if record.Key(r) != uint64(i) {
+			t.Fatalf("pre-record %d has key %d", i, record.Key(r))
+		}
+	}
+}
+
+// writerShim adapts a RangeWriter to the Append-only surface appendAll
+// uses.
+type writerShim struct{ w *storage.RangeWriter }
+
+func (s *writerShim) Append(rec []byte) error { return s.w.Append(rec) }
+
+// TestRangeAppendUnsupportedBackends: every backend either hides the
+// capability or reports ErrRangeAppendUnsupported; only blocked serves
+// sessions.
+func TestRangeAppendUnsupportedBackends(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, f storage.Factory) {
+		c, err := f.Create("cap", record.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, ok := storage.AsRangeAppender(c)
+		if !ok {
+			if f.Name() == "blocked" {
+				t.Fatal("blocked backend lost the RangeAppender capability")
+			}
+			return
+		}
+		session, err := ra.AppendRanges([]int{1})
+		if f.Name() == "blocked" {
+			if err != nil {
+				t.Fatalf("blocked backend refused a session: %v", err)
+			}
+			session.Rollback() //nolint:errcheck
+			return
+		}
+		if !errors.Is(err, storage.ErrRangeAppendUnsupported) {
+			t.Fatalf("backend %q: err = %v, want ErrRangeAppendUnsupported", f.Name(), err)
+		}
+	})
+}
+
+// TestRangeWriterShortCount: finishing a writer before its declared
+// count fails and poisons the session.
+func TestRangeWriterShortCount(t *testing.T) {
+	_, c, session := openSession(t, 0, []int{20, 20})
+	w := session.Writer(0)
+	appendAll(t, &writerShim{w}, fillRecs(0, 5))
+	if err := w.Finish(); err == nil {
+		t.Fatal("short Finish succeeded")
+	}
+	if err := session.Commit(); err == nil {
+		t.Fatal("commit of unfinished session succeeded")
+	}
+	if err := session.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after rollback", c.Len())
+	}
+}
+
+// TestRangeAppendAbortPoisons: an aborted writer's successor — whose
+// first block depends on the aborted range's trailing bytes — fails
+// rather than blocking or committing a hole.
+func TestRangeAppendAbortPoisons(t *testing.T) {
+	counts := []int{25, 25} // 25·80 = 2000 bytes: range 1 starts mid-block
+	_, _, session := openSession(t, 0, counts)
+	session.Writer(0).Abort()
+	w := session.Writer(1)
+	var failed error
+	for _, r := range fillRecs(100, 25) {
+		if failed = w.Append(r); failed != nil {
+			break
+		}
+	}
+	if failed == nil {
+		failed = w.Finish()
+	}
+	if failed == nil {
+		t.Fatal("successor of aborted writer finished cleanly")
+	}
+	if err := session.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
